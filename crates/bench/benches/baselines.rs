@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the CPU-collector baselines' real ingestion
+//! paths (the work behind Figure 2's cycle counts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dta_baselines::multilog::IntRecord;
+use dta_baselines::{AtomicMultiLog, BTrDb, CuckooTable, IntCollector};
+use dta_core::FlowTuple;
+
+fn flow(i: u64) -> FlowTuple {
+    FlowTuple::tcp((i & 0xFFFF) as u32, (i % 60_000) as u16 + 1, (i >> 16) as u32 | 1, 80)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_ingest");
+    g.throughput(Throughput::Elements(1));
+
+    let mut ml = AtomicMultiLog::new(4_000_000);
+    let mut i = 0u64;
+    g.bench_function("multilog", |b| {
+        b.iter(|| {
+            ml.ingest(&IntRecord { ts_ns: i, flow: flow(i % 5_000), value: i as u32 });
+            i = i.wrapping_add(1);
+        })
+    });
+
+    let mut ck = CuckooTable::new(1 << 14);
+    let mut j = 0u64;
+    g.bench_function("cuckoo", |b| {
+        b.iter(|| {
+            ck.insert(flow(j % 20_000), j as u32);
+            j = j.wrapping_add(1);
+        })
+    });
+
+    let mut db = BTrDb::new(1_000_000);
+    let mut k = 0u64;
+    g.bench_function("btrdb", |b| {
+        b.iter(|| {
+            db.ingest(k * 100, (k % 97) as u32);
+            k = k.wrapping_add(1);
+        })
+    });
+
+    let mut ic = IntCollector::new(0.5, 1_000_000);
+    let mut l = 0u64;
+    g.bench_function("intcollector", |b| {
+        b.iter(|| {
+            ic.ingest(l * 100, flow(l % 5_000), (l % 1_000) as u32);
+            l = l.wrapping_add(1);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ingest
+}
+criterion_main!(benches);

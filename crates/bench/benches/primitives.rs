@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the DTA primitives' hot paths:
+//! store insertion/query (Figures 10–13), postcard cache (Figure 14),
+//! append batching/polling (Figures 15–16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dta_collector::layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
+use dta_collector::{
+    AppendReader, KeyIncrementStore, KeyWriteStore, PostcardStore, QueryPolicy, ValueCodec,
+};
+use dta_core::TelemetryKey;
+use dta_rdma::mr::{MemoryRegion, MrAccess};
+use dta_translator::{AppendBatcher, PostcardCache};
+
+fn kw_store(slots: u64, value_bytes: u32) -> KeyWriteStore {
+    let layout = KwLayout { base_va: 0, slots, value_bytes };
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+    KeyWriteStore::new(layout, region, 4)
+}
+
+fn bench_keywrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keywrite");
+    g.throughput(Throughput::Elements(1));
+    for n in [1usize, 2, 4] {
+        let store = kw_store(1 << 16, 4);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                store.insert_direct(&TelemetryKey::from_u64(i), &[1, 2, 3, 4], n);
+                i = i.wrapping_add(1);
+            })
+        });
+        let store = kw_store(1 << 16, 4);
+        for k in 0..6_000u64 {
+            store.insert_direct(&TelemetryKey::from_u64(k), &[1, 2, 3, 4], n);
+        }
+        let mut q = 0u64;
+        g.bench_with_input(BenchmarkId::new("query", n), &n, |b, &n| {
+            b.iter(|| {
+                let out = store.query(&TelemetryKey::from_u64(q % 6_000), n, QueryPolicy::Plurality);
+                q = q.wrapping_add(1);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_postcarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("postcarding");
+    let layout = PostcardLayout { base_va: 0, chunks: 1 << 14, hops: 5, slot_bits: 32 };
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+    let store = PostcardStore::new(layout, region, ValueCodec::switch_ids(1 << 12, 32), 2);
+    let path = [1u32, 2, 3, 4, 5];
+    let mut i = 0u64;
+    g.throughput(Throughput::Elements(5)); // 5 postcards per op
+    g.bench_function("insert_chunk_n1", |b| {
+        b.iter(|| {
+            store.insert_direct(&TelemetryKey::from_u64(i), &path, 1);
+            i = i.wrapping_add(1);
+        })
+    });
+    for k in 0..4_000u64 {
+        store.insert_direct(&TelemetryKey::from_u64(k), &path, 2);
+    }
+    let mut q = 0u64;
+    g.bench_function("query_n2", |b| {
+        b.iter(|| {
+            let out = store.query(&TelemetryKey::from_u64(q % 4_000), 2);
+            q = q.wrapping_add(1);
+            out
+        })
+    });
+    let mut cache = PostcardCache::new(32 * 1024, 5);
+    let mut f = 0u64;
+    g.bench_function("cache_aggregate_flow", |b| {
+        b.iter(|| {
+            let key = TelemetryKey::from_u64(f);
+            for hop in 0..5u8 {
+                cache.insert(&key, hop, 5, hop as u32);
+            }
+            f = f.wrapping_add(1);
+        })
+    });
+    g.finish();
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append");
+    let layout = AppendLayout { base_va: 0, lists: 16, entries_per_list: 1 << 16, entry_bytes: 4 };
+    for batch in [1usize, 4, 16] {
+        let mut batcher = AppendBatcher::new(layout, batch);
+        let mut i = 0u32;
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("batcher_push", batch), &batch, |b, _| {
+            b.iter(|| {
+                let out = batcher.push(i % 16, &i.to_be_bytes());
+                i = i.wrapping_add(1);
+                out
+            })
+        });
+    }
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+    let mut reader = AppendReader::new(layout, region);
+    g.bench_function("reader_poll", |b| b.iter(|| reader.poll(0)));
+    g.finish();
+}
+
+fn bench_key_increment(c: &mut Criterion) {
+    let layout = CmsLayout { base_va: 0, slots: 1 << 16 };
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::ATOMIC);
+    let store = KeyIncrementStore::new(layout, region, 4);
+    let mut g = c.benchmark_group("key_increment");
+    let mut i = 0u64;
+    g.bench_function("increment_n2", |b| {
+        b.iter(|| {
+            store.increment_direct(&TelemetryKey::from_u64(i % 10_000), 1, 2);
+            i = i.wrapping_add(1);
+        })
+    });
+    let mut q = 0u64;
+    g.bench_function("query_n2", |b| {
+        b.iter(|| {
+            let out = store.query(&TelemetryKey::from_u64(q % 10_000), 2);
+            q = q.wrapping_add(1);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_keywrite, bench_postcarding, bench_append, bench_key_increment
+}
+criterion_main!(benches);

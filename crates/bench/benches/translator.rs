@@ -1,0 +1,107 @@
+//! End-to-end translation cost: DTA report in → RoCE packets executed at
+//! the collector NIC, per primitive. This is the software equivalent of the
+//! translator's per-packet pipeline traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dta_collector::service::{
+    CollectorService, ServiceConfig, SERVICE_APPEND, SERVICE_CMS, SERVICE_KW, SERVICE_POSTCARD,
+};
+use dta_core::{DtaReport, TelemetryKey};
+use dta_rdma::cm::CmRequester;
+use dta_translator::{Translator, TranslatorConfig};
+
+fn pair(append_batch: usize) -> (CollectorService, Translator) {
+    let mut c = CollectorService::new(ServiceConfig::default());
+    let mut t = Translator::new(TranslatorConfig { append_batch, ..TranslatorConfig::default() });
+    for (service, qpn) in [
+        (SERVICE_KW, 1u32),
+        (SERVICE_POSTCARD, 2),
+        (SERVICE_APPEND, 3),
+        (SERVICE_CMS, 4),
+    ] {
+        let req = CmRequester::new(qpn, 0);
+        let reply = c.handle_cm(&req.request(service));
+        let (qp, params) = req.complete(&reply).unwrap();
+        match service {
+            SERVICE_KW => t.connect_key_write(qp, params),
+            SERVICE_POSTCARD => t.connect_postcarding(qp, params),
+            SERVICE_APPEND => t.connect_append(qp, params),
+            SERVICE_CMS => t.connect_key_increment(qp, params),
+            _ => unreachable!(),
+        }
+    }
+    (c, t)
+}
+
+fn bench_translate_and_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translator_e2e");
+    g.throughput(Throughput::Elements(1));
+
+    for n in [1u8, 2, 4] {
+        let (mut col, mut tr) = pair(16);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("key_write", n), &n, |b, &n| {
+            b.iter(|| {
+                let r = DtaReport::key_write(0, TelemetryKey::from_u64(i), n, vec![1, 2, 3, 4]);
+                i = i.wrapping_add(1);
+                for pkt in tr.process(0, &r).packets {
+                    col.nic_ingress(&pkt);
+                }
+            })
+        });
+    }
+
+    let (mut col, mut tr) = pair(16);
+    let mut f = 0u64;
+    g.throughput(Throughput::Elements(5));
+    g.bench_function("postcarding_5hop_flow", |b| {
+        b.iter(|| {
+            let key = TelemetryKey::from_u64(f);
+            f = f.wrapping_add(1);
+            for hop in 0..5u8 {
+                let r = DtaReport::postcard(0, key, hop, 5, hop as u32);
+                for pkt in tr.process(0, &r).packets {
+                    col.nic_ingress(&pkt);
+                }
+            }
+        })
+    });
+
+    g.throughput(Throughput::Elements(1));
+    for batch in [1usize, 16] {
+        let (mut col, mut tr) = pair(batch);
+        let mut i = 0u32;
+        g.bench_with_input(BenchmarkId::new("append", batch), &batch, |b, _| {
+            b.iter(|| {
+                let r = DtaReport::append(i, (i % 8) as u32, i.to_be_bytes().to_vec());
+                i = i.wrapping_add(1);
+                for pkt in tr.process(0, &r).packets {
+                    col.nic_ingress(&pkt);
+                }
+            })
+        });
+    }
+
+    let (mut col, mut tr) = pair(16);
+    let mut k = 0u64;
+    g.bench_function("key_increment_n2", |b| {
+        b.iter(|| {
+            let r = DtaReport::key_increment(0, TelemetryKey::from_u64(k % 4096), 2, 1);
+            k = k.wrapping_add(1);
+            for pkt in tr.process(0, &r).packets {
+                col.nic_ingress(&pkt);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_translate_and_execute
+}
+criterion_main!(benches);

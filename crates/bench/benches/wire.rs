@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the wire-format codecs and the translator's
+//! end-to-end per-report translation cost.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dta_core::{DtaReport, TelemetryKey};
+use dta_hash::{Crc32, CrcParams, HashFamily};
+use dta_rdma::packet::{Reth, RocePacket};
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(1));
+
+    let report = DtaReport::key_write(7, TelemetryKey::from_u64(42), 2, vec![1, 2, 3, 4]);
+    g.bench_function("dta_encode", |b| b.iter(|| report.encode().unwrap()));
+    let wire = report.encode().unwrap();
+    g.bench_function("dta_decode", |b| b.iter(|| DtaReport::decode(wire.clone()).unwrap()));
+
+    let roce = RocePacket::write(
+        5,
+        0,
+        Reth { va: 0x1000, rkey: 7, dma_len: 8 },
+        Bytes::from_static(&[0u8; 8]),
+    );
+    g.bench_function("roce_encode", |b| b.iter(|| roce.encode()));
+    let roce_wire = roce.encode();
+    g.bench_function("roce_decode", |b| b.iter(|| RocePacket::decode(roce_wire.clone()).unwrap()));
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let crc = Crc32::new(CrcParams::CASTAGNOLI);
+    let key = TelemetryKey::from_u64(1234);
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("crc32_16B", |b| b.iter(|| crc.compute(key.as_bytes())));
+    let fam = HashFamily::new(4);
+    g.bench_function("family4_slots", |b| b.iter(|| fam.slots(key.as_bytes(), 1 << 20)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_codecs, bench_hashing
+}
+criterion_main!(benches);

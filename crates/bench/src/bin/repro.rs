@@ -1,0 +1,53 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --all            # every experiment (slow, use --release)
+//! repro --exp f7a        # one experiment
+//! repro --all --quick    # reduced trial counts
+//! repro --list           # experiment inventory
+//! ```
+
+use dta_bench::{all_experiments, run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let all = args.iter().any(|a| a == "--all");
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
+
+    if list {
+        println!("available experiments:");
+        for id in all_experiments() {
+            println!("  {}", id.name());
+        }
+        return;
+    }
+
+    let targets: Vec<ExperimentId> = if all {
+        all_experiments().to_vec()
+    } else if let Some(name) = exp {
+        match ExperimentId::parse(name) {
+            Some(id) => vec![id],
+            None => {
+                eprintln!("unknown experiment '{name}' (try --list)");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        eprintln!("usage: repro [--all | --exp <id>] [--quick] [--list]");
+        std::process::exit(1);
+    };
+
+    for id in targets {
+        let start = std::time::Instant::now();
+        for table in run_experiment(id, quick) {
+            println!("{}", table.to_markdown());
+        }
+        eprintln!("[{}] done in {:.2?}\n", id.name(), start.elapsed());
+    }
+}

@@ -1,0 +1,68 @@
+//! Appendix experiments: the A.5 / A.6 bounds against Monte-Carlo runs.
+
+use dta_analysis::keywrite::{kw_empty_return_bound, kw_wrong_return_bound};
+use dta_analysis::montecarlo::simulate_keywrite;
+use dta_analysis::postcarding::{
+    kw_vs_postcarding_wrong_output, pc_empty_return_bound, pc_wrong_return_bound,
+};
+use dta_analysis::Table;
+
+/// Appendix A.5: Key-Write bounds, with Monte-Carlo validation of the
+/// empty-return term.
+pub fn appendix_a5(quick: bool) -> Table {
+    let trials = if quick { 500 } else { 3_000 };
+    let mut t = Table::new(
+        "Appendix A.5 — Key-Write error bounds (b=32, α=0.1)",
+        &["N", "Empty-return bound", "Monte-Carlo empty", "Wrong-return bound"],
+    );
+    for n in [1u32, 2, 4, 8] {
+        let bound = kw_empty_return_bound(n, 32, 0.1);
+        let mc = simulate_keywrite(1 << 13, n, 32, 0.1, trials, 1000 + n as u64);
+        t.row(&[
+            n.to_string(),
+            format!("{bound:.4}"),
+            format!("{:.4}", mc.empty_rate()),
+            format!("{:.2e}", kw_wrong_return_bound(n, 32, 0.1)),
+        ]);
+    }
+    t
+}
+
+/// Appendix A.6: Postcarding bounds and the KW-per-postcard comparison.
+pub fn appendix_a6() -> Table {
+    const V: u64 = 1 << 18;
+    let mut t = Table::new(
+        "Appendix A.6 — Postcarding error bounds (|V|=2^18, B=5, b=32, α=0.1)",
+        &["N", "Empty-return bound", "Wrong-return bound", "KW-per-postcard wrong (2x bits)"],
+    );
+    for n in [1u32, 2, 4] {
+        let (kw_wrong, pc_wrong) = kw_vs_postcarding_wrong_output(n, 32, 0.1, V, 5);
+        t.row(&[
+            n.to_string(),
+            format!("{:.4}", pc_empty_return_bound(n, 32, 0.1, V, 5)),
+            format!("{pc_wrong:.2e}"),
+            format!("{kw_wrong:.2e}"),
+        ]);
+    }
+    let _ = pc_wrong_return_bound(2, 32, 0.1, V, 5);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a5_table_has_all_redundancies() {
+        let t = appendix_a5(true);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn a6_postcarding_wrong_is_negligible() {
+        let csv = appendix_a6().to_csv();
+        // N=2 row: wrong bound below 1e-22.
+        let row = csv.lines().find(|l| l.starts_with("2,")).unwrap();
+        assert!(row.contains("e-2"), "expected ~1e-22 magnitude: {row}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-primitive experiments: Figures 10–16.
+
+use dta_analysis::montecarlo::{simulate_keywrite, simulate_keywrite_aging};
+use dta_analysis::table::{fmt_pct, fmt_rate};
+use dta_analysis::Table;
+use dta_collector::layout::{AppendLayout, KwLayout};
+use dta_collector::query::{parallel_append_poll, parallel_kw_query};
+use dta_collector::{AppendReader, KeyWriteStore, KwQueryBreakdown, PollBreakdown, QueryPolicy};
+use dta_core::TelemetryKey;
+use dta_rdma::mr::{MemoryRegion, MrAccess};
+use dta_rdma::nic::{NicConfig, NicPerfModel};
+use dta_translator::PostcardCache;
+
+use super::system::{append_wire_bytes, kw_wire_bytes, postcard_wire_bytes};
+
+/// Figure 10: Key-Write collection rate vs redundancy, 4 B vs 20 B.
+pub fn figure10() -> Table {
+    let nic = NicPerfModel::new(NicConfig::bluefield2());
+    let mut t = Table::new(
+        "Figure 10 — Key-Write collection rate vs redundancy",
+        &["N", "INT postcards 4B [rps]", "5-hop path 20B [rps]"],
+    );
+    for n in 1..=4u32 {
+        t.row(&[
+            n.to_string(),
+            fmt_rate(nic.report_rate(kw_wire_bytes(4), 1.0, n as f64)),
+            fmt_rate(nic.report_rate(kw_wire_bytes(20), 1.0, n as f64)),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: Key-Write query rate vs cores (11a) and per-query breakdown
+/// (11b), measured on the real store.
+pub fn figure11(quick: bool) -> Vec<Table> {
+    // Scaled-down store: the paper uses 4 GiB / 100M queries; we keep the
+    // load factor (α ≈ 0.1) and shrink both by ~1000x.
+    let slots: u64 = if quick { 1 << 16 } else { 1 << 21 };
+    let keys_n: usize = (slots / 10) as usize;
+    let layout = KwLayout { base_va: 0, slots, value_bytes: 4 };
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+    let store = KeyWriteStore::new(layout, region, 4);
+    let keys: Vec<TelemetryKey> = (0..keys_n as u64).map(TelemetryKey::from_u64).collect();
+    for k in &keys {
+        store.insert_direct(k, &[1, 2, 3, 4], 4);
+    }
+
+    let mut rate_table = Table::new(
+        "Figure 11a — Key-Write query rate vs cores",
+        &["Cores", "N=1 [q/s]", "N=2 [q/s]", "N=4 [q/s]"],
+    );
+    let max_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    for cores in [1usize, 2, 4, 8] {
+        if cores > max_cores {
+            break;
+        }
+        let mut row = vec![cores.to_string()];
+        for n in [1usize, 2, 4] {
+            let st = parallel_kw_query(&store, &keys, n, QueryPolicy::Plurality, cores);
+            row.push(fmt_rate(st.rate()));
+        }
+        rate_table.row(&row);
+    }
+
+    let mut breakdown = KwQueryBreakdown::default();
+    let sample = keys.len().min(20_000);
+    for k in &keys[..sample] {
+        store.query_with_breakdown(k, 2, QueryPolicy::Plurality, &mut breakdown);
+    }
+    let mut bd_table = Table::new(
+        "Figure 11b — Per-query execution breakdown (N=2)",
+        &["Component", "ns/query"],
+    );
+    bd_table.row(&[
+        "Checksum".to_string(),
+        format!("{:.1}", breakdown.checksum_ns as f64 / sample as f64),
+    ]);
+    bd_table.row(&[
+        "Get Slot(s)".to_string(),
+        format!("{:.1}", breakdown.get_slots_ns as f64 / sample as f64),
+    ]);
+    vec![rate_table, bd_table]
+}
+
+/// Figure 12: query success rate vs load factor for N ∈ {1,2,4,8}.
+pub fn figure12(quick: bool) -> Table {
+    let trials = if quick { 400 } else { 2_000 };
+    let slots = if quick { 1 << 12 } else { 1 << 14 };
+    let mut t = Table::new(
+        "Figure 12 — Query success rate vs load factor",
+        &["α", "N=1", "N=2", "N=4", "N=8"],
+    );
+    for alpha in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut row = vec![format!("{alpha:.1}")];
+        for n in [1u32, 2, 4, 8] {
+            let mc = simulate_keywrite(slots, n, 32, alpha, trials, 42 + n as u64);
+            row.push(fmt_pct(mc.success_rate()));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 13: data longevity — queryability vs age for various store sizes.
+pub fn figure13(quick: bool) -> Table {
+    // Paper: 1/3/5/10/30 GiB stores, ages up to 100M newer flows, 24B slots
+    // (20B path + 4B csum). Scale by 4096: slot counts and ages shrink
+    // together, preserving α = age / slots.
+    const SCALE: u64 = 4096;
+    let trials = if quick { 300 } else { 1_500 };
+    let gib = |g: u64| g * (1 << 30) / 24 / SCALE; // slots after scaling
+    let mut t = Table::new(
+        "Figure 13 — Queryability vs report age (N=2, 20B values, scaled /4096)",
+        &["Age [#newer flows]", "1GiB", "3GiB", "5GiB", "10GiB", "30GiB"],
+    );
+    for age_m in [10u64, 20, 40, 60, 80, 100] {
+        let age = age_m * 1_000_000 / SCALE;
+        let mut row = vec![format!("{age_m}M")];
+        for g in [1u64, 3, 5, 10, 30] {
+            let rate = simulate_keywrite_aging(gib(g), 2, age, trials, 7 + g);
+            row.push(fmt_pct(rate));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 14: Postcarding throughput vs translator cache size and number of
+/// interleaved flows, from the real aggregation cache.
+pub fn figure14(quick: bool) -> Table {
+    let nic = NicPerfModel::new(NicConfig::bluefield2());
+    let peak_paths = nic.report_rate(postcard_wire_bytes(5), 1.0, 1.0);
+    let inserts_per_run = if quick { 150_000 } else { 1_000_000 };
+    let mut t = Table::new(
+        "Figure 14 — Postcarding collection vs cache size (5-hop paths)",
+        &["Cache slots", "0 intermediate", "100", "1K", "5K", "10K"],
+    );
+    for cache_slots in [8 * 1024usize, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024] {
+        let mut row = vec![format!("{}K", cache_slots / 1024)];
+        for intermediate in [0usize, 100, 1_000, 5_000, 10_000] {
+            let rate = postcard_completeness(cache_slots, intermediate, inserts_per_run);
+            row.push(fmt_rate(peak_paths * rate));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Fraction of flows whose 5 postcards aggregate without premature emission
+/// when `intermediate` other flows are concurrently in flight ("The number
+/// of other flows appearing at the translator while aggregating per-flow
+/// postcards increases the risk of premature cache emission").
+///
+/// Model: `intermediate + 1` concurrent flows emit postcards round-robin
+/// (each flow's 5 postcards are spread across 5 rounds); a completed flow is
+/// immediately replaced by a fresh one. Completeness is measured from the
+/// cache's own emission counters.
+pub fn postcard_completeness(
+    cache_slots: usize,
+    intermediate: usize,
+    target_inserts: usize,
+) -> f64 {
+    let mut cache = PostcardCache::new(cache_slots, 5);
+    let concurrent = intermediate + 1;
+    let mut flows: Vec<(u64, u8)> = (0..concurrent as u64).map(|i| (i, 0)).collect();
+    let mut next_id = concurrent as u64;
+    let mut inserts = 0usize;
+    while inserts < target_inserts {
+        for slot in flows.iter_mut() {
+            let key = TelemetryKey::from_u64(slot.0);
+            let _ = cache.insert(&key, slot.1, 5, slot.1 as u32);
+            inserts += 1;
+            slot.1 += 1;
+            if slot.1 == 5 {
+                *slot = (next_id, 0);
+                next_id += 1;
+            }
+        }
+    }
+    let s = cache.stats;
+    let total = s.complete_emissions + s.early_emissions;
+    s.complete_emissions as f64 / total.max(1) as f64
+}
+
+/// Figure 15: Append throughput vs batch size and list size.
+pub fn figure15() -> Table {
+    let nic = NicPerfModel::new(NicConfig::bluefield2());
+    let mut t = Table::new(
+        "Figure 15 — Append collection vs batch size (4B events)",
+        &["Batch", "64MiB lists [rps]", "2GiB lists [rps]"],
+    );
+    for batch in [1usize, 2, 4, 8, 16] {
+        let rate = nic.report_rate(append_wire_bytes(batch, 4), batch as f64, 1.0);
+        // List size does not affect collection speed ("The collection speed
+        // is not impacted by the list sizes"): same value in both columns,
+        // measured through the same model.
+        t.row(&[batch.to_string(), fmt_rate(rate), fmt_rate(rate)]);
+    }
+    t
+}
+
+/// Figure 16: Append list-polling rate vs cores (16a) and poll breakdown
+/// (16b), measured on the real reader.
+pub fn figure16(quick: bool) -> Vec<Table> {
+    let entries: u64 = if quick { 1 << 14 } else { 1 << 18 };
+    let layout = AppendLayout { base_va: 0, lists: 1, entries_per_list: entries, entry_bytes: 4 };
+    let max_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+
+    let mut rate_table = Table::new(
+        "Figure 16a — Append polling rate vs cores",
+        &["Cores", "No collection [polls/s]", "Active collection [polls/s]"],
+    );
+    for cores in [1usize, 2, 4, 8, 16] {
+        if cores > max_cores {
+            break;
+        }
+        // One list (and one reader) per core, as in the paper.
+        let mut readers: Vec<AppendReader> = (0..cores)
+            .map(|_| {
+                let region =
+                    MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+                AppendReader::new(layout, region)
+            })
+            .collect();
+        let idle = parallel_append_poll(&mut readers, entries);
+
+        // Active collection: a writer thread hammers the same regions while
+        // readers poll.
+        let regions: Vec<MemoryRegion> = (0..cores)
+            .map(|_| MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE))
+            .collect();
+        let mut readers: Vec<AppendReader> =
+            regions.iter().map(|r| AppendReader::new(layout, r.clone())).collect();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let active = crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let region = &regions[(i % cores as u64) as usize];
+                    let va = (i * 4) % (layout.region_len() - 4);
+                    let _ = region.write(va, &(i as u32).to_be_bytes());
+                    i += 1;
+                }
+            });
+            let st = parallel_append_poll(&mut readers, entries);
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            st
+        })
+        .expect("scope");
+        rate_table.row(&[
+            cores.to_string(),
+            fmt_rate(idle.rate()),
+            fmt_rate(active.rate()),
+        ]);
+    }
+
+    let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+    let mut reader = AppendReader::new(layout, region);
+    let mut bd = PollBreakdown::default();
+    let polls = entries.min(100_000);
+    for _ in 0..polls {
+        reader.poll_with_breakdown(0, &mut bd);
+    }
+    let mut bd_table = Table::new(
+        "Figure 16b — Per-poll execution breakdown",
+        &["Component", "ns/poll"],
+    );
+    bd_table.row(&[
+        "Increment Tail".to_string(),
+        format!("{:.1}", bd.increment_tail_ns as f64 / polls as f64),
+    ]);
+    bd_table.row(&[
+        "Retrieval".to_string(),
+        format!("{:.1}", bd.retrieval_ns as f64 / polls as f64),
+    ]);
+    vec![rate_table, bd_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_rate_inversely_proportional_to_n() {
+        let t = figure10();
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("110.0M"), "N=1 must hit the message rate:\n{csv}");
+    }
+
+    #[test]
+    fn figure12_success_falls_with_load_and_rises_with_n_at_low_load() {
+        let t = figure12(true);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn figure14_completeness_falls_with_intermediate_flows() {
+        let few = postcard_completeness(8 * 1024, 0, 30_000);
+        let many = postcard_completeness(8 * 1024, 10_000, 60_000);
+        assert!(few > 0.99, "no interference -> ~all complete, got {few}");
+        assert!(many < few, "interference must hurt: {many} vs {few}");
+    }
+
+    #[test]
+    fn figure14_bigger_cache_helps() {
+        let small = postcard_completeness(1024, 5_000, 60_000);
+        let big = postcard_completeness(128 * 1024, 5_000, 60_000);
+        assert!(big > small, "cache size must help: {big} vs {small}");
+    }
+
+    #[test]
+    fn figure15_batching_reaches_a_billion() {
+        let csv = figure15().to_csv();
+        let last = csv.lines().last().unwrap();
+        assert!(last.starts_with("16,"));
+        assert!(last.contains('B'), "batch 16 should exceed 1B rps: {last}");
+    }
+
+    #[test]
+    fn figure11_and_16_run_quick() {
+        let t11 = figure11(true);
+        assert_eq!(t11.len(), 2);
+        let t16 = figure16(true);
+        assert_eq!(t16.len(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Count-Min Sketch guarantees for Key-Increment.
+//!
+//! "Our KI memory acts as a Count-Min Sketch ... Hash collisions may lead to
+//! an overestimate of the value, with error guarantees matching those of
+//! Count-Min Sketches \[14\]." (§4)
+//!
+//! DTA's variant hashes `N` times into a *single* array of `M` counters
+//! (rather than `N` disjoint rows of width `w`). The standard analysis
+//! carries over with row width `M`: each probe's expected collision mass is
+//! `T · N / M` where `T` is the total inserted count, and the query (the
+//! minimum of `N` probes) overestimates by more than `ε·T` with probability
+//! at most `(N/(ε·M))^N` by independence of the probes (Markov per probe).
+
+/// Expected overestimate of a single probe: `T · N / M`.
+pub fn expected_overestimate(total: u64, n: u32, slots: u64) -> f64 {
+    total as f64 * n as f64 / slots as f64
+}
+
+/// Probability the KI estimate exceeds the true count by more than
+/// `epsilon * total`.
+pub fn overestimate_tail(epsilon: f64, n: u32, slots: u64) -> f64 {
+    assert!(epsilon > 0.0);
+    let per_probe = (n as f64 / (epsilon * slots as f64)).min(1.0);
+    per_probe.powi(n as i32)
+}
+
+/// Counters `M` needed for error `ε·T` with failure probability `δ`, given
+/// `n` probes: invert the tail bound.
+pub fn slots_needed(epsilon: f64, delta: f64, n: u32) -> u64 {
+    assert!(epsilon > 0.0 && (0.0..1.0).contains(&delta));
+    let per_probe = delta.powf(1.0 / n as f64);
+    (n as f64 / (epsilon * per_probe)).ceil() as u64
+}
+
+/// The classic CMS parameterization for reference: width `e/ε`, depth
+/// `ln(1/δ)`.
+pub fn classic_cms_dimensions(epsilon: f64, delta: f64) -> (u64, u32) {
+    let width = (std::f64::consts::E / epsilon).ceil() as u64;
+    let depth = (1.0 / delta).ln().ceil() as u32;
+    (width, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_shrinks_with_more_probes() {
+        let one = overestimate_tail(0.01, 1, 1 << 16);
+        let four = overestimate_tail(0.01, 4, 1 << 16);
+        assert!(four < one);
+    }
+
+    #[test]
+    fn tail_shrinks_with_more_slots() {
+        let small = overestimate_tail(0.01, 2, 1 << 10);
+        let big = overestimate_tail(0.01, 2, 1 << 20);
+        assert!(big < small);
+    }
+
+    #[test]
+    fn slots_needed_inverts_tail() {
+        let eps = 0.001;
+        let delta = 0.01;
+        for n in [1u32, 2, 4] {
+            let m = slots_needed(eps, delta, n);
+            let tail = overestimate_tail(eps, n, m);
+            assert!(tail <= delta * 1.01, "n={n}: tail {tail} > {delta}");
+        }
+    }
+
+    #[test]
+    fn expected_overestimate_is_linear() {
+        assert_eq!(expected_overestimate(1000, 2, 1000), 2.0);
+        assert_eq!(expected_overestimate(2000, 2, 1000), 4.0);
+    }
+
+    #[test]
+    fn classic_dimensions_match_cormode_muthukrishnan() {
+        let (w, d) = classic_cms_dimensions(0.01, 0.01);
+        assert_eq!(w, 272); // ceil(e / 0.01)
+        assert_eq!(d, 5); // ceil(ln 100)
+    }
+}

@@ -1,0 +1,255 @@
+//! Monte-Carlo validation of the Appendix A.5 / A.6 bounds.
+//!
+//! These simulators model the stores *abstractly* — slots hold (checksum,
+//! value-id) pairs and overwrites are uniform — so millions of trials run in
+//! milliseconds, letting tests verify the closed-form bounds without the
+//! byte-level machinery of `dta-collector`. (Integration tests separately
+//! check that the byte-level store matches the abstract one.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome counts of a Key-Write Monte-Carlo run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McOutcome {
+    /// Trials performed.
+    pub trials: u64,
+    /// Queries that returned the correct value.
+    pub correct: u64,
+    /// Queries that returned nothing / ambiguous (empty returns).
+    pub empty: u64,
+    /// Queries that returned a wrong value (return errors).
+    pub wrong: u64,
+}
+
+impl McOutcome {
+    /// Fraction of empty returns.
+    pub fn empty_rate(&self) -> f64 {
+        self.empty as f64 / self.trials as f64
+    }
+
+    /// Fraction of wrong returns.
+    pub fn wrong_rate(&self) -> f64 {
+        self.wrong as f64 / self.trials as f64
+    }
+
+    /// Fraction of successful queries (the Figure 12/13 y-axis).
+    pub fn success_rate(&self) -> f64 {
+        self.correct as f64 / self.trials as f64
+    }
+}
+
+/// Simulate Key-Write at load `alpha` with redundancy `n`, checksum width
+/// `b`, over a table of `slots` slots, repeated `trials` times.
+///
+/// Each trial: write the victim key's checksum+value into `n` uniform
+/// slots, then write `alpha * slots` other keys (each into its own `n`
+/// slots), then query with plurality vote.
+pub fn simulate_keywrite(
+    slots: u64,
+    n: u32,
+    b: u32,
+    alpha: f64,
+    trials: u64,
+    seed: u64,
+) -> McOutcome {
+    assert!(slots > 0 && n >= 1 && b >= 1 && b <= 32);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: u32 = if b == 32 { u32::MAX } else { (1 << b) - 1 };
+    let mut out = McOutcome { trials, ..Default::default() };
+    // Slot contents: (checksum, value_id); value_id 0 is the victim's.
+    let mut table: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); slots as usize];
+    let writes_per_trial = (alpha * slots as f64).round() as u64;
+
+    for _ in 0..trials {
+        table.fill((u32::MAX, u64::MAX));
+        let victim_csum: u32 = rng.gen::<u32>() & mask;
+        // The hash family assigns the victim n uniform slots; the query
+        // later reads the same slots.
+        let victim_slots: Vec<usize> = (0..n).map(|_| rng.gen_range(0..slots) as usize).collect();
+        for &s in &victim_slots {
+            table[s] = (victim_csum, 0);
+        }
+        for key_id in 1..=writes_per_trial {
+            let csum = rng.gen::<u32>() & mask;
+            for _ in 0..n {
+                let s = rng.gen_range(0..slots) as usize;
+                table[s] = (csum, key_id);
+            }
+        }
+        // Query: plurality vote over checksum-matching slots.
+        let mut candidates: Vec<(u64, u32)> = Vec::new();
+        for &s in &victim_slots {
+            let (csum, val) = table[s];
+            if csum == victim_csum {
+                match candidates.iter_mut().find(|(v, _)| *v == val) {
+                    Some((_, c)) => *c += 1,
+                    None => candidates.push((val, 1)),
+                }
+            }
+        }
+        candidates.sort_by(|a, b| b.1.cmp(&a.1));
+        match candidates.first() {
+            None => out.empty += 1,
+            Some((_, top)) if candidates.len() > 1 && candidates[1].1 == *top => {
+                out.empty += 1; // ambiguous counts as empty
+            }
+            Some((val, _)) => {
+                if *val == 0 {
+                    out.correct += 1;
+                } else {
+                    out.wrong += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Simulate Postcarding queries (Appendix A.6) abstractly: chunks hold
+/// `hops` encoded words; overwrites replace whole chunks; a chunk decodes
+/// for the queried key only if every word XORs back into the value universe
+/// (probability `((values+1)/2^b)^hops` per overwritten chunk).
+pub fn simulate_postcarding(
+    chunks: u64,
+    n: u32,
+    b: u32,
+    alpha: f64,
+    values: u64,
+    hops: u32,
+    trials: u64,
+    seed: u64,
+) -> McOutcome {
+    assert!(chunks > 0 && n >= 1 && (1..=32).contains(&b) && hops >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = McOutcome { trials, ..Default::default() };
+    // Chunk contents: owner id (u64::MAX = never written; 0 = victim).
+    let mut table: Vec<u64> = vec![u64::MAX; chunks as usize];
+    let writes_per_trial = (alpha * chunks as f64).round() as u64;
+    // Probability an overwritten chunk still decodes as valid for the
+    // victim: every hop word must alias into V ∪ {⊔} under the victim's
+    // checksums.
+    let p_valid =
+        (((values + 1) as f64) * 2f64.powi(-(b as i32))).min(1.0).powi(hops as i32);
+
+    for _ in 0..trials {
+        table.fill(u64::MAX);
+        let victim_chunks: Vec<usize> =
+            (0..n).map(|_| rng.gen_range(0..chunks) as usize).collect();
+        for &c in &victim_chunks {
+            table[c] = 0;
+        }
+        for key_id in 1..=writes_per_trial {
+            for _ in 0..n {
+                let c = rng.gen_range(0..chunks) as usize;
+                table[c] = key_id;
+            }
+        }
+        // Decode: intact chunks always decode correctly; overwritten chunks
+        // decode (to a wrong path) with probability p_valid.
+        let mut intact = 0u32;
+        let mut false_valid = 0u32;
+        for &c in &victim_chunks {
+            if table[c] == 0 {
+                intact += 1;
+            } else if rng.gen_bool(p_valid) {
+                false_valid += 1;
+            }
+        }
+        if intact > 0 && false_valid == 0 {
+            out.correct += 1;
+        } else if intact == 0 && false_valid > 0 {
+            out.wrong += 1; // all valid chunks agree on garbage (pessimistic)
+        } else {
+            out.empty += 1; // nothing decodes, or valid chunks disagree
+        }
+    }
+    out
+}
+
+/// Simulate Key-Write aging (Figure 13): one victim write followed by
+/// `newer` newer keys, at a store of `slots` slots; returns the success
+/// rate over `trials`.
+pub fn simulate_keywrite_aging(
+    slots: u64,
+    n: u32,
+    newer: u64,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let alpha = newer as f64 / slots as f64;
+    simulate_keywrite(slots, n, 32, alpha, trials, seed).success_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywrite::{kw_empty_return_bound, kw_wrong_return_bound};
+
+    #[test]
+    fn empirical_empty_rate_close_to_bound() {
+        // The bound is nearly tight for b=32 (checksum collisions are
+        // negligible): empirical ≈ (1 - e^{-αN})^N.
+        let mc = simulate_keywrite(4096, 2, 32, 0.1, 2000, 42);
+        let bound = kw_empty_return_bound(2, 32, 0.1);
+        assert!(
+            mc.empty_rate() <= bound * 1.35 + 0.01,
+            "empirical {} vs bound {bound}",
+            mc.empty_rate()
+        );
+        assert!(
+            mc.empty_rate() >= bound * 0.5 - 0.01,
+            "bound should be near-tight: empirical {} vs bound {bound}",
+            mc.empty_rate()
+        );
+    }
+
+    #[test]
+    fn wrong_returns_essentially_never_happen_at_b32() {
+        let mc = simulate_keywrite(1024, 2, 32, 0.5, 2000, 7);
+        assert_eq!(mc.wrong, 0, "2^-32 collisions in 2k trials");
+        let bound = kw_wrong_return_bound(2, 32, 0.5);
+        assert!(bound < 1e-9);
+    }
+
+    #[test]
+    fn narrow_checksums_do_produce_wrong_returns() {
+        // b = 4: collisions every ~16 keys; wrong returns become visible.
+        let mc = simulate_keywrite(256, 2, 4, 1.0, 2000, 9);
+        assert!(mc.wrong > 0, "expected visible wrong returns at b=4");
+    }
+
+    #[test]
+    fn success_rate_falls_with_age() {
+        let fresh = simulate_keywrite_aging(1 << 12, 2, 1 << 8, 300, 3);
+        let aged = simulate_keywrite_aging(1 << 12, 2, 1 << 12, 300, 3);
+        assert!(fresh > aged, "fresh {fresh} <= aged {aged}");
+        assert!(fresh > 0.95, "fresh data should be queryable: {fresh}");
+    }
+
+    #[test]
+    fn postcarding_mc_matches_bound_shape() {
+        use crate::postcarding::pc_empty_return_bound;
+        let mc = simulate_postcarding(4096, 2, 32, 0.1, 1 << 18, 5, 2000, 13);
+        let bound = pc_empty_return_bound(2, 32, 0.1, 1 << 18, 5);
+        // With b=32 the false-valid term is negligible: empirical empty
+        // rate tracks the (1-e^{-αN})^N term.
+        assert!(mc.empty_rate() <= bound * 1.4 + 0.01, "mc {} vs bound {bound}", mc.empty_rate());
+        assert_eq!(mc.wrong, 0, "wrong returns at b=32: {}", mc.wrong);
+        assert!(mc.success_rate() > 0.9);
+    }
+
+    #[test]
+    fn postcarding_mc_narrow_slots_fail_visibly() {
+        // b=8 with |V|=2^10: p_valid clamps to 1, every overwrite decodes.
+        let mc = simulate_postcarding(256, 1, 8, 1.0, 1 << 10, 5, 1000, 17);
+        assert!(mc.wrong > 0, "saturated slots must produce wrong paths");
+    }
+
+    #[test]
+    fn redundancy_helps_at_moderate_load() {
+        let n1 = simulate_keywrite(2048, 1, 32, 0.2, 1500, 5).success_rate();
+        let n4 = simulate_keywrite(2048, 4, 32, 0.2, 1500, 5).success_rate();
+        assert!(n4 > n1, "N=4 {n4} should beat N=1 {n1} at α=0.2");
+    }
+}

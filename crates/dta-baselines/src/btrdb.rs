@@ -1,0 +1,159 @@
+//! A BTrDB-style time-series store.
+//!
+//! BTrDB (FAST'16) organizes points in a time-partitioned tree whose
+//! internal nodes keep statistical aggregates (min/max/mean/count) so range
+//! queries at any resolution are O(log n). We reproduce the ingestion path:
+//! points land in fixed-width time buckets at the leaves and every ancestor
+//! aggregate updates on the way down — the "deeper insertion path" that
+//! makes it the slowest Figure 7a baseline.
+
+/// Statistical aggregate kept by internal nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Point count.
+    pub count: u64,
+    /// Minimum value.
+    pub min: u32,
+    /// Maximum value.
+    pub max: u32,
+    /// Sum (for mean).
+    pub sum: u64,
+}
+
+impl Aggregate {
+    fn empty() -> Self {
+        Aggregate { count: 0, min: u32::MAX, max: 0, sum: 0 }
+    }
+
+    fn add(&mut self, v: u32) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u64;
+    }
+
+    /// Mean value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One tree level: time-bucketed aggregates with bucket width `width_ns`.
+#[derive(Debug)]
+struct Level {
+    width_ns: u64,
+    buckets: std::collections::HashMap<u64, Aggregate>,
+}
+
+/// The time-partitioned tree (leaf points + `LEVELS` aggregate levels with
+/// fan-out `FANOUT` between levels).
+pub struct BTrDb {
+    /// Leaf storage: (ts, value) points in arrival order per leaf bucket.
+    leaves: std::collections::HashMap<u64, Vec<(u64, u32)>>,
+    /// Leaf bucket width.
+    leaf_width_ns: u64,
+    levels: Vec<Level>,
+    /// Points ingested.
+    pub points: u64,
+}
+
+/// Fan-out between aggregation levels (BTrDB uses 64).
+const FANOUT: u64 = 64;
+/// Number of aggregate levels above the leaves.
+const LEVELS: usize = 4;
+
+impl BTrDb {
+    /// Store with `leaf_width_ns`-wide leaf buckets.
+    pub fn new(leaf_width_ns: u64) -> Self {
+        assert!(leaf_width_ns > 0);
+        let mut levels = Vec::with_capacity(LEVELS);
+        let mut w = leaf_width_ns;
+        for _ in 0..LEVELS {
+            w *= FANOUT;
+            levels.push(Level { width_ns: w, buckets: std::collections::HashMap::new() });
+        }
+        BTrDb { leaves: std::collections::HashMap::new(), leaf_width_ns, levels, points: 0 }
+    }
+
+    /// Ingest one `(ts, value)` point: leaf append + every level's
+    /// aggregate update.
+    pub fn ingest(&mut self, ts_ns: u64, value: u32) {
+        self.leaves.entry(ts_ns / self.leaf_width_ns).or_default().push((ts_ns, value));
+        for level in &mut self.levels {
+            level
+                .buckets
+                .entry(ts_ns / level.width_ns)
+                .or_insert_with(Aggregate::empty)
+                .add(value);
+        }
+        self.points += 1;
+    }
+
+    /// Aggregate for the level-`level` bucket containing `ts_ns`
+    /// (resolution halves... well, divides by FANOUT per level).
+    pub fn aggregate_at(&self, level: usize, ts_ns: u64) -> Option<Aggregate> {
+        let l = self.levels.get(level)?;
+        l.buckets.get(&(ts_ns / l.width_ns)).copied()
+    }
+
+    /// Raw points in the leaf bucket containing `ts_ns`.
+    pub fn leaf_points(&self, ts_ns: u64) -> &[(u64, u32)] {
+        self.leaves
+            .get(&(ts_ns / self.leaf_width_ns))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_track_all_levels() {
+        let mut db = BTrDb::new(1_000);
+        for i in 0..100u32 {
+            db.ingest(i as u64 * 10, i);
+        }
+        // All 100 points are within one top-level bucket.
+        let top = db.aggregate_at(LEVELS - 1, 0).expect("top aggregate");
+        assert_eq!(top.count, 100);
+        assert_eq!(top.min, 0);
+        assert_eq!(top.max, 99);
+        assert_eq!(top.mean(), Some(49.5));
+    }
+
+    #[test]
+    fn leaf_buckets_partition_time() {
+        let mut db = BTrDb::new(1_000);
+        db.ingest(500, 1);
+        db.ingest(1_500, 2);
+        db.ingest(1_600, 3);
+        assert_eq!(db.leaf_points(0).len(), 1);
+        assert_eq!(db.leaf_points(1_200).len(), 2);
+    }
+
+    #[test]
+    fn multi_resolution_counts_are_consistent() {
+        let mut db = BTrDb::new(10);
+        for i in 0..10_000u64 {
+            db.ingest(i, (i % 97) as u32);
+        }
+        // Sum of level-0 bucket counts must equal the total.
+        let l0_width = 10 * FANOUT;
+        let mut total = 0;
+        for b in 0..=(9_999 / l0_width) {
+            if let Some(agg) = db.aggregate_at(0, b * l0_width) {
+                total += agg.count;
+            }
+        }
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn empty_bucket_is_none() {
+        let db = BTrDb::new(1_000);
+        assert!(db.aggregate_at(0, 0).is_none());
+        assert!(db.leaf_points(0).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! The lightweight cuckoo-hash collector of §2.
+//!
+//! A bucketized cuckoo hash table (2 hash functions, 4-way buckets, BFS-free
+//! random-walk eviction) storing the latest value per flow. Fast per report
+//! but memory-bound: every lookup touches two random cache lines, and
+//! evictions chain further — the behaviour behind Figure 2b's stall curve.
+
+use dta_core::FlowTuple;
+
+const BUCKET_WAYS: usize = 4;
+const MAX_EVICTIONS: usize = 500;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    key: FlowTuple,
+    value: u32,
+}
+
+/// A bucketized cuckoo hash table keyed by flow.
+pub struct CuckooTable {
+    buckets: Vec<[Option<Entry>; BUCKET_WAYS]>,
+    /// Entries stored.
+    pub len: u64,
+    /// Evictions performed (each is an extra random memory access).
+    pub evictions: u64,
+    /// Inserts abandoned after the eviction limit (table effectively full).
+    pub failures: u64,
+    seed: u64,
+}
+
+impl CuckooTable {
+    /// Table with `buckets` buckets (`4 * buckets` slots).
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 2);
+        CuckooTable {
+            buckets: vec![[None; BUCKET_WAYS]; buckets],
+            len: 0,
+            evictions: 0,
+            failures: 0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn hash(&self, key: &FlowTuple, which: u8) -> usize {
+        let enc = key.encode();
+        let mut acc = self.seed ^ (which as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        for &b in &enc {
+            acc = (acc ^ b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            acc ^= acc >> 29;
+        }
+        (acc % self.buckets.len() as u64) as usize
+    }
+
+    /// Insert or update `key` with `value`. Returns `false` when the insert
+    /// failed after the eviction limit.
+    pub fn insert(&mut self, key: FlowTuple, value: u32) -> bool {
+        // Update in place if present.
+        for which in 0..2u8 {
+            let b = self.hash(&key, which);
+            for slot in self.buckets[b].iter_mut() {
+                if let Some(e) = slot {
+                    if e.key == key {
+                        e.value = value;
+                        return true;
+                    }
+                }
+            }
+        }
+        // Insert with cuckoo eviction.
+        let mut cur = Entry { key, value };
+        let mut which = 0u8;
+        for attempt in 0..MAX_EVICTIONS {
+            let b = self.hash(&cur.key, which);
+            for slot in self.buckets[b].iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(cur);
+                    self.len += 1;
+                    return true;
+                }
+            }
+            // Evict a pseudo-random way and retry with the other hash.
+            let way = (self.seed as usize >> (attempt % 32)) % BUCKET_WAYS;
+            let evicted = self.buckets[b][way].replace(cur).expect("bucket was full");
+            cur = evicted;
+            which ^= 1;
+            self.evictions += 1;
+        }
+        self.failures += 1;
+        false
+    }
+
+    /// Look up the latest value of `key`.
+    pub fn get(&self, key: &FlowTuple) -> Option<u32> {
+        for which in 0..2u8 {
+            let b = self.hash(key, which);
+            for slot in &self.buckets[b] {
+                if let Some(e) = slot {
+                    if e.key == *key {
+                        return Some(e.value);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Occupancy fraction.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / (self.buckets.len() * BUCKET_WAYS) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u32) -> FlowTuple {
+        FlowTuple::tcp(i, (i % 60000) as u16 + 1, i ^ 0xFFFF, 80)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = CuckooTable::new(64);
+        for i in 0..100 {
+            assert!(t.insert(flow(i), i * 10));
+        }
+        for i in 0..100 {
+            assert_eq!(t.get(&flow(i)), Some(i * 10));
+        }
+        assert_eq!(t.get(&flow(1000)), None);
+    }
+
+    #[test]
+    fn update_in_place_keeps_len() {
+        let mut t = CuckooTable::new(16);
+        t.insert(flow(1), 1);
+        t.insert(flow(1), 2);
+        assert_eq!(t.len, 1);
+        assert_eq!(t.get(&flow(1)), Some(2));
+    }
+
+    #[test]
+    fn high_load_triggers_evictions() {
+        let mut t = CuckooTable::new(256);
+        // Fill to ~90%.
+        for i in 0..920 {
+            t.insert(flow(i), i);
+        }
+        assert!(t.evictions > 0, "no evictions at 90% load");
+        // Everything still retrievable.
+        for i in 0..920 {
+            if t.get(&flow(i)).is_none() {
+                panic!("lost key {i} (failures={})", t.failures);
+            }
+        }
+    }
+
+    #[test]
+    fn overfull_table_fails_gracefully() {
+        let mut t = CuckooTable::new(4);
+        let mut failures = 0;
+        for i in 0..32 {
+            if !t.insert(flow(i), i) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(failures, t.failures);
+        assert!(t.load_factor() <= 1.0);
+    }
+}

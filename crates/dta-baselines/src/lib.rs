@@ -1,0 +1,35 @@
+//! CPU-based collector baselines.
+//!
+//! Section 2 of the paper motivates DTA by showing that software collectors
+//! are either CPU-bound (Confluo's Atomic MultiLog: 72.8% of cycles in
+//! indexing) or memory-bound (a cuckoo-hash collector: 42% of cycles stalled
+//! at 20 cores). Section 6.1 compares DTA against MultiLog, BTrDB, and
+//! INTCollector.
+//!
+//! This crate reimplements each collector's *ingestion path* as a real data
+//! structure (reports are actually parsed and indexed) and pairs it with an
+//! explicit cost model ([`cpu`]) calibrated so the published curves
+//! (Figures 2, 3, 7a) re-emerge:
+//!
+//! * [`multilog`] — Confluo-style Atomic MultiLog: an append-only log with
+//!   atomic offset reservation plus per-attribute hash indexes.
+//! * [`cuckoo`] — a bucketized cuckoo hash table (2 hashes, 4-way buckets).
+//! * [`btrdb`] — a BTrDB-style time-partitioned tree with internal
+//!   aggregates.
+//! * [`intcollector`] — INTCollector-style event detection with periodic
+//!   flushes to a time-series store.
+//! * [`cpu`] — the cycle/memory model: cores, frequency, a shared random-
+//!   access memory budget, per-collector per-report costs, and the
+//!   throughput / stall-fraction curves.
+
+pub mod btrdb;
+pub mod cpu;
+pub mod cuckoo;
+pub mod intcollector;
+pub mod multilog;
+
+pub use btrdb::BTrDb;
+pub use cpu::{CollectorKind, CpuModel, CycleCost, ThroughputPoint};
+pub use cuckoo::CuckooTable;
+pub use intcollector::IntCollector;
+pub use multilog::AtomicMultiLog;

@@ -1,0 +1,162 @@
+//! A Confluo-style Atomic MultiLog.
+//!
+//! "Atomic MultiLog is the basic storage abstraction in Confluo, and it is
+//! similar in interface to database tables" (§2). The ingestion path that
+//! costs 72.8% of cycles in the paper's breakdown is reproduced here: an
+//! append-only data log with atomic offset reservation, plus one hash index
+//! per indexed attribute mapping attribute values to log offsets.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dta_core::FlowTuple;
+
+/// A parsed INT report as MultiLog ingests it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntRecord {
+    /// Ingestion timestamp (ns).
+    pub ts_ns: u64,
+    /// The reporting flow.
+    pub flow: FlowTuple,
+    /// The 4-byte INT value.
+    pub value: u32,
+}
+
+impl IntRecord {
+    /// Serialized record width in the data log.
+    pub const WIDTH: usize = 8 + FlowTuple::ENCODED_LEN + 4;
+
+    /// Serialize for the data log.
+    pub fn encode(&self) -> [u8; Self::WIDTH] {
+        let mut out = [0u8; Self::WIDTH];
+        out[0..8].copy_from_slice(&self.ts_ns.to_be_bytes());
+        out[8..21].copy_from_slice(&self.flow.encode());
+        out[21..25].copy_from_slice(&self.value.to_be_bytes());
+        out
+    }
+
+    /// Deserialize from the data log.
+    pub fn decode(buf: &[u8]) -> Self {
+        IntRecord {
+            ts_ns: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            flow: FlowTuple::decode(buf[8..21].try_into().unwrap()),
+            value: u32::from_be_bytes(buf[21..25].try_into().unwrap()),
+        }
+    }
+}
+
+/// The Atomic MultiLog: data log + attribute indexes.
+pub struct AtomicMultiLog {
+    /// The append-only data log.
+    log: Vec<u8>,
+    /// Atomically reserved write offset (Confluo's core primitive).
+    write_offset: AtomicU64,
+    /// Index: flow -> log offsets.
+    flow_index: HashMap<FlowTuple, Vec<u64>>,
+    /// Index: time bucket (ms) -> log offsets.
+    time_index: HashMap<u64, Vec<u64>>,
+    /// Records ingested.
+    pub records: u64,
+}
+
+impl AtomicMultiLog {
+    /// MultiLog with `capacity` pre-allocated record slots.
+    pub fn new(capacity: usize) -> Self {
+        AtomicMultiLog {
+            log: vec![0u8; capacity * IntRecord::WIDTH],
+            write_offset: AtomicU64::new(0),
+            flow_index: HashMap::new(),
+            time_index: HashMap::new(),
+            records: 0,
+        }
+    }
+
+    /// Ingest one record: reserve an offset atomically, write the record,
+    /// update both indexes (the three cost components of Figure 2c).
+    ///
+    /// Returns `false` when the log is full.
+    pub fn ingest(&mut self, rec: &IntRecord) -> bool {
+        let off = self.write_offset.fetch_add(IntRecord::WIDTH as u64, Ordering::Relaxed);
+        let end = off as usize + IntRecord::WIDTH;
+        if end > self.log.len() {
+            return false;
+        }
+        self.log[off as usize..end].copy_from_slice(&rec.encode());
+        self.flow_index.entry(rec.flow).or_default().push(off);
+        self.time_index.entry(rec.ts_ns / 1_000_000).or_default().push(off);
+        self.records += 1;
+        true
+    }
+
+    /// Query all records of a flow (offline analysis path).
+    pub fn query_flow(&self, flow: &FlowTuple) -> Vec<IntRecord> {
+        self.flow_index
+            .get(flow)
+            .map(|offs| {
+                offs.iter()
+                    .map(|&o| IntRecord::decode(&self.log[o as usize..o as usize + IntRecord::WIDTH]))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Query all records in a millisecond bucket (time-interval queries —
+    /// the capability a bare hash table lacks, §2).
+    pub fn query_time_ms(&self, ms: u64) -> Vec<IntRecord> {
+        self.time_index
+            .get(&ms)
+            .map(|offs| {
+                offs.iter()
+                    .map(|&o| IntRecord::decode(&self.log[o as usize..o as usize + IntRecord::WIDTH]))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, port: u16, v: u32) -> IntRecord {
+        IntRecord { ts_ns: ts, flow: FlowTuple::tcp(1, port, 2, 80), value: v }
+    }
+
+    #[test]
+    fn ingest_then_query_by_flow() {
+        let mut ml = AtomicMultiLog::new(100);
+        ml.ingest(&rec(0, 10, 1));
+        ml.ingest(&rec(1, 10, 2));
+        ml.ingest(&rec(2, 11, 3));
+        let got = ml.query_flow(&FlowTuple::tcp(1, 10, 2, 80));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].value, 1);
+        assert_eq!(got[1].value, 2);
+    }
+
+    #[test]
+    fn time_interval_queries_work() {
+        let mut ml = AtomicMultiLog::new(100);
+        ml.ingest(&rec(500_000, 1, 1)); // 0ms bucket
+        ml.ingest(&rec(1_500_000, 2, 2)); // 1ms bucket
+        ml.ingest(&rec(1_700_000, 3, 3)); // 1ms bucket
+        assert_eq!(ml.query_time_ms(0).len(), 1);
+        assert_eq!(ml.query_time_ms(1).len(), 2);
+        assert!(ml.query_time_ms(2).is_empty());
+    }
+
+    #[test]
+    fn full_log_rejects() {
+        let mut ml = AtomicMultiLog::new(2);
+        assert!(ml.ingest(&rec(0, 1, 1)));
+        assert!(ml.ingest(&rec(0, 2, 2)));
+        assert!(!ml.ingest(&rec(0, 3, 3)));
+        assert_eq!(ml.records, 2);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = rec(0xABCD, 443, 0xDEAD_BEEF);
+        assert_eq!(IntRecord::decode(&r.encode()), r);
+    }
+}

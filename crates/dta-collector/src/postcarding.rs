@@ -1,0 +1,354 @@
+//! The Postcarding store (§4, Figure 5, Appendix A.6).
+//!
+//! Postcards for flow `x` are written into a consecutive chunk of `B` hop
+//! slots at `B·h(x) + i`. Each slot stores `checksum(x, i) ⊕ g(v)` where `g`
+//! hashes the value set `V` into `b`-bit strings — no per-slot key checksum
+//! is needed, and querying a full path costs one random memory access.
+
+use std::collections::HashMap;
+
+use dta_core::TelemetryKey;
+use dta_hash::{checksum_b, Crc32, CrcParams, HashFamily};
+use dta_rdma::mr::MemoryRegion;
+
+use crate::layout::PostcardLayout;
+
+/// The value encoder `g : V ∪ {⊔} -> b bits` plus its pre-populated decode
+/// table ("a pre-populated lookup table that stores all key-value pairs
+/// {(g(v), v) | v ∈ V ∪ {⊔}}", §4).
+#[derive(Debug, Clone)]
+pub struct ValueCodec {
+    bits: u32,
+    engine: Crc32,
+    decode: HashMap<u32, Option<u32>>,
+}
+
+/// Byte tag distinguishing the blank value ⊔ from real values under `g`.
+const BLANK_TAG: &[u8] = b"\xFFDTA-BLANK";
+
+impl ValueCodec {
+    /// Codec over the value universe `values` (e.g., all switch IDs) with
+    /// `b`-bit slots.
+    pub fn new(values: impl IntoIterator<Item = u32>, bits: u32) -> Self {
+        assert!((1..=32).contains(&bits));
+        let engine = Crc32::new(CrcParams::CASTAGNOLI);
+        let mut codec = ValueCodec { bits, engine, decode: HashMap::new() };
+        let blank = codec.encode(None);
+        codec.decode.insert(blank, None);
+        for v in values {
+            let g = codec.encode(Some(v));
+            // First writer wins on g-collisions; with b=32 and |V| <= 2^18
+            // the collision probability is ~2^-14 per pair and the analysis
+            // accounts for it as a wrong-output term.
+            codec.decode.entry(g).or_insert(Some(v));
+        }
+        codec
+    }
+
+    /// Codec for a contiguous id space `0..n` (data-center switch IDs).
+    pub fn switch_ids(n: u32, bits: u32) -> Self {
+        Self::new(0..n, bits)
+    }
+
+    /// Slot width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `g(v)`, masked to `b` bits. `None` encodes the blank value ⊔.
+    pub fn encode(&self, v: Option<u32>) -> u32 {
+        let full = match v {
+            Some(v) => self.engine.compute(&v.to_be_bytes()),
+            None => self.engine.compute(BLANK_TAG),
+        };
+        self.mask(full)
+    }
+
+    /// Reverse lookup: the `v` with `g(v) == code`, if any.
+    pub fn decode(&self, code: u32) -> Option<&Option<u32>> {
+        self.decode.get(&code)
+    }
+
+    /// Mask a word to the codec's `b` bits.
+    pub fn mask(&self, v: u32) -> u32 {
+        if self.bits == 32 {
+            v
+        } else {
+            v & ((1u32 << self.bits) - 1)
+        }
+    }
+}
+
+/// Per-hop slot checksum `checksum(x, i)`, masked to `bits`.
+///
+/// A free function because writer (translator) and reader (collector)
+/// compute it independently; both must agree bit-for-bit.
+pub fn hop_checksum(key: &TelemetryKey, hop: u8, bits: u32) -> u32 {
+    let mut buf = [0u8; 17];
+    buf[..16].copy_from_slice(key.as_bytes());
+    buf[16] = hop;
+    checksum_b(&buf, bits)
+}
+
+/// Result of a Postcarding query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PostcardQueryOutcome {
+    /// The decoded per-hop values `v_{x,0} .. v_{x,l-1}` (path length `l`).
+    Found(Vec<u32>),
+    /// No redundancy chunk held valid information.
+    NotFound,
+    /// Valid chunks disagreed.
+    Ambiguous,
+}
+
+impl PostcardQueryOutcome {
+    /// Whether a path was produced.
+    pub fn is_found(&self) -> bool {
+        matches!(self, PostcardQueryOutcome::Found(_))
+    }
+}
+
+/// The collector-side Postcarding store.
+pub struct PostcardStore {
+    layout: PostcardLayout,
+    region: MemoryRegion,
+    family: HashFamily,
+    codec: ValueCodec,
+}
+
+impl PostcardStore {
+    /// Store over `region`, with redundancy up to `max_redundancy`.
+    pub fn new(
+        layout: PostcardLayout,
+        region: MemoryRegion,
+        codec: ValueCodec,
+        max_redundancy: usize,
+    ) -> Self {
+        assert!(region.len() as u64 >= layout.region_len());
+        assert_eq!(layout.slot_bits, codec.bits(), "layout/codec bit width mismatch");
+        PostcardStore { layout, region, family: HashFamily::new(max_redundancy), codec }
+    }
+
+    /// Geometry.
+    pub fn layout(&self) -> &PostcardLayout {
+        &self.layout
+    }
+
+    /// The backing region (for NIC registration).
+    pub fn region(&self) -> &MemoryRegion {
+        &self.region
+    }
+
+    /// Value codec (shared with the translator).
+    pub fn codec(&self) -> &ValueCodec {
+        &self.codec
+    }
+
+    /// Per-hop slot checksum `checksum(x, i)`, `b` bits.
+    pub fn hop_checksum(&self, key: &TelemetryKey, hop: u8) -> u32 {
+        hop_checksum(key, hop, self.layout.slot_bits)
+    }
+
+    /// Encode the slot word for `(key, hop, value)`:
+    /// `checksum(x,i) ⊕ g(v)`.
+    pub fn slot_word(&self, key: &TelemetryKey, hop: u8, value: Option<u32>) -> u32 {
+        self.hop_checksum(key, hop) ^ self.codec.encode(value)
+    }
+
+    /// Build the full chunk image for a path (missing hops become blank ⊔ so
+    /// "each flow always writes all B hops' values", §4). The image is
+    /// padded to the chunk stride.
+    pub fn chunk_image(&self, key: &TelemetryKey, path: &[u32]) -> Vec<u8> {
+        assert!(path.len() <= self.layout.hops as usize, "path longer than B");
+        let mut img = Vec::with_capacity(self.layout.chunk_stride() as usize);
+        for hop in 0..self.layout.hops {
+            let v = path.get(hop as usize).copied();
+            img.extend_from_slice(&self.slot_word(key, hop, v).to_be_bytes());
+        }
+        img.resize(self.layout.chunk_stride() as usize, 0);
+        img
+    }
+
+    /// Direct aggregated insertion (the write the translator issues once all
+    /// postcards for `key` are cached): one chunk write per redundancy copy.
+    pub fn insert_direct(&self, key: &TelemetryKey, path: &[u32], redundancy: usize) {
+        let img = self.chunk_image(key, path);
+        for n in 0..redundancy.min(self.family.len()) {
+            let va = self.layout.chunk_va(&self.family, n, key);
+            self.region.write(va, &img).expect("chunk within region");
+        }
+    }
+
+    /// Attempt to decode redundancy copy `n` of `key`'s chunk. Returns the
+    /// path when the chunk holds valid information for this key.
+    fn decode_chunk(&self, key: &TelemetryKey, n: usize) -> Option<Vec<u32>> {
+        let va = self.layout.chunk_va(&self.family, n, key);
+        let raw = self
+            .region
+            .read(va, (self.layout.hops as usize) * PostcardLayout::SLOT_BYTES as usize)
+            .expect("chunk within region");
+        let mut values = Vec::with_capacity(self.layout.hops as usize);
+        let mut blank_seen = false;
+        for hop in 0..self.layout.hops {
+            let off = hop as usize * 4;
+            let word =
+                self.codec.mask(u32::from_be_bytes(raw[off..off + 4].try_into().unwrap()));
+            let g = word ^ self.hop_checksum(key, hop);
+            match self.codec.decode(g) {
+                Some(Some(v)) => {
+                    if blank_seen {
+                        // Value after a blank: not a valid prefix encoding.
+                        return None;
+                    }
+                    values.push(*v);
+                }
+                Some(None) => blank_seen = true,
+                None => return None, // not a valid codeword for this key
+            }
+        }
+        Some(values)
+    }
+
+    /// Query the path for `key` (§4's decoding rule): output a path only if
+    /// at least one chunk decodes and all decoding chunks agree.
+    pub fn query(&self, key: &TelemetryKey, redundancy: usize) -> PostcardQueryOutcome {
+        let n = redundancy.min(self.family.len());
+        let mut winner: Option<Vec<u32>> = None;
+        for i in 0..n {
+            if let Some(path) = self.decode_chunk(key, i) {
+                match &winner {
+                    Some(w) if *w != path => return PostcardQueryOutcome::Ambiguous,
+                    _ => winner = Some(path),
+                }
+            }
+        }
+        match winner {
+            Some(path) => PostcardQueryOutcome::Found(path),
+            None => PostcardQueryOutcome::NotFound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_rdma::mr::MrAccess;
+
+    fn store(chunks: u64, bits: u32) -> PostcardStore {
+        let layout = PostcardLayout { base_va: 0, chunks, hops: 5, slot_bits: bits };
+        let region =
+            MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+        let codec = ValueCodec::switch_ids(1 << 10, bits);
+        PostcardStore::new(layout, region, codec, 4)
+    }
+
+    #[test]
+    fn full_path_roundtrip() {
+        let s = store(1024, 32);
+        let k = TelemetryKey::from_u64(1);
+        let path = vec![10, 20, 30, 40, 50];
+        s.insert_direct(&k, &path, 2);
+        assert_eq!(s.query(&k, 2), PostcardQueryOutcome::Found(path));
+    }
+
+    #[test]
+    fn short_path_roundtrip() {
+        // A 3-hop path in a B=5 store: hops 3,4 are blank.
+        let s = store(1024, 32);
+        let k = TelemetryKey::from_u64(2);
+        let path = vec![7, 8, 9];
+        s.insert_direct(&k, &path, 2);
+        assert_eq!(s.query(&k, 2), PostcardQueryOutcome::Found(path));
+    }
+
+    #[test]
+    fn empty_store_not_found() {
+        let s = store(256, 32);
+        assert_eq!(s.query(&TelemetryKey::from_u64(3), 2), PostcardQueryOutcome::NotFound);
+    }
+
+    #[test]
+    fn zero_length_path_roundtrip() {
+        let s = store(256, 32);
+        let k = TelemetryKey::from_u64(4);
+        s.insert_direct(&k, &[], 1);
+        assert_eq!(s.query(&k, 1), PostcardQueryOutcome::Found(vec![]));
+    }
+
+    #[test]
+    fn overwritten_chunk_rarely_validates() {
+        // Fill a tiny store with other flows; the victim's chunks are
+        // overwritten and must (almost surely) decode to NotFound rather
+        // than a wrong path.
+        let s = store(16, 32);
+        let victim = TelemetryKey::from_u64(0);
+        s.insert_direct(&victim, &[1, 2, 3, 4, 5], 2);
+        for i in 1..200u64 {
+            s.insert_direct(&TelemetryKey::from_u64(i), &[9, 9, 9, 9, 9], 2);
+        }
+        match s.query(&victim, 2) {
+            PostcardQueryOutcome::Found(p) => {
+                assert_ne!(p, vec![1, 2, 3, 4, 5], "evicted path resurrected");
+            }
+            PostcardQueryOutcome::NotFound | PostcardQueryOutcome::Ambiguous => {}
+        }
+    }
+
+    #[test]
+    fn narrow_slots_still_roundtrip() {
+        // b = 16-bit slots: higher collision chance, same correctness for a
+        // clean store.
+        let s = store(1024, 16);
+        let k = TelemetryKey::from_u64(5);
+        let path = vec![100, 200];
+        s.insert_direct(&k, &path, 1);
+        assert_eq!(s.query(&k, 1), PostcardQueryOutcome::Found(path));
+    }
+
+    #[test]
+    fn redundant_chunks_agree() {
+        let s = store(4096, 32);
+        let k = TelemetryKey::from_u64(6);
+        let path = vec![1, 2, 3, 4, 5];
+        s.insert_direct(&k, &path, 4);
+        // All four chunks decode to the same path.
+        for n in 1..=4 {
+            assert_eq!(s.query(&k, n), PostcardQueryOutcome::Found(path.clone()));
+        }
+    }
+
+    #[test]
+    fn codec_blank_distinct_from_values() {
+        let codec = ValueCodec::switch_ids(1 << 12, 32);
+        let blank = codec.encode(None);
+        for v in 0..(1u32 << 12) {
+            assert_ne!(codec.encode(Some(v)), blank, "value {v} aliases blank");
+        }
+    }
+
+    #[test]
+    fn codec_decode_inverts_encode() {
+        let codec = ValueCodec::switch_ids(4096, 32);
+        for v in [0u32, 1, 17, 4095] {
+            assert_eq!(codec.decode(codec.encode(Some(v))), Some(&Some(v)));
+        }
+        assert_eq!(codec.decode(codec.encode(None)), Some(&None));
+    }
+
+    #[test]
+    fn value_after_blank_invalidates_chunk() {
+        // Hand-craft a chunk with pattern [v, blank, v, blank, blank]: the
+        // prefix rule must reject it.
+        let s = store(64, 32);
+        let k = TelemetryKey::from_u64(7);
+        let mut img = Vec::new();
+        for (hop, v) in [(0u8, Some(1u32)), (1, None), (2, Some(2)), (3, None), (4, None)] {
+            img.extend_from_slice(&s.slot_word(&k, hop, v).to_be_bytes());
+        }
+        img.resize(s.layout().chunk_stride() as usize, 0);
+        let fam = HashFamily::new(4);
+        let va = s.layout().chunk_va(&fam, 0, &k);
+        s.region().write(va, &img).unwrap();
+        assert_eq!(s.query(&k, 1), PostcardQueryOutcome::NotFound);
+    }
+}

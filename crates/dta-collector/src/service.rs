@@ -1,0 +1,287 @@
+//! The collector service: stores + NIC + connection management.
+//!
+//! "The collector can host several primitives in parallel using unique
+//! RDMA_CM ports, and advertise primitive-specific metadata to the
+//! translator using RDMA-Send packets." (§5.3)
+
+use dta_rdma::cm::{CmEvent, CmManager, ConnectionParams, ServiceId};
+use dta_rdma::mr::{MemoryRegion, MrAccess};
+use dta_rdma::nic::{NicConfig, RdmaNic, RxOutcome};
+use dta_rdma::packet::RocePacket;
+
+use crate::append::AppendReader;
+use crate::cms::KeyIncrementStore;
+use crate::keywrite::KeyWriteStore;
+use crate::layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
+use crate::postcarding::{PostcardStore, ValueCodec};
+
+/// Well-known service ids (one CM port per primitive).
+pub const SERVICE_KW: ServiceId = 1;
+/// Postcarding service id.
+pub const SERVICE_POSTCARD: ServiceId = 2;
+/// Append service id.
+pub const SERVICE_APPEND: ServiceId = 3;
+/// Key-Increment service id.
+pub const SERVICE_CMS: ServiceId = 4;
+
+/// Region rkeys, one per primitive.
+const RKEY_KW: u32 = 0x10;
+const RKEY_POSTCARD: u32 = 0x20;
+const RKEY_APPEND: u32 = 0x30;
+const RKEY_CMS: u32 = 0x40;
+
+/// Disjoint VA spaces per primitive region.
+const VA_KW: u64 = 0x1_0000_0000;
+const VA_POSTCARD: u64 = 0x2_0000_0000;
+const VA_APPEND: u64 = 0x3_0000_0000;
+const VA_CMS: u64 = 0x4_0000_0000;
+
+/// Sizing of a collector instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// NIC model.
+    pub nic: NicConfig,
+    /// Key-Write store bytes (0 disables), and value width.
+    pub kw_bytes: u64,
+    /// Key-Write value width in bytes.
+    pub kw_value_bytes: u32,
+    /// Postcarding store bytes (0 disables).
+    pub postcard_bytes: u64,
+    /// Postcarding hop bound `B`.
+    pub postcard_hops: u8,
+    /// Postcarding slot width in bits.
+    pub postcard_bits: u32,
+    /// Size of the postcard value universe |V| (switch-id space).
+    pub postcard_values: u32,
+    /// Number of Append lists (0 disables).
+    pub append_lists: u32,
+    /// Entries per Append list.
+    pub append_entries: u64,
+    /// Append entry width in bytes.
+    pub append_entry_bytes: u32,
+    /// Key-Increment counters (0 disables).
+    pub cms_slots: u64,
+    /// Maximum redundancy the stores should support.
+    pub max_redundancy: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        // A small-footprint instance suitable for tests; experiment
+        // harnesses override sizes.
+        ServiceConfig {
+            nic: NicConfig::bluefield2(),
+            kw_bytes: 1 << 20,
+            kw_value_bytes: 4,
+            postcard_bytes: 1 << 20,
+            postcard_hops: 5,
+            postcard_bits: 32,
+            postcard_values: 1 << 12,
+            append_lists: 16,
+            append_entries: 4096,
+            append_entry_bytes: 4,
+            cms_slots: 1 << 16,
+            max_redundancy: 4,
+        }
+    }
+}
+
+/// A running collector: NIC, registered stores, CM services.
+pub struct CollectorService {
+    /// The RDMA NIC (feed RoCE packets to `nic_ingress`).
+    pub nic: RdmaNic,
+    cm: CmManager,
+    /// Key-Write store, when enabled.
+    pub keywrite: Option<KeyWriteStore>,
+    /// Postcarding store, when enabled.
+    pub postcarding: Option<PostcardStore>,
+    /// Append reader, when enabled.
+    pub append: Option<AppendReader>,
+    /// Key-Increment store, when enabled.
+    pub key_increment: Option<KeyIncrementStore>,
+}
+
+impl CollectorService {
+    /// Build a collector from `config`: allocate regions, register them on
+    /// the NIC, publish CM services.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut nic = RdmaNic::new(config.nic);
+        let mut cm = CmManager::new();
+
+        let keywrite = (config.kw_bytes > 0).then(|| {
+            let layout = KwLayout::with_capacity(VA_KW, config.kw_bytes, config.kw_value_bytes);
+            let region = MemoryRegion::new(
+                layout.base_va,
+                layout.region_len() as usize,
+                RKEY_KW,
+                MrAccess::WRITE,
+            );
+            nic.memory.register(region.clone());
+            cm.publish(ConnectionParams {
+                service: SERVICE_KW,
+                qpn: 0,
+                start_psn: 0,
+                rkey: RKEY_KW,
+                base_va: layout.base_va,
+                region_len: layout.region_len(),
+                slots: layout.slots,
+                slot_bytes: layout.slot_bytes(),
+            });
+            KeyWriteStore::new(layout, region, config.max_redundancy)
+        });
+
+        let postcarding = (config.postcard_bytes > 0).then(|| {
+            let layout = PostcardLayout::with_capacity(
+                VA_POSTCARD,
+                config.postcard_bytes,
+                config.postcard_hops,
+                config.postcard_bits,
+            );
+            let region = MemoryRegion::new(
+                layout.base_va,
+                layout.region_len() as usize,
+                RKEY_POSTCARD,
+                MrAccess::WRITE,
+            );
+            nic.memory.register(region.clone());
+            cm.publish(ConnectionParams {
+                service: SERVICE_POSTCARD,
+                qpn: 0,
+                start_psn: 0,
+                rkey: RKEY_POSTCARD,
+                base_va: layout.base_va,
+                region_len: layout.region_len(),
+                slots: layout.chunks,
+                slot_bytes: layout.chunk_stride() as u32,
+            });
+            let codec = ValueCodec::switch_ids(config.postcard_values, config.postcard_bits);
+            PostcardStore::new(layout, region, codec, config.max_redundancy)
+        });
+
+        let append = (config.append_lists > 0).then(|| {
+            let layout = AppendLayout {
+                base_va: VA_APPEND,
+                lists: config.append_lists,
+                entries_per_list: config.append_entries,
+                entry_bytes: config.append_entry_bytes,
+            };
+            let region = MemoryRegion::new(
+                layout.base_va,
+                layout.region_len() as usize,
+                RKEY_APPEND,
+                MrAccess::WRITE,
+            );
+            nic.memory.register(region.clone());
+            cm.publish(ConnectionParams {
+                service: SERVICE_APPEND,
+                qpn: 0,
+                start_psn: 0,
+                rkey: RKEY_APPEND,
+                base_va: layout.base_va,
+                region_len: layout.region_len(),
+                slots: layout.entries_per_list,
+                slot_bytes: layout.entry_bytes,
+            });
+            AppendReader::new(layout, region)
+        });
+
+        let key_increment = (config.cms_slots > 0).then(|| {
+            let layout = CmsLayout { base_va: VA_CMS, slots: config.cms_slots };
+            let region = MemoryRegion::new(
+                layout.base_va,
+                layout.region_len() as usize,
+                RKEY_CMS,
+                MrAccess::ATOMIC,
+            );
+            nic.memory.register(region.clone());
+            cm.publish(ConnectionParams {
+                service: SERVICE_CMS,
+                qpn: 0,
+                start_psn: 0,
+                rkey: RKEY_CMS,
+                base_va: layout.base_va,
+                region_len: layout.region_len(),
+                slots: layout.slots,
+                slot_bytes: CmsLayout::SLOT_BYTES,
+            });
+            KeyIncrementStore::new(layout, region, config.max_redundancy)
+        });
+
+        CollectorService { nic, cm, keywrite, postcarding, append, key_increment }
+    }
+
+    /// Handle a CM request: install the responder QP on accept and return
+    /// the reply for the requester.
+    pub fn handle_cm(&mut self, event: &CmEvent) -> CmEvent {
+        let (reply, qp) = self.cm.handle(event);
+        if let Some(qp) = qp {
+            self.nic.add_qp(qp);
+        }
+        reply
+    }
+
+    /// Feed one inbound RoCE packet to the NIC.
+    pub fn nic_ingress(&mut self, pkt: &RocePacket) -> RxOutcome {
+        self.nic.ingress(pkt)
+    }
+
+    /// Memory instructions executed so far across all regions (Figure 8).
+    pub fn memory_instructions(&self) -> u64 {
+        self.nic.memory.memory_instructions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_rdma::cm::CmRequester;
+
+    #[test]
+    fn all_four_services_publish() {
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        for service in [SERVICE_KW, SERVICE_POSTCARD, SERVICE_APPEND, SERVICE_CMS] {
+            let requester = CmRequester::new(0x50 + service as u32, 0);
+            let reply = svc.handle_cm(&requester.request(service));
+            let (qp, params) = requester.complete(&reply).expect("accept");
+            assert_eq!(params.service, service);
+            assert!(params.region_len > 0);
+            assert_eq!(qp.dest_qpn, params.qpn);
+        }
+    }
+
+    #[test]
+    fn disabled_primitive_rejected() {
+        let mut svc = CollectorService::new(ServiceConfig {
+            kw_bytes: 0,
+            ..ServiceConfig::default()
+        });
+        assert!(svc.keywrite.is_none());
+        let requester = CmRequester::new(1, 0);
+        let reply = svc.handle_cm(&requester.request(SERVICE_KW));
+        assert!(requester.complete(&reply).is_err());
+    }
+
+    #[test]
+    fn end_to_end_write_via_nic() {
+        use bytes::Bytes;
+        use dta_rdma::packet::{Reth, RocePacket};
+
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        let requester = CmRequester::new(0x99, 0);
+        let reply = svc.handle_cm(&requester.request(SERVICE_KW));
+        let (mut qp, params) = requester.complete(&reply).unwrap();
+
+        // Craft a raw WRITE into slot 0 and run it through the NIC.
+        let psn = qp.next_send_psn();
+        let pkt = RocePacket::write(
+            qp.dest_qpn,
+            psn,
+            Reth { va: params.base_va, rkey: params.rkey, dma_len: 8 },
+            Bytes::from_static(&[0xAB; 8]),
+        );
+        assert!(matches!(svc.nic_ingress(&pkt), RxOutcome::Executed(_)));
+        assert_eq!(svc.memory_instructions(), 1);
+        let kw = svc.keywrite.as_ref().unwrap();
+        assert_eq!(kw.region().peek(params.base_va, 8).unwrap(), vec![0xAB; 8]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Ethernet / IPv4 / UDP framing.
+//!
+//! Reporters encapsulate DTA reports in ordinary UDP datagrams (Figure 4);
+//! the translator substitutes the DTA headers with RoCEv2 headers while
+//! keeping Ethernet/IP framing. These header types are shared by the
+//! network simulator, the reporter, and the RDMA layer, and use real wire
+//! sizes so that byte-accurate line-rate accounting is possible.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::report::ReportError;
+
+/// Ethernet II header (no VLAN), 14 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: [u8; 6],
+    /// Source MAC.
+    pub src: [u8; 6],
+    /// EtherType (0x0800 = IPv4).
+    pub ethertype: u16,
+}
+
+impl EthHeader {
+    /// Encoded size.
+    pub const LEN: usize = 14;
+    /// EtherType for IPv4.
+    pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+    /// IPv4 frame between two MACs.
+    pub fn ipv4(src: [u8; 6], dst: [u8; 6]) -> Self {
+        EthHeader { dst, src, ethertype: Self::ETHERTYPE_IPV4 }
+    }
+
+    /// Serialize.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst);
+        buf.put_slice(&self.src);
+        buf.put_u16(self.ethertype);
+    }
+
+    /// Deserialize.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, ReportError> {
+        if buf.remaining() < Self::LEN {
+            return Err(ReportError::Truncated { need: Self::LEN, have: buf.remaining() });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        buf.copy_to_slice(&mut src);
+        let ethertype = buf.get_u16();
+        Ok(EthHeader { dst, src, ethertype })
+    }
+}
+
+/// IPv4 header without options, 20 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// DSCP/ECN byte (DTA reports may use a dedicated traffic class).
+    pub tos: u8,
+    /// Total length: header + payload.
+    pub total_len: u16,
+    /// Identification (used by the network fault injector for tracing).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (17 = UDP).
+    pub proto: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Encoded size (IHL = 5).
+    pub const LEN: usize = 20;
+    /// Protocol number for UDP.
+    pub const PROTO_UDP: u8 = 17;
+
+    /// UDP packet between two addresses carrying `payload_len` bytes of UDP
+    /// (header included).
+    pub fn udp(src: u32, dst: u32, udp_len: usize) -> Self {
+        Ipv4Header {
+            tos: 0,
+            total_len: (Self::LEN + udp_len) as u16,
+            ident: 0,
+            ttl: 64,
+            proto: Self::PROTO_UDP,
+            src,
+            dst,
+        }
+    }
+
+    /// RFC 1071 header checksum over the encoded header.
+    pub fn checksum(&self) -> u16 {
+        let mut buf = BytesMut::with_capacity(Self::LEN);
+        self.encode_with_checksum(&mut buf, 0);
+        let mut sum = 0u32;
+        let b = &buf[..];
+        for i in (0..Self::LEN).step_by(2) {
+            sum += u16::from_be_bytes([b[i], b[i + 1]]) as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    fn encode_with_checksum<B: BufMut>(&self, buf: &mut B, csum: u16) {
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(self.tos);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.ident);
+        buf.put_u16(0x4000); // DF, no fragmentation
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.proto);
+        buf.put_u16(csum);
+        buf.put_u32(self.src);
+        buf.put_u32(self.dst);
+    }
+
+    /// Serialize with a valid checksum.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.encode_with_checksum(buf, self.checksum());
+    }
+
+    /// Deserialize, verifying version/IHL and the header checksum.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, ReportError> {
+        if buf.remaining() < Self::LEN {
+            return Err(ReportError::Truncated { need: Self::LEN, have: buf.remaining() });
+        }
+        let vihl = buf.get_u8();
+        if vihl != 0x45 {
+            return Err(ReportError::BadVersion(vihl));
+        }
+        let tos = buf.get_u8();
+        let total_len = buf.get_u16();
+        let ident = buf.get_u16();
+        let _frag = buf.get_u16();
+        let ttl = buf.get_u8();
+        let proto = buf.get_u8();
+        let wire_csum = buf.get_u16();
+        let src = buf.get_u32();
+        let dst = buf.get_u32();
+        let hdr = Ipv4Header { tos, total_len, ident, ttl, proto, src, dst };
+        if wire_csum != hdr.checksum() {
+            return Err(ReportError::BadVersion(0)); // corrupt header
+        }
+        Ok(hdr)
+    }
+}
+
+/// UDP header, 8 bytes. The checksum is optional in IPv4 and DTA reporters
+/// skip it ("freeing them from ... associated checksums", §3), so we carry 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length: header + payload.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size.
+    pub const LEN: usize = 8;
+
+    /// Header for a datagram with `payload_len` payload bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader { src_port, dst_port, len: (Self::LEN + payload_len) as u16 }
+    }
+
+    /// Serialize.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(0); // checksum elided
+    }
+
+    /// Deserialize.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, ReportError> {
+        if buf.remaining() < Self::LEN {
+            return Err(ReportError::Truncated { need: Self::LEN, have: buf.remaining() });
+        }
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let len = buf.get_u16();
+        let _csum = buf.get_u16();
+        Ok(UdpHeader { src_port, dst_port, len })
+    }
+}
+
+/// Total per-packet framing overhead for a UDP datagram: Eth + IPv4 + UDP.
+pub const UDP_FRAME_OVERHEAD: usize = EthHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN;
+
+/// A fully framed UDP packet (the unit the simulated network carries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpPacket {
+    /// L2 header.
+    pub eth: EthHeader,
+    /// L3 header.
+    pub ip: Ipv4Header,
+    /// L4 header.
+    pub udp: UdpHeader,
+    /// UDP payload.
+    pub payload: Bytes,
+}
+
+impl UdpPacket {
+    /// Frame `payload` from `src_ip:src_port` to `dst_ip:dst_port` with
+    /// placeholder MACs (the simulator routes on IP).
+    pub fn frame(src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16, payload: Bytes) -> Self {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let ip = Ipv4Header::udp(src_ip, dst_ip, udp.len as usize);
+        UdpPacket {
+            eth: EthHeader::ipv4([0x02, 0, 0, 0, 0, 1], [0x02, 0, 0, 0, 0, 2]),
+            ip,
+            udp,
+            payload,
+        }
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        UDP_FRAME_OVERHEAD + self.payload.len()
+    }
+
+    /// Serialize the whole packet.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        self.eth.encode(&mut buf);
+        self.ip.encode(&mut buf);
+        self.udp.encode(&mut buf);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Deserialize a whole packet.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ReportError> {
+        let eth = EthHeader::decode(&mut buf)?;
+        let ip = Ipv4Header::decode(&mut buf)?;
+        let udp = UdpHeader::decode(&mut buf)?;
+        let payload_len = (udp.len as usize).saturating_sub(UdpHeader::LEN);
+        if buf.remaining() < payload_len {
+            return Err(ReportError::Truncated { need: payload_len, have: buf.remaining() });
+        }
+        let payload = buf.copy_to_bytes(payload_len);
+        Ok(UdpPacket { eth, ip, udp, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_packet_roundtrip() {
+        let p = UdpPacket::frame(0x0A000001, 5555, 0x0A000002, 40080, Bytes::from_static(b"dta"));
+        let wire = p.encode();
+        assert_eq!(wire.len(), p.wire_len());
+        assert_eq!(UdpPacket::decode(wire).unwrap(), p);
+    }
+
+    #[test]
+    fn ipv4_checksum_validates() {
+        let ip = Ipv4Header::udp(1, 2, 100);
+        let mut buf = BytesMut::new();
+        ip.encode(&mut buf);
+        assert!(Ipv4Header::decode(&mut buf.freeze()).is_ok());
+    }
+
+    #[test]
+    fn corrupt_ipv4_rejected() {
+        let ip = Ipv4Header::udp(1, 2, 100);
+        let mut buf = BytesMut::new();
+        ip.encode(&mut buf);
+        buf[16] ^= 0xFF; // flip a byte of the src address
+        assert!(Ipv4Header::decode(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn frame_overhead_is_42_bytes() {
+        assert_eq!(UDP_FRAME_OVERHEAD, 42);
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let p = UdpPacket::frame(1, 2, 3, 4, Bytes::from(vec![0u8; 20]));
+        let wire = p.encode();
+        let short = wire.slice(0..wire.len() - 5);
+        assert!(UdpPacket::decode(short).is_err());
+    }
+}

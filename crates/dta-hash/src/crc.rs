@@ -1,0 +1,248 @@
+//! Table-driven 32-bit CRC with configurable parameters.
+//!
+//! The Tofino CRC extern lets P4 programs select the polynomial, initial
+//! value, reflection, and final XOR. We model the same parameter space using
+//! the Rocksoft^TM parametric CRC model.
+
+/// Parameters of a 32-bit CRC in the Rocksoft model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcParams {
+    /// Generator polynomial, normal (MSB-first) representation, without the
+    /// implicit x^32 term.
+    pub poly: u32,
+    /// Register initial value.
+    pub init: u32,
+    /// Whether input bytes are reflected (LSB-first processing).
+    pub reflect_in: bool,
+    /// Whether the final register value is reflected.
+    pub reflect_out: bool,
+    /// Value XORed into the final register.
+    pub xor_out: u32,
+}
+
+impl CrcParams {
+    /// CRC-32/ISO-HDLC — the "IEEE 802.3" CRC used by Ethernet and zip.
+    pub const IEEE: CrcParams = CrcParams {
+        poly: 0x04C1_1DB7,
+        init: 0xFFFF_FFFF,
+        reflect_in: true,
+        reflect_out: true,
+        xor_out: 0xFFFF_FFFF,
+    };
+
+    /// CRC-32C (Castagnoli), used by iSCSI, RoCE ICRC, and ext4.
+    pub const CASTAGNOLI: CrcParams = CrcParams {
+        poly: 0x1EDC_6F41,
+        init: 0xFFFF_FFFF,
+        reflect_in: true,
+        reflect_out: true,
+        xor_out: 0xFFFF_FFFF,
+    };
+
+    /// CRC-32/BZIP2 — IEEE polynomial without reflection.
+    pub const BZIP2: CrcParams = CrcParams {
+        poly: 0x04C1_1DB7,
+        init: 0xFFFF_FFFF,
+        reflect_in: false,
+        reflect_out: false,
+        xor_out: 0xFFFF_FFFF,
+    };
+
+    /// CRC-32/MEF (Koopman polynomial 0x741B8CD7).
+    pub const KOOPMAN: CrcParams = CrcParams {
+        poly: 0x741B_8CD7,
+        init: 0xFFFF_FFFF,
+        reflect_in: true,
+        reflect_out: true,
+        xor_out: 0xFFFF_FFFF,
+    };
+
+    /// CRC-32/AIXM (polynomial 0x814141AB, no reflection).
+    pub const AIXM: CrcParams = CrcParams {
+        poly: 0x8141_41AB,
+        init: 0x0000_0000,
+        reflect_in: false,
+        reflect_out: false,
+        xor_out: 0x0000_0000,
+    };
+
+    /// CRC-32/BASE91-D (polynomial 0xA833982B, reflected).
+    pub const BASE91: CrcParams = CrcParams {
+        poly: 0xA833_982B,
+        init: 0xFFFF_FFFF,
+        reflect_in: true,
+        reflect_out: true,
+        xor_out: 0xFFFF_FFFF,
+    };
+
+    /// CRC-32/CD-ROM-EDC (polynomial 0x8001801B, reflected, zero init).
+    pub const CDROM_EDC: CrcParams = CrcParams {
+        poly: 0x8001_801B,
+        init: 0x0000_0000,
+        reflect_in: true,
+        reflect_out: true,
+        xor_out: 0x0000_0000,
+    };
+
+    /// CRC-32/XFER (polynomial 0x000000AF, no reflection).
+    pub const XFER: CrcParams = CrcParams {
+        poly: 0x0000_00AF,
+        init: 0x0000_0000,
+        reflect_in: false,
+        reflect_out: false,
+        xor_out: 0x0000_0000,
+    };
+}
+
+fn reflect32(mut v: u32) -> u32 {
+    let mut r = 0u32;
+    for _ in 0..32 {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    r
+}
+
+fn reflect8(mut v: u8) -> u8 {
+    let mut r = 0u8;
+    for _ in 0..8 {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    r
+}
+
+/// A table-driven 32-bit CRC engine.
+///
+/// Construction builds the 256-entry lookup table once; [`Crc32::compute`] is
+/// then a byte-at-a-time table walk, mirroring how the switch pipeline
+/// computes CRCs at line rate.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    params: CrcParams,
+    table: [u32; 256],
+}
+
+impl Crc32 {
+    /// Build an engine for the given parameter set.
+    pub fn new(params: CrcParams) -> Self {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = if params.reflect_in {
+                reflect8(i as u8) as u32
+            } else {
+                i as u32
+            } << 24;
+            for _ in 0..8 {
+                crc = if crc & 0x8000_0000 != 0 {
+                    (crc << 1) ^ params.poly
+                } else {
+                    crc << 1
+                };
+            }
+            if params.reflect_in {
+                crc = reflect32(crc);
+            }
+            *slot = crc;
+        }
+        Crc32 { params, table }
+    }
+
+    /// The parameter set this engine was built with.
+    pub fn params(&self) -> CrcParams {
+        self.params
+    }
+
+    /// Compute the CRC of `data` in one shot.
+    pub fn compute(&self, data: &[u8]) -> u32 {
+        self.finish(self.update(self.start(), data))
+    }
+
+    /// Begin an incremental computation.
+    pub fn start(&self) -> u32 {
+        if self.params.reflect_in {
+            reflect32(self.params.init)
+        } else {
+            self.params.init
+        }
+    }
+
+    /// Feed bytes into an incremental computation.
+    pub fn update(&self, mut crc: u32, data: &[u8]) -> u32 {
+        if self.params.reflect_in {
+            for &b in data {
+                let idx = ((crc ^ b as u32) & 0xFF) as usize;
+                crc = (crc >> 8) ^ self.table[idx];
+            }
+        } else {
+            for &b in data {
+                let idx = (((crc >> 24) ^ b as u32) & 0xFF) as usize;
+                crc = (crc << 8) ^ self.table[idx];
+            }
+        }
+        crc
+    }
+
+    /// Finalize an incremental computation.
+    pub fn finish(&self, mut crc: u32) -> u32 {
+        // With reflect_in the register already holds the reflected value, so
+        // output reflection is a no-op when reflect_out == reflect_in.
+        if self.params.reflect_out != self.params.reflect_in {
+            crc = reflect32(crc);
+        }
+        crc ^ self.params.xor_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let crc = Crc32::new(CrcParams::IEEE);
+        let data = b"direct telemetry access";
+        let mut st = crc.start();
+        for chunk in data.chunks(3) {
+            st = crc.update(st, chunk);
+        }
+        assert_eq!(crc.finish(st), crc.compute(data));
+    }
+
+    #[test]
+    fn aixm_check_value() {
+        let crc = Crc32::new(CrcParams::AIXM);
+        assert_eq!(crc.compute(b"123456789"), 0x3010_BF7F);
+    }
+
+    #[test]
+    fn base91_check_value() {
+        let crc = Crc32::new(CrcParams::BASE91);
+        assert_eq!(crc.compute(b"123456789"), 0x8731_5576);
+    }
+
+    #[test]
+    fn cdrom_edc_check_value() {
+        let crc = Crc32::new(CrcParams::CDROM_EDC);
+        assert_eq!(crc.compute(b"123456789"), 0x6EC2_EDC4);
+    }
+
+    #[test]
+    fn xfer_check_value() {
+        let crc = Crc32::new(CrcParams::XFER);
+        assert_eq!(crc.compute(b"123456789"), 0xBD0B_E338);
+    }
+
+    #[test]
+    fn empty_input() {
+        let crc = Crc32::new(CrcParams::IEEE);
+        assert_eq!(crc.compute(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn reflection_helpers() {
+        assert_eq!(super::reflect8(0b0000_0001), 0b1000_0000);
+        assert_eq!(super::reflect32(1), 0x8000_0000);
+        assert_eq!(super::reflect32(super::reflect32(0xDEAD_BEEF)), 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,71 @@
+//! CRC engine and hash-function families for DTA.
+//!
+//! The DTA translator (SIGCOMM 2023, §5.2) uses the Tofino-native CRC engine
+//! both for indexing (computing the `N` memory locations of the Key-Write /
+//! Key-Increment / Postcarding primitives) and for the key checksums stored
+//! alongside telemetry values. "Carefully selected CRC polynomials are used to
+//! create several independent hash functions using the same underlying CRC
+//! engine."
+//!
+//! This crate reproduces that machinery in software:
+//!
+//! * [`Crc32`] — a table-driven 32-bit CRC with an arbitrary polynomial,
+//!   reflection and init/xorout configuration, equivalent to the Tofino CRC
+//!   extern.
+//! * [`polynomials`] — the catalogue of standard 32-bit polynomials that the
+//!   hardware exposes.
+//! * [`HashFamily`] — `N` independent hash functions built from distinct
+//!   polynomials, used for redundancy slot selection.
+//! * [`checksum32`] / [`checksum_b`] — the key-checksum functions used for
+//!   query validation (Appendix A.5 of the paper).
+
+pub mod crc;
+pub mod family;
+pub mod polynomials;
+
+pub use crc::{Crc32, CrcParams};
+pub use family::{checksum32, checksum_b, Checksummer, HashFamily};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_ieee_check_value() {
+        // The universal CRC "check" input.
+        let crc = Crc32::new(CrcParams::IEEE);
+        assert_eq!(crc.compute(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32c_check_value() {
+        let crc = Crc32::new(CrcParams::CASTAGNOLI);
+        assert_eq!(crc.compute(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn crc32_bzip2_check_value() {
+        let crc = Crc32::new(CrcParams::BZIP2);
+        assert_eq!(crc.compute(b"123456789"), 0xFC89_1918);
+    }
+
+    #[test]
+    fn crc32_koopman_check_value() {
+        let crc = Crc32::new(CrcParams::KOOPMAN);
+        assert_eq!(crc.compute(b"123456789"), 0x2D3D_D0AE);
+    }
+
+    #[test]
+    fn family_members_disagree() {
+        let fam = HashFamily::new(4);
+        let k = b"\x01\x02\x03\x04flow";
+        let outs: Vec<u32> = (0..4).map(|i| fam.hash(i, k)).collect();
+        // Distinct polynomials must produce distinct digests for a
+        // non-degenerate key with overwhelming probability.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(outs[i], outs[j], "hashes {i} and {j} collided");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the CRC engine and hash families.
+
+use dta_hash::{checksum32, checksum_b, Crc32, CrcParams, HashFamily};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental CRC over arbitrary chunkings equals one-shot CRC.
+    #[test]
+    fn incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let crc = Crc32::new(CrcParams::CASTAGNOLI);
+        let mut cut_points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+        let mut st = crc.start();
+        let mut prev = 0;
+        for &cut in &cut_points {
+            st = crc.update(st, &data[prev..cut]);
+            prev = cut;
+        }
+        st = crc.update(st, &data[prev..]);
+        prop_assert_eq!(crc.finish(st), crc.compute(&data));
+    }
+
+    /// Single-bit flips always change the CRC (Hamming distance ≥ 1
+    /// detection — the property checksums rely on).
+    #[test]
+    fn single_bit_flip_changes_crc(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let crc = Crc32::new(CrcParams::IEEE);
+        let mut flipped = data.clone();
+        let idx = byte.index(data.len());
+        flipped[idx] ^= 1 << bit;
+        prop_assert_ne!(crc.compute(&data), crc.compute(&flipped));
+    }
+
+    /// checksum_b is always a prefix-mask of checksum32.
+    #[test]
+    fn checksum_b_is_masked_checksum32(data in proptest::collection::vec(any::<u8>(), 0..64), b in 1u32..=32) {
+        let full = checksum32(&data);
+        let masked = checksum_b(&data, b);
+        if b == 32 {
+            prop_assert_eq!(masked, full);
+        } else {
+            prop_assert_eq!(masked, full & ((1 << b) - 1));
+            prop_assert_eq!(masked >> b, 0);
+        }
+    }
+
+    /// Family members are deterministic and bounded.
+    #[test]
+    fn family_slots_deterministic_and_bounded(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        slots in 1u64..1_000_000,
+        n in 1usize..=8,
+    ) {
+        let fam = HashFamily::new(n);
+        let a = fam.slots(&key, slots);
+        let b = fam.slots(&key, slots);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|s| *s < slots));
+    }
+
+    /// Different family members disagree on random keys almost always;
+    /// verify they are not all equal over a batch (catches accidentally
+    /// identical polynomials).
+    #[test]
+    fn family_members_not_identical(keys in proptest::collection::vec(any::<u64>(), 16..32)) {
+        let fam = HashFamily::new(4);
+        let mut all_same = true;
+        for k in &keys {
+            let h: Vec<u32> = (0..4).map(|i| fam.hash(i, &k.to_be_bytes())).collect();
+            if h.windows(2).any(|w| w[0] != w[1]) {
+                all_same = false;
+                break;
+            }
+        }
+        prop_assert!(!all_same, "four 'independent' hashes agreed on every key");
+    }
+}

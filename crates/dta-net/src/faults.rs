@@ -1,0 +1,206 @@
+//! Fault injection.
+//!
+//! DTA's primitives are explicitly best-effort: "the primitives themselves
+//! would still work even in case of severe in-transit loss of reports" (§4).
+//! To test that claim we inject the classic trio of faults — random drops,
+//! byte corruption, and reordering — on simulated links, following the
+//! fault-injection interface of smoltcp's examples (`--drop-chance`,
+//! `--corrupt-chance`, ...).
+
+use bytes::{Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::Packet;
+
+/// Fault probabilities. All chances are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of silently dropping a packet.
+    pub drop_chance: f64,
+    /// Probability of flipping one random byte of the payload.
+    pub corrupt_chance: f64,
+    /// Probability of delaying a packet behind its successor (pairwise
+    /// reorder).
+    pub reorder_chance: f64,
+    /// Drop packets larger than this size, if set (MTU-style limit).
+    pub size_limit: Option<usize>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            reorder_chance: 0.0,
+            size_limit: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Uniform loss with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        FaultConfig { drop_chance: p, ..Self::default() }
+    }
+
+    /// The smoltcp README's "good starting value": 15% drop + 15% corrupt.
+    pub fn adverse() -> Self {
+        FaultConfig {
+            drop_chance: 0.15,
+            corrupt_chance: 0.15,
+            reorder_chance: 0.0,
+            size_limit: None,
+        }
+    }
+}
+
+/// What the injector decided for one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver the (possibly rewritten) packet.
+    Deliver(Packet),
+    /// Deliver, but swapped behind the next packet.
+    DeliverReordered(Packet),
+    /// Silently dropped.
+    Dropped,
+}
+
+/// Deterministic (seeded) fault injector.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: StdRng,
+    /// Counters for test assertions and experiment reports.
+    pub dropped: u64,
+    /// Packets corrupted.
+    pub corrupted: u64,
+    /// Packets reordered.
+    pub reordered: u64,
+}
+
+impl FaultInjector {
+    /// Injector with the given config and RNG seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+            reordered: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Apply faults to one packet.
+    pub fn apply(&mut self, mut packet: Packet) -> FaultOutcome {
+        if let Some(limit) = self.config.size_limit {
+            if packet.wire_len() > limit {
+                self.dropped += 1;
+                return FaultOutcome::Dropped;
+            }
+        }
+        if self.config.drop_chance > 0.0 && self.rng.gen_bool(self.config.drop_chance) {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        if self.config.corrupt_chance > 0.0
+            && !packet.payload.is_empty()
+            && self.rng.gen_bool(self.config.corrupt_chance)
+        {
+            let idx = self.rng.gen_range(0..packet.payload.len());
+            let mut buf = BytesMut::from(&packet.payload[..]);
+            buf[idx] ^= 1 << self.rng.gen_range(0..8);
+            packet.payload = Bytes::from(buf);
+            self.corrupted += 1;
+        }
+        if self.config.reorder_chance > 0.0 && self.rng.gen_bool(self.config.reorder_chance) {
+            self.reordered += 1;
+            return FaultOutcome::DeliverReordered(packet);
+        }
+        FaultOutcome::Deliver(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn pkt(n: usize) -> Packet {
+        Packet::new(NodeId(0), NodeId(1), Bytes::from(vec![0xAB; n]))
+    }
+
+    #[test]
+    fn no_faults_passes_everything() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), 1);
+        for _ in 0..1000 {
+            assert!(matches!(inj.apply(pkt(64)), FaultOutcome::Deliver(_)));
+        }
+        assert_eq!(inj.dropped + inj.corrupted + inj.reordered, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_statistically_close() {
+        let mut inj = FaultInjector::new(FaultConfig::lossy(0.2), 42);
+        let n = 20_000;
+        for _ in 0..n {
+            inj.apply(pkt(64));
+        }
+        let rate = inj.dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 7);
+        let original = pkt(32);
+        match inj.apply(original.clone()) {
+            FaultOutcome::Deliver(p) => {
+                let diff: u32 = p
+                    .payload
+                    .iter()
+                    .zip(original.payload.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(diff, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_limit_drops_jumbo() {
+        let cfg = FaultConfig { size_limit: Some(1500), ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 3);
+        assert!(matches!(inj.apply(pkt(1501)), FaultOutcome::Dropped));
+        assert!(matches!(inj.apply(pkt(1500)), FaultOutcome::Deliver(_)));
+    }
+
+    #[test]
+    fn seeded_injectors_are_deterministic() {
+        let mut a = FaultInjector::new(FaultConfig::adverse(), 99);
+        let mut b = FaultInjector::new(FaultConfig::adverse(), 99);
+        for _ in 0..500 {
+            assert_eq!(a.apply(pkt(100)), b.apply(pkt(100)));
+        }
+    }
+
+    #[test]
+    fn empty_payload_never_corrupted() {
+        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 5);
+        assert!(matches!(inj.apply(pkt(0)), FaultOutcome::Deliver(_)));
+        assert_eq!(inj.corrupted, 0);
+    }
+}

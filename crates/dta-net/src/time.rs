@@ -1,0 +1,195 @@
+//! Simulated time and the event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// 100 Gb/s in bits per second — the paper's link speed.
+pub const GBPS_100: u64 = 100_000_000_000;
+/// 25 Gb/s, a common server access speed.
+pub const GBPS_25: u64 = 25_000_000_000;
+/// 400 Gb/s, for "future NICs will have better speeds" experiments.
+pub const GBPS_400: u64 = 400_000_000_000;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `self + ns` nanoseconds.
+    pub fn plus_nanos(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+
+    /// Serialization delay of `bytes` on a link of `bits_per_sec`, in ns
+    /// (rounded up: a partial nanosecond still occupies the wire).
+    pub fn tx_time(bytes: usize, bits_per_sec: u64) -> u64 {
+        let bits = bytes as u64 * 8;
+        bits.saturating_mul(1_000_000_000).div_ceil(bits_per_sec)
+    }
+}
+
+impl core::ops::Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl core::ops::Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// Events with equal timestamps pop in insertion order (FIFO tie-break), so
+/// simulations are deterministic.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that exempts the payload from ordering.
+#[derive(Debug)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> core::cmp::Ordering {
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `event` at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse((t, _, EventSlot(e)))| (t, e))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_100g() {
+        // 1500B at 100Gbps = 120ns.
+        assert_eq!(SimTime::tx_time(1500, GBPS_100), 120);
+        // 64B at 100Gbps = 5.12ns -> rounds to 6.
+        assert_eq!(SimTime::tx_time(64, GBPS_100), 6);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(SimTime::from_secs(1), SimTime(1_000_000_000));
+        assert_eq!(SimTime::from_millis(2), SimTime(2_000_000));
+        assert_eq!(SimTime::from_micros(3), SimTime(3_000));
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

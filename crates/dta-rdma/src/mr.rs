@@ -1,0 +1,334 @@
+//! Registered memory regions.
+//!
+//! The collector allocates its primitive data structures in RDMA-registered
+//! memory ("all RDMA-registered memory is allocated on 1GB huge pages", §6)
+//! and hands out rkeys to the translator. Every inbound WRITE / FETCH_ADD is
+//! validated against the region's bounds and key before touching memory —
+//! and counted, because "memory instructions per report" is the paper's
+//! Figure 8 metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Errors when executing an RDMA op against registered memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrError {
+    /// No region with the given rkey.
+    BadRkey(u32),
+    /// The access falls outside the region.
+    OutOfBounds {
+        /// Requested virtual address.
+        va: u64,
+        /// Requested length.
+        len: usize,
+    },
+    /// Atomic access not aligned to 8 bytes.
+    Misaligned(u64),
+    /// Region does not permit the requested access.
+    AccessDenied,
+}
+
+impl core::fmt::Display for MrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MrError::BadRkey(k) => write!(f, "unknown rkey {k:#x}"),
+            MrError::OutOfBounds { va, len } => {
+                write!(f, "access [{va:#x}, +{len}) outside region")
+            }
+            MrError::Misaligned(va) => write!(f, "atomic at {va:#x} not 8B-aligned"),
+            MrError::AccessDenied => write!(f, "region access denied"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+/// Access permissions of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrAccess {
+    /// Remote writes allowed.
+    pub remote_write: bool,
+    /// Remote atomics allowed.
+    pub remote_atomic: bool,
+}
+
+impl MrAccess {
+    /// Write-only region (Key-Write, Postcarding, Append targets).
+    pub const WRITE: MrAccess = MrAccess { remote_write: true, remote_atomic: false };
+    /// Atomic-capable region (Key-Increment sketch).
+    pub const ATOMIC: MrAccess = MrAccess { remote_write: true, remote_atomic: true };
+}
+
+/// Memory-instruction counters (Figure 8 accounting).
+#[derive(Debug, Default)]
+pub struct MrStats {
+    /// RDMA WRITE operations executed.
+    pub writes: AtomicU64,
+    /// FETCH_ADD operations executed.
+    pub atomics: AtomicU64,
+    /// Total bytes written.
+    pub bytes_written: AtomicU64,
+    /// Local read operations (collector-side queries).
+    pub local_reads: AtomicU64,
+}
+
+impl MrStats {
+    /// Total memory instructions so far (one per RDMA op, as in Figure 8:
+    /// the NIC's DMA engine issues one memory transaction per operation).
+    pub fn memory_instructions(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed) + self.atomics.load(Ordering::Relaxed)
+    }
+}
+
+/// A registered memory region.
+///
+/// Interior mutability allows the simulated NIC (ingress path) and the
+/// collector's query threads to share the region, like DMA and CPU share
+/// DRAM.
+#[derive(Clone)]
+pub struct MemoryRegion {
+    /// Starting virtual address.
+    pub base_va: u64,
+    /// rkey advertised to peers.
+    pub rkey: u32,
+    access: MrAccess,
+    mem: Arc<RwLock<Vec<u8>>>,
+    stats: Arc<MrStats>,
+}
+
+impl core::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MemoryRegion")
+            .field("base_va", &self.base_va)
+            .field("rkey", &self.rkey)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl MemoryRegion {
+    /// Register `len` zeroed bytes at `base_va` with the given key/access.
+    pub fn new(base_va: u64, len: usize, rkey: u32, access: MrAccess) -> Self {
+        MemoryRegion {
+            base_va,
+            rkey,
+            access,
+            mem: Arc::new(RwLock::new(vec![0u8; len])),
+            stats: Arc::new(MrStats::default()),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.mem.read().len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter handle.
+    pub fn stats(&self) -> &MrStats {
+        &self.stats
+    }
+
+    fn offset(&self, va: u64, len: usize) -> Result<usize, MrError> {
+        let end = va.checked_add(len as u64).ok_or(MrError::OutOfBounds { va, len })?;
+        if va < self.base_va || end > self.base_va + self.len() as u64 {
+            return Err(MrError::OutOfBounds { va, len });
+        }
+        Ok((va - self.base_va) as usize)
+    }
+
+    /// Execute an RDMA WRITE of `data` at `va`.
+    pub fn write(&self, va: u64, data: &[u8]) -> Result<(), MrError> {
+        if !self.access.remote_write {
+            return Err(MrError::AccessDenied);
+        }
+        let off = self.offset(va, data.len())?;
+        self.mem.write()[off..off + data.len()].copy_from_slice(data);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Execute a FETCH_ADD of `add` at `va` (8-byte, per the IB spec).
+    /// Returns the original value.
+    pub fn fetch_add(&self, va: u64, add: u64) -> Result<u64, MrError> {
+        if !self.access.remote_atomic {
+            return Err(MrError::AccessDenied);
+        }
+        if va % 8 != 0 {
+            return Err(MrError::Misaligned(va));
+        }
+        let off = self.offset(va, 8)?;
+        let mut mem = self.mem.write();
+        let old = u64::from_be_bytes(mem[off..off + 8].try_into().unwrap());
+        let new = old.wrapping_add(add);
+        mem[off..off + 8].copy_from_slice(&new.to_be_bytes());
+        self.stats.atomics.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    /// Local (collector-side) read of `len` bytes at `va`. Not an RDMA op;
+    /// counted separately as a query-side memory access.
+    pub fn read(&self, va: u64, len: usize) -> Result<Vec<u8>, MrError> {
+        let off = self.offset(va, len)?;
+        self.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.mem.read()[off..off + len].to_vec())
+    }
+
+    /// Read without counting (test/diagnostic use).
+    pub fn peek(&self, va: u64, len: usize) -> Result<Vec<u8>, MrError> {
+        let off = self.offset(va, len)?;
+        Ok(self.mem.read()[off..off + len].to_vec())
+    }
+
+    /// Zero the whole region (e.g., periodic Key-Increment counter reset).
+    pub fn reset(&self) {
+        self.mem.write().fill(0);
+    }
+}
+
+/// The per-NIC table of registered regions, keyed by rkey.
+#[derive(Debug, Default)]
+pub struct MemoryRegistry {
+    regions: Vec<MemoryRegion>,
+}
+
+impl MemoryRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a region; rkeys must be unique.
+    ///
+    /// # Panics
+    /// Panics if the rkey is already registered.
+    pub fn register(&mut self, region: MemoryRegion) {
+        assert!(
+            self.lookup(region.rkey).is_none(),
+            "duplicate rkey {:#x}",
+            region.rkey
+        );
+        self.regions.push(region);
+    }
+
+    /// Find a region by rkey.
+    pub fn lookup(&self, rkey: u32) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.rkey == rkey)
+    }
+
+    /// Execute a validated WRITE.
+    pub fn write(&self, rkey: u32, va: u64, data: &[u8]) -> Result<(), MrError> {
+        self.lookup(rkey).ok_or(MrError::BadRkey(rkey))?.write(va, data)
+    }
+
+    /// Execute a validated FETCH_ADD.
+    pub fn fetch_add(&self, rkey: u32, va: u64, add: u64) -> Result<u64, MrError> {
+        self.lookup(rkey).ok_or(MrError::BadRkey(rkey))?.fetch_add(va, add)
+    }
+
+    /// Sum of memory instructions across all regions.
+    pub fn memory_instructions(&self) -> u64 {
+        self.regions.iter().map(|r| r.stats().memory_instructions()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_back() {
+        let mr = MemoryRegion::new(0x1000, 64, 1, MrAccess::WRITE);
+        mr.write(0x1010, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mr.read(0x1010, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(mr.stats().writes.load(Ordering::Relaxed), 1);
+        assert_eq!(mr.stats().local_reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let mr = MemoryRegion::new(0x1000, 64, 1, MrAccess::WRITE);
+        assert!(matches!(mr.write(0x1040, &[0]), Err(MrError::OutOfBounds { .. })));
+        assert!(matches!(mr.write(0x0FFF, &[0]), Err(MrError::OutOfBounds { .. })));
+        // Boundary-exact write succeeds.
+        mr.write(0x103C, &[0; 4]).unwrap();
+    }
+
+    #[test]
+    fn fetch_add_returns_old_value() {
+        let mr = MemoryRegion::new(0, 64, 1, MrAccess::ATOMIC);
+        assert_eq!(mr.fetch_add(8, 5).unwrap(), 0);
+        assert_eq!(mr.fetch_add(8, 7).unwrap(), 5);
+        assert_eq!(
+            u64::from_be_bytes(mr.peek(8, 8).unwrap().try_into().unwrap()),
+            12
+        );
+    }
+
+    #[test]
+    fn misaligned_atomic_rejected() {
+        let mr = MemoryRegion::new(0, 64, 1, MrAccess::ATOMIC);
+        assert!(matches!(mr.fetch_add(4, 1), Err(MrError::Misaligned(4))));
+    }
+
+    #[test]
+    fn atomic_denied_on_write_only_region() {
+        let mr = MemoryRegion::new(0, 64, 1, MrAccess::WRITE);
+        assert!(matches!(mr.fetch_add(0, 1), Err(MrError::AccessDenied)));
+    }
+
+    #[test]
+    fn registry_validates_rkey() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(MemoryRegion::new(0, 64, 10, MrAccess::WRITE));
+        assert!(reg.write(10, 0, &[1]).is_ok());
+        assert!(matches!(reg.write(11, 0, &[1]), Err(MrError::BadRkey(11))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_rkey_panics() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(MemoryRegion::new(0, 64, 10, MrAccess::WRITE));
+        reg.register(MemoryRegion::new(0x100, 64, 10, MrAccess::WRITE));
+    }
+
+    #[test]
+    fn memory_instruction_accounting() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(MemoryRegion::new(0, 1024, 1, MrAccess::ATOMIC));
+        for i in 0..10 {
+            reg.write(1, i * 8, &[0; 8]).unwrap();
+        }
+        for _ in 0..5 {
+            reg.fetch_add(1, 0, 1).unwrap();
+        }
+        assert_eq!(reg.memory_instructions(), 15);
+    }
+
+    #[test]
+    fn fetch_add_wraps() {
+        let mr = MemoryRegion::new(0, 8, 1, MrAccess::ATOMIC);
+        mr.fetch_add(0, u64::MAX).unwrap();
+        assert_eq!(mr.fetch_add(0, 2).unwrap(), u64::MAX);
+        assert_eq!(
+            u64::from_be_bytes(mr.peek(0, 8).unwrap().try_into().unwrap()),
+            1
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_region() {
+        let mr = MemoryRegion::new(0, 16, 1, MrAccess::WRITE);
+        mr.write(0, &[0xFF; 16]).unwrap();
+        mr.reset();
+        assert_eq!(mr.peek(0, 16).unwrap(), vec![0u8; 16]);
+    }
+}

@@ -1,0 +1,465 @@
+//! The simulated RDMA NIC: ingress execution engine + performance model.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::mr::{MemoryRegistry, MrError};
+use crate::packet::{Opcode, RocePacket};
+use crate::qp::{QpError, QueuePair};
+use crate::verbs::{WcStatus, WorkCompletion};
+
+/// Static NIC parameters: the two resource limits that bound DTA collection
+/// throughput (§7: "the new bottleneck is the message rate of the RDMA NICs
+/// at the collectors").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicConfig {
+    /// Messages (verbs) per second the NIC can execute.
+    pub msg_rate: f64,
+    /// Port line rate in bits per second.
+    pub line_rate_bps: f64,
+    /// Number of ports/NICs ganged together ("DTA already supports
+    /// multi-NIC collectors", §7).
+    pub num_nics: u32,
+}
+
+impl NicConfig {
+    /// BlueField-2-class NIC: ~110M msg/s, 100 Gb/s — calibrated so the
+    /// paper's headline numbers re-emerge (Key-Write N=1 ≈ 110M rps,
+    /// Append batch 16 ≈ 1.3B rps).
+    pub fn bluefield2() -> Self {
+        NicConfig { msg_rate: 110e6, line_rate_bps: 100e9, num_nics: 1 }
+    }
+
+    /// ConnectX-6-class 200G NIC (215M msg/s claimed by the datasheet).
+    pub fn connectx6() -> Self {
+        NicConfig { msg_rate: 215e6, line_rate_bps: 200e9, num_nics: 1 }
+    }
+
+    /// Multi-NIC collector.
+    pub fn with_nics(mut self, n: u32) -> Self {
+        self.num_nics = n;
+        self
+    }
+}
+
+/// Closed-form throughput model for a NIC config.
+#[derive(Debug, Clone, Copy)]
+pub struct NicPerfModel {
+    config: NicConfig,
+}
+
+impl NicPerfModel {
+    /// Model over `config`.
+    pub fn new(config: NicConfig) -> Self {
+        NicPerfModel { config }
+    }
+
+    /// Sustainable message rate for messages of `wire_bytes` each:
+    /// `min(msg_rate, line_rate / bits_per_msg)`, times the NIC count.
+    pub fn message_rate(&self, wire_bytes: usize) -> f64 {
+        let by_msgs = self.config.msg_rate;
+        let by_wire = self.config.line_rate_bps / (wire_bytes as f64 * 8.0);
+        by_msgs.min(by_wire) * self.config.num_nics as f64
+    }
+
+    /// Report throughput when each message carries `reports_per_msg` reports
+    /// and each report triggers `msgs_per_report` messages (redundancy).
+    ///
+    /// * Key-Write with redundancy N: `reports_per_msg = 1`,
+    ///   `msgs_per_report = N`.
+    /// * Append with batch B: `reports_per_msg = B`, `msgs_per_report = 1`.
+    /// * Postcarding (B-hop chunks): `reports_per_msg = B` postcards per
+    ///   write.
+    pub fn report_rate(
+        &self,
+        wire_bytes: usize,
+        reports_per_msg: f64,
+        msgs_per_report: f64,
+    ) -> f64 {
+        assert!(reports_per_msg > 0.0 && msgs_per_report > 0.0);
+        self.message_rate(wire_bytes) * reports_per_msg / msgs_per_report
+    }
+
+    /// Nanoseconds to ingest `n` messages of `wire_bytes` each.
+    pub fn ingest_time_ns(&self, n: u64, wire_bytes: usize) -> u64 {
+        (n as f64 / self.message_rate(wire_bytes) * 1e9).ceil() as u64
+    }
+}
+
+/// Outcome of feeding one RoCE packet to the NIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Op executed; carries the ACK to return (None when no ack requested).
+    Executed(Option<RocePacket>),
+    /// PSN gap: op not executed; carries the NAK packet.
+    Nak(RocePacket),
+    /// Duplicate PSN: silently dropped.
+    DuplicateDropped,
+    /// Validation failed (bad rkey, bounds, unknown QP, malformed).
+    Error(NicError),
+}
+
+/// NIC-level receive errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NicError {
+    /// No QP with that number.
+    UnknownQp(u32),
+    /// QP sequence violation.
+    Qp(QpError),
+    /// Memory violation.
+    Mr(MrError),
+    /// FETCH_ADD response value (not an error; internal use).
+    Malformed,
+}
+
+/// Counters for the NIC ingress path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NicStats {
+    /// Verbs executed.
+    pub executed: u64,
+    /// NAKs generated.
+    pub naks: u64,
+    /// Duplicates dropped.
+    pub dups: u64,
+    /// Errors (rkey/bounds/unknown QP).
+    pub errors: u64,
+    /// Total wire bytes received.
+    pub bytes_rx: u64,
+}
+
+/// The collector-side RDMA NIC.
+///
+/// Owns the registered memory and the responder half of every QP. The DMA
+/// engine (memory writes) runs with zero CPU involvement; completions are
+/// queued only for SEND and WRITE-with-immediate, which is what the
+/// collector CPU polls.
+pub struct RdmaNic {
+    /// Registered memory.
+    pub memory: MemoryRegistry,
+    qps: HashMap<u32, QueuePair>,
+    /// Per-QP in-progress segmented write: (rkey, next va, bytes left).
+    in_progress: HashMap<u32, (u32, u64, u32)>,
+    completions: VecDeque<WorkCompletion>,
+    /// Counters.
+    pub stats: NicStats,
+    /// Throughput model (used by harnesses; ingress execution itself is
+    /// functional, not timed).
+    pub perf: NicPerfModel,
+}
+
+impl RdmaNic {
+    /// NIC with the given performance config and empty memory registry.
+    pub fn new(config: NicConfig) -> Self {
+        RdmaNic {
+            memory: MemoryRegistry::new(),
+            qps: HashMap::new(),
+            in_progress: HashMap::new(),
+            completions: VecDeque::new(),
+            stats: NicStats::default(),
+            perf: NicPerfModel::new(config),
+        }
+    }
+
+    /// Install a responder QP.
+    pub fn add_qp(&mut self, qp: QueuePair) {
+        self.qps.insert(qp.qpn, qp);
+    }
+
+    /// Access a QP (tests / CM).
+    pub fn qp(&self, qpn: u32) -> Option<&QueuePair> {
+        self.qps.get(&qpn)
+    }
+
+    /// Mutable access to a QP (CM state transitions).
+    pub fn qp_mut(&mut self, qpn: u32) -> Option<&mut QueuePair> {
+        self.qps.get_mut(&qpn)
+    }
+
+    /// Pop the next completion, if any (the collector CPU's poll loop).
+    pub fn poll_completion(&mut self) -> Option<WorkCompletion> {
+        self.completions.pop_front()
+    }
+
+    /// Number of queued completions.
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Execute one inbound RoCE packet.
+    pub fn ingress(&mut self, pkt: &RocePacket) -> RxOutcome {
+        self.stats.bytes_rx += pkt.wire_len() as u64;
+        let qpn = pkt.bth.dest_qp;
+        let Some(qp) = self.qps.get_mut(&qpn) else {
+            self.stats.errors += 1;
+            return RxOutcome::Error(NicError::UnknownQp(qpn));
+        };
+        // PSN discipline first (transport layer), then memory execution.
+        match qp.receive(pkt.bth.psn) {
+            Ok(()) => {}
+            Err(QpError::Duplicate(_)) => {
+                self.stats.dups += 1;
+                return RxOutcome::DuplicateDropped;
+            }
+            Err(QpError::OutOfOrder { expected, .. }) => {
+                self.stats.naks += 1;
+                // NAK carries the expected PSN so the requester can resync.
+                let requester = qp.dest_qpn;
+                return RxOutcome::Nak(RocePacket::nak(requester, expected));
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                return RxOutcome::Error(NicError::Qp(e));
+            }
+        }
+
+        let requester_qpn = qp.dest_qpn;
+        let result: Result<(), NicError> = match pkt.bth.opcode {
+            Opcode::WriteOnly | Opcode::WriteOnlyImm => {
+                let reth = pkt.reth.as_ref().expect("decoded WRITE has RETH");
+                self.memory
+                    .write(reth.rkey, reth.va, &pkt.payload)
+                    .map_err(NicError::Mr)
+                    .map(|_| {
+                        if let Some(imm) = pkt.imm {
+                            self.completions.push_back(WorkCompletion {
+                                qpn,
+                                status: WcStatus::Success,
+                                imm: Some(imm.0),
+                                payload: pkt.payload.clone(),
+                            });
+                        }
+                    })
+            }
+            Opcode::WriteFirst => {
+                // Start of a segmented write: execute this fragment and
+                // remember the cursor for the continuations.
+                let reth = pkt.reth.as_ref().expect("decoded WRITE FIRST has RETH");
+                self.memory
+                    .write(reth.rkey, reth.va, &pkt.payload)
+                    .map_err(NicError::Mr)
+                    .map(|_| {
+                        let done = pkt.payload.len() as u32;
+                        self.in_progress.insert(
+                            qpn,
+                            (reth.rkey, reth.va + done as u64, reth.dma_len - done),
+                        );
+                    })
+            }
+            Opcode::WriteMiddle | Opcode::WriteLast => {
+                match self.in_progress.get_mut(&qpn) {
+                    None => Err(NicError::Malformed), // continuation w/o FIRST
+                    Some((rkey, va, remaining)) => {
+                        let n = pkt.payload.len() as u32;
+                        if n > *remaining {
+                            self.in_progress.remove(&qpn);
+                            Err(NicError::Malformed) // overruns the RETH length
+                        } else {
+                            let (rkey, dst) = (*rkey, *va);
+                            *va += n as u64;
+                            *remaining -= n;
+                            let finished =
+                                pkt.bth.opcode == Opcode::WriteLast || *remaining == 0;
+                            if finished {
+                                self.in_progress.remove(&qpn);
+                            }
+                            self.memory.write(rkey, dst, &pkt.payload).map_err(NicError::Mr)
+                        }
+                    }
+                }
+            }
+            Opcode::FetchAdd => {
+                let ae = pkt.atomic.as_ref().expect("decoded FETCH_ADD has AtomicETH");
+                self.memory
+                    .fetch_add(ae.rkey, ae.va, ae.swap_add)
+                    .map(|_| ())
+                    .map_err(NicError::Mr)
+            }
+            Opcode::SendOnly | Opcode::SendOnlyImm => {
+                self.completions.push_back(WorkCompletion {
+                    qpn,
+                    status: WcStatus::Success,
+                    imm: pkt.imm.map(|i| i.0),
+                    payload: pkt.payload.clone(),
+                });
+                Ok(())
+            }
+            Opcode::Ack | Opcode::AtomicAck => Ok(()), // requester-side path
+        };
+
+        match result {
+            Ok(()) => {
+                self.stats.executed += 1;
+                let ack = pkt
+                    .bth
+                    .opcode
+                    .needs_ack()
+                    .then(|| RocePacket::ack(requester_qpn, pkt.bth.psn));
+                RxOutcome::Executed(ack)
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                RxOutcome::Error(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr::{MemoryRegion, MrAccess};
+    use bytes::Bytes;
+    use crate::packet::Reth;
+
+    fn nic_with_qp() -> RdmaNic {
+        let mut nic = RdmaNic::new(NicConfig::bluefield2());
+        nic.memory.register(MemoryRegion::new(0x10000, 4096, 0xAB, MrAccess::ATOMIC));
+        let mut qp = QueuePair::new(5);
+        qp.to_rtr(1, 0);
+        qp.to_rts(0);
+        nic.add_qp(qp);
+        nic
+    }
+
+    fn write_pkt(psn: u32, va: u64, data: &'static [u8]) -> RocePacket {
+        RocePacket::write(5, psn, Reth { va, rkey: 0xAB, dma_len: data.len() as u32 }, Bytes::from_static(data))
+    }
+
+    #[test]
+    fn write_executes_and_acks() {
+        let mut nic = nic_with_qp();
+        match nic.ingress(&write_pkt(0, 0x10000, &[1, 2, 3, 4])) {
+            RxOutcome::Executed(Some(ack)) => assert_eq!(ack.bth.psn, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        let region = nic.memory.lookup(0xAB).unwrap();
+        assert_eq!(region.peek(0x10000, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn psn_gap_naks_without_executing() {
+        let mut nic = nic_with_qp();
+        match nic.ingress(&write_pkt(5, 0x10000, &[9; 4])) {
+            RxOutcome::Nak(nak) => assert_eq!(nak.bth.psn, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Memory untouched.
+        let region = nic.memory.lookup(0xAB).unwrap();
+        assert_eq!(region.peek(0x10000, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn duplicate_dropped_silently() {
+        let mut nic = nic_with_qp();
+        assert!(matches!(nic.ingress(&write_pkt(0, 0x10000, &[1; 4])), RxOutcome::Executed(_)));
+        assert!(matches!(
+            nic.ingress(&write_pkt(0, 0x10000, &[2; 4])),
+            RxOutcome::DuplicateDropped
+        ));
+        // First write's data survives.
+        let region = nic.memory.lookup(0xAB).unwrap();
+        assert_eq!(region.peek(0x10000, 4).unwrap(), vec![1; 4]);
+    }
+
+    #[test]
+    fn bad_rkey_is_error() {
+        let mut nic = nic_with_qp();
+        let pkt = RocePacket::write(
+            5,
+            0,
+            Reth { va: 0x10000, rkey: 0xFF, dma_len: 4 },
+            Bytes::from_static(&[0; 4]),
+        );
+        assert!(matches!(
+            nic.ingress(&pkt),
+            RxOutcome::Error(NicError::Mr(MrError::BadRkey(0xFF)))
+        ));
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let mut nic = nic_with_qp();
+        for i in 0..3 {
+            let pkt = RocePacket::fetch_add(5, i, 0x10000, 0xAB, 10);
+            assert!(matches!(nic.ingress(&pkt), RxOutcome::Executed(_)));
+        }
+        let region = nic.memory.lookup(0xAB).unwrap();
+        assert_eq!(
+            u64::from_be_bytes(region.peek(0x10000, 8).unwrap().try_into().unwrap()),
+            30
+        );
+    }
+
+    #[test]
+    fn write_imm_raises_completion() {
+        let mut nic = nic_with_qp();
+        let pkt = RocePacket::write_imm(
+            5,
+            0,
+            Reth { va: 0x10000, rkey: 0xAB, dma_len: 4 },
+            0x42,
+            Bytes::from_static(&[7; 4]),
+        );
+        nic.ingress(&pkt);
+        let wc = nic.poll_completion().expect("completion queued");
+        assert_eq!(wc.imm, Some(0x42));
+        assert!(nic.poll_completion().is_none());
+    }
+
+    #[test]
+    fn plain_write_raises_no_completion() {
+        let mut nic = nic_with_qp();
+        nic.ingress(&write_pkt(0, 0x10000, &[1; 4]));
+        assert!(nic.poll_completion().is_none());
+    }
+
+    #[test]
+    fn unknown_qp_is_error() {
+        let mut nic = nic_with_qp();
+        let pkt = write_pkt(0, 0x10000, &[0; 4]);
+        let mut bad = pkt.clone();
+        bad.bth.dest_qp = 99;
+        assert!(matches!(
+            nic.ingress(&bad),
+            RxOutcome::Error(NicError::UnknownQp(99))
+        ));
+    }
+
+    #[test]
+    fn perf_model_msg_rate_bound() {
+        let m = NicPerfModel::new(NicConfig::bluefield2());
+        // 78B KW writes: msg-rate bound (110M), not line-rate bound (160M).
+        let rate = m.message_rate(78);
+        assert!((rate - 110e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn perf_model_line_rate_bound() {
+        let m = NicPerfModel::new(NicConfig::bluefield2());
+        // 1500B messages: line-rate bound = 100e9/12000 = 8.33M.
+        let rate = m.message_rate(1500);
+        assert!((rate - 100e9 / 12000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_nic_scales_rate() {
+        let m = NicPerfModel::new(NicConfig::bluefield2().with_nics(2));
+        assert!((m.message_rate(78) - 220e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_rate_append_batching() {
+        let m = NicPerfModel::new(NicConfig::bluefield2());
+        // Batch of 16 4B events: 64B payload -> 142B wire.
+        let rate = m.report_rate(142, 16.0, 1.0);
+        assert!(rate > 1.0e9, "batch-16 append should exceed 1B rps, got {rate}");
+    }
+
+    #[test]
+    fn report_rate_redundancy_divides() {
+        let m = NicPerfModel::new(NicConfig::bluefield2());
+        let n1 = m.report_rate(78, 1.0, 1.0);
+        let n4 = m.report_rate(78, 1.0, 4.0);
+        assert!((n1 / n4 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! Reliable-connection queue pairs.
+//!
+//! RoCE RC transport requires every packet arriving at a QP to carry the
+//! *expected* packet sequence number. This is the property that makes
+//! "several switches sharing the same queue pair" impractical — "RDMA
+//! imposes the assumption that every packet received at the collector has a
+//! strictly sequential ID, which is impractical for a distributed network of
+//! switches" (§3). Centralizing RDMA generation in the translator gives a
+//! single PSN domain per collector QP; the translator keeps "SRAM storage
+//! for the queue pair packet sequence numbers" (§5.2).
+
+/// QP lifecycle states (subset of the IB state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Created, not yet connected.
+    Init,
+    /// Ready to receive.
+    Rtr,
+    /// Ready to send (fully connected).
+    Rts,
+    /// Error: a fatal sequence/protection violation occurred.
+    Error,
+}
+
+/// QP-level receive errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpError {
+    /// Packet PSN is ahead of expected: a gap means loss; responder NAKs.
+    OutOfOrder {
+        /// Expected PSN.
+        expected: u32,
+        /// Received PSN.
+        got: u32,
+    },
+    /// Packet PSN already consumed (duplicate); silently dropped.
+    Duplicate(u32),
+    /// QP not in a receiving state.
+    BadState(QpState),
+}
+
+const PSN_MASK: u32 = 0x00FF_FFFF;
+/// Half the PSN space; distinguishes "old duplicate" from "future" PSNs.
+const PSN_HALF: u32 = 0x0080_0000;
+
+/// One side of a reliable connection.
+#[derive(Debug, Clone)]
+pub struct QueuePair {
+    /// Local QP number.
+    pub qpn: u32,
+    /// Remote QP number (valid from RTR).
+    pub dest_qpn: u32,
+    /// State.
+    pub state: QpState,
+    /// Next PSN to use when sending.
+    send_psn: u32,
+    /// Next PSN expected when receiving.
+    expect_psn: u32,
+    /// Count of NAKs generated.
+    pub naks: u64,
+    /// Count of duplicates dropped.
+    pub duplicates: u64,
+    /// Count of packets accepted in order.
+    pub accepted: u64,
+}
+
+impl QueuePair {
+    /// Create a QP in the INIT state.
+    pub fn new(qpn: u32) -> Self {
+        QueuePair {
+            qpn,
+            dest_qpn: 0,
+            state: QpState::Init,
+            send_psn: 0,
+            expect_psn: 0,
+            naks: 0,
+            duplicates: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Transition INIT -> RTR with the remote QPN and its starting PSN.
+    pub fn to_rtr(&mut self, dest_qpn: u32, remote_start_psn: u32) {
+        assert_eq!(self.state, QpState::Init, "RTR requires INIT");
+        self.dest_qpn = dest_qpn;
+        self.expect_psn = remote_start_psn & PSN_MASK;
+        self.state = QpState::Rtr;
+    }
+
+    /// Transition RTR -> RTS with our starting PSN.
+    pub fn to_rts(&mut self, local_start_psn: u32) {
+        assert_eq!(self.state, QpState::Rtr, "RTS requires RTR");
+        self.send_psn = local_start_psn & PSN_MASK;
+        self.state = QpState::Rts;
+    }
+
+    /// Allocate the PSN for the next outgoing packet.
+    pub fn next_send_psn(&mut self) -> u32 {
+        let psn = self.send_psn;
+        self.send_psn = (self.send_psn + 1) & PSN_MASK;
+        psn
+    }
+
+    /// PSN the receiver currently expects.
+    pub fn expected_psn(&self) -> u32 {
+        self.expect_psn
+    }
+
+    /// Validate an inbound packet's PSN. On success the expected PSN
+    /// advances.
+    pub fn receive(&mut self, psn: u32) -> Result<(), QpError> {
+        if !matches!(self.state, QpState::Rtr | QpState::Rts) {
+            return Err(QpError::BadState(self.state));
+        }
+        let psn = psn & PSN_MASK;
+        if psn == self.expect_psn {
+            self.expect_psn = (self.expect_psn + 1) & PSN_MASK;
+            self.accepted += 1;
+            return Ok(());
+        }
+        // Window arithmetic in the 24-bit circular space.
+        let delta = psn.wrapping_sub(self.expect_psn) & PSN_MASK;
+        if delta < PSN_HALF {
+            self.naks += 1;
+            Err(QpError::OutOfOrder { expected: self.expect_psn, got: psn })
+        } else {
+            self.duplicates += 1;
+            Err(QpError::Duplicate(psn))
+        }
+    }
+
+    /// Resynchronize the receive side to `psn` (the translator's "RDMA
+    /// queue-pair resynchronization" path after a loss event, §5.2).
+    pub fn resync(&mut self, psn: u32) {
+        self.expect_psn = psn & PSN_MASK;
+    }
+
+    /// Resynchronize the send side to `psn` — used by the requester when a
+    /// NAK reports the responder's expected PSN. DTA is best-effort: the
+    /// lost operations are not replayed, but the PSN stream realigns so the
+    /// connection keeps flowing.
+    pub fn resync_send(&mut self, psn: u32) {
+        self.send_psn = psn & PSN_MASK;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected_pair() -> (QueuePair, QueuePair) {
+        let mut a = QueuePair::new(1);
+        let mut b = QueuePair::new(2);
+        a.to_rtr(2, 100);
+        a.to_rts(50);
+        b.to_rtr(1, 50);
+        b.to_rts(100);
+        (a, b)
+    }
+
+    #[test]
+    fn in_order_stream_accepted() {
+        let (mut a, mut b) = connected_pair();
+        for _ in 0..100 {
+            let psn = a.next_send_psn();
+            b.receive(psn).unwrap();
+        }
+        assert_eq!(b.accepted, 100);
+        assert_eq!(b.naks + b.duplicates, 0);
+    }
+
+    #[test]
+    fn gap_generates_nak() {
+        let (mut a, mut b) = connected_pair();
+        let _lost = a.next_send_psn();
+        let next = a.next_send_psn();
+        assert!(matches!(
+            b.receive(next),
+            Err(QpError::OutOfOrder { expected: 50, got: 51 })
+        ));
+        assert_eq!(b.naks, 1);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let (mut a, mut b) = connected_pair();
+        let psn = a.next_send_psn();
+        b.receive(psn).unwrap();
+        assert!(matches!(b.receive(psn), Err(QpError::Duplicate(50))));
+        assert_eq!(b.duplicates, 1);
+    }
+
+    #[test]
+    fn resync_recovers_after_loss() {
+        let (mut a, mut b) = connected_pair();
+        let _lost = a.next_send_psn();
+        let p2 = a.next_send_psn();
+        assert!(b.receive(p2).is_err());
+        // Translator resyncs the expected PSN past the hole.
+        b.resync(p2);
+        assert!(b.receive(p2).is_ok());
+        let p3 = a.next_send_psn();
+        assert!(b.receive(p3).is_ok());
+    }
+
+    #[test]
+    fn psn_wraps_at_24_bits() {
+        let mut a = QueuePair::new(1);
+        a.to_rtr(2, 0);
+        a.to_rts(PSN_MASK); // last PSN in the space
+        assert_eq!(a.next_send_psn(), PSN_MASK);
+        assert_eq!(a.next_send_psn(), 0);
+    }
+
+    #[test]
+    fn receive_in_init_rejected() {
+        let mut q = QueuePair::new(1);
+        assert!(matches!(q.receive(0), Err(QpError::BadState(QpState::Init))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rts_requires_rtr() {
+        let mut q = QueuePair::new(1);
+        q.to_rts(0);
+    }
+
+    #[test]
+    fn wraparound_duplicate_classified_correctly() {
+        let mut b = QueuePair::new(2);
+        b.to_rtr(1, 5);
+        // PSN 4 is "one behind": a duplicate, not a future gap.
+        assert!(matches!(b.receive(4), Err(QpError::Duplicate(4))));
+    }
+}

@@ -1,0 +1,153 @@
+//! Verb-level operations and completions.
+
+use bytes::Bytes;
+
+use crate::packet::{Reth, RocePacket};
+use crate::qp::QueuePair;
+
+/// A verb-level RDMA operation, before transport encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaOp {
+    /// One-sided write of `data` to `(rkey, va)`.
+    Write {
+        /// Target region key.
+        rkey: u32,
+        /// Target virtual address.
+        va: u64,
+        /// Bytes to write.
+        data: Bytes,
+    },
+    /// One-sided write that also raises a completion with immediate data at
+    /// the responder (DTA's push-notification path, §7).
+    WriteImm {
+        /// Target region key.
+        rkey: u32,
+        /// Target virtual address.
+        va: u64,
+        /// Bytes to write.
+        data: Bytes,
+        /// Immediate value delivered to the responder CPU.
+        imm: u32,
+    },
+    /// 64-bit fetch-and-add at `(rkey, va)`.
+    FetchAdd {
+        /// Target region key.
+        rkey: u32,
+        /// Target virtual address (8-byte aligned).
+        va: u64,
+        /// Addend.
+        add: u64,
+    },
+    /// Two-sided send (metadata advertisement).
+    Send {
+        /// Message payload.
+        data: Bytes,
+    },
+}
+
+impl RdmaOp {
+    /// Encode this op as the next packet on `qp` (allocates a PSN).
+    pub fn into_packet(self, qp: &mut QueuePair) -> RocePacket {
+        let psn = qp.next_send_psn();
+        let dqpn = qp.dest_qpn;
+        match self {
+            RdmaOp::Write { rkey, va, data } => RocePacket::write(
+                dqpn,
+                psn,
+                Reth { va, rkey, dma_len: data.len() as u32 },
+                data,
+            ),
+            RdmaOp::WriteImm { rkey, va, data, imm } => RocePacket::write_imm(
+                dqpn,
+                psn,
+                Reth { va, rkey, dma_len: data.len() as u32 },
+                imm,
+                data,
+            ),
+            RdmaOp::FetchAdd { rkey, va, add } => RocePacket::fetch_add(dqpn, psn, va, rkey, add),
+            RdmaOp::Send { data } => RocePacket::send(dqpn, psn, data),
+        }
+    }
+
+    /// Wire size this op will occupy (for NIC/line-rate models) — full
+    /// RoCEv2 frame including Eth/IP/UDP.
+    pub fn wire_len(&self) -> usize {
+        use crate::packet::{AtomicEth, Bth, ImmDt};
+        let overhead = dta_core::framing::UDP_FRAME_OVERHEAD + Bth::LEN + 4; // +ICRC
+        match self {
+            RdmaOp::Write { data, .. } => overhead + Reth::LEN + data.len(),
+            RdmaOp::WriteImm { data, .. } => overhead + Reth::LEN + ImmDt::LEN + data.len(),
+            RdmaOp::FetchAdd { .. } => overhead + AtomicEth::LEN,
+            RdmaOp::Send { data } => overhead + data.len(),
+        }
+    }
+}
+
+/// Completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcStatus {
+    /// Operation executed.
+    Success,
+    /// Remote access error (bad rkey / bounds).
+    RemoteAccessError,
+    /// Sequence error (NAK).
+    SequenceError,
+}
+
+/// A work completion surfaced to the collector CPU.
+///
+/// One-sided WRITEs complete invisibly; only SENDs and WRITE-with-immediate
+/// raise completions at the responder — this is exactly the paper's
+/// observation that the CPU "must first find out if new data has been
+/// written into the memory" unless the immediate flag is used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkCompletion {
+    /// QP the completion arrived on.
+    pub qpn: u32,
+    /// Status.
+    pub status: WcStatus,
+    /// Immediate data, when present.
+    pub imm: Option<u32>,
+    /// Payload for SENDs (metadata messages).
+    pub payload: Bytes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rts_qp() -> QueuePair {
+        let mut qp = QueuePair::new(7);
+        qp.to_rtr(9, 0);
+        qp.to_rts(1000);
+        qp
+    }
+
+    #[test]
+    fn write_op_consumes_psn() {
+        let mut qp = rts_qp();
+        let p1 = RdmaOp::Write { rkey: 1, va: 0, data: Bytes::from_static(&[0; 4]) }
+            .into_packet(&mut qp);
+        let p2 = RdmaOp::Write { rkey: 1, va: 4, data: Bytes::from_static(&[0; 4]) }
+            .into_packet(&mut qp);
+        assert_eq!(p1.bth.psn, 1000);
+        assert_eq!(p2.bth.psn, 1001);
+        assert_eq!(p1.bth.dest_qp, 9);
+    }
+
+    #[test]
+    fn wire_len_matches_encoded() {
+        let mut qp = rts_qp();
+        let ops = [
+            RdmaOp::Write { rkey: 1, va: 0, data: Bytes::from_static(&[0; 16]) },
+            RdmaOp::WriteImm { rkey: 1, va: 0, data: Bytes::from_static(&[0; 8]), imm: 3 },
+            RdmaOp::FetchAdd { rkey: 1, va: 0, add: 1 },
+            RdmaOp::Send { data: Bytes::from_static(b"hello") },
+        ];
+        for op in ops {
+            let expect = op.wire_len();
+            let pkt = op.into_packet(&mut qp);
+            assert_eq!(pkt.wire_len(), expect);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Reporter hardware footprints (Figure 9).
+//!
+//! "We compared the hardware costs associated with generating DTA reports
+//! against either directly emitting RDMA calls from switches, or creating
+//! UDP-based messages ... DTA is as lightweight as UDP, while RDMA
+//! generation is much more expensive" — roughly half the footprint of the
+//! RDMA reporter across the six resource classes.
+//!
+//! The decomposition: every reporter carries the INT-XD monitoring logic and
+//! an export path. The UDP export path adds header crafting only; DTA adds
+//! the same plus two small fixed headers; RDMA adds RoCEv2 crafting, QP/PSN
+//! state, ICRC-able checksum handling, and connection metadata tables.
+
+use dta_switch::ResourceVector;
+
+/// The three reporter variants of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReporterKind {
+    /// Switch generates RoCEv2 itself (the strawman of §3).
+    Rdma,
+    /// DTA's lightweight protocol (the proposed design).
+    Dta,
+    /// Plain UDP telemetry export (the legacy baseline).
+    Udp,
+}
+
+impl ReporterKind {
+    /// All variants in Figure 9 order.
+    pub const ALL: [ReporterKind; 3] = [ReporterKind::Rdma, ReporterKind::Dta, ReporterKind::Udp];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReporterKind::Rdma => "RDMA",
+            ReporterKind::Dta => "DTA",
+            ReporterKind::Udp => "UDP",
+        }
+    }
+}
+
+/// The INT-XD monitoring logic common to all three reporters ("a switch
+/// implementing a simple INT-XD system", §6.3).
+fn int_xd_base() -> ResourceVector {
+    ResourceVector {
+        sram: 3.4,
+        match_xbar: 3.2,
+        table_ids: 7.0,
+        hash_dist: 2.2,
+        ternary_bus: 4.2,
+        stateful_alu: 4.2,
+    }
+}
+
+/// UDP export path: IP/UDP header crafting and forwarding entries.
+fn udp_export() -> ResourceVector {
+    ResourceVector {
+        sram: 1.0,
+        match_xbar: 1.6,
+        table_ids: 3.0,
+        hash_dist: 0.8,
+        ternary_bus: 2.0,
+        stateful_alu: 2.0,
+    }
+}
+
+/// DTA's additional cost over UDP: the 8B DTA header + sub-header fields
+/// (barely measurable: "an almost identical resource footprint to UDP").
+fn dta_extra() -> ResourceVector {
+    ResourceVector {
+        sram: 0.1,
+        match_xbar: 0.3,
+        table_ids: 1.0,
+        hash_dist: 0.0,
+        ternary_bus: 0.3,
+        stateful_alu: 0.0,
+    }
+}
+
+/// RDMA generation: RoCEv2 crafting, per-QP PSN registers, rkey/address
+/// metadata tables, redundancy hashing — the cost DTA moves into the
+/// translator.
+fn rdma_extra() -> ResourceVector {
+    ResourceVector {
+        sram: 4.6,
+        match_xbar: 5.2,
+        table_ids: 10.0,
+        hash_dist: 3.2,
+        ternary_bus: 6.5,
+        stateful_alu: 6.6,
+    }
+}
+
+/// Total footprint of a reporter variant.
+pub fn reporter_footprint(kind: ReporterKind) -> ResourceVector {
+    let base = int_xd_base();
+    match kind {
+        ReporterKind::Udp => base + udp_export(),
+        ReporterKind::Dta => base + udp_export() + dta_extra(),
+        ReporterKind::Rdma => base + udp_export() + rdma_extra(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_switch::ResourceClass;
+
+    #[test]
+    fn dta_is_almost_identical_to_udp() {
+        let dta = reporter_footprint(ReporterKind::Dta);
+        let udp = reporter_footprint(ReporterKind::Udp);
+        for c in ResourceClass::ALL {
+            let delta = dta.get(c) - udp.get(c);
+            assert!(
+                (0.0..=1.0).contains(&delta),
+                "{}: DTA {} vs UDP {}",
+                c.label(),
+                dta.get(c),
+                udp.get(c)
+            );
+        }
+    }
+
+    #[test]
+    fn dta_halves_rdma_footprint() {
+        // "DTA halves the resource footprint of reporters compared with
+        // RDMA-generating alternatives."
+        let dta = reporter_footprint(ReporterKind::Dta);
+        let rdma = reporter_footprint(ReporterKind::Rdma);
+        let dta_total: f64 = ResourceClass::ALL.iter().map(|c| dta.get(*c)).sum();
+        let rdma_total: f64 = ResourceClass::ALL.iter().map(|c| rdma.get(*c)).sum();
+        let ratio = dta_total / rdma_total;
+        assert!((0.45..=0.65).contains(&ratio), "DTA/RDMA ratio {ratio}");
+    }
+
+    #[test]
+    fn rdma_dominates_in_every_class() {
+        let dta = reporter_footprint(ReporterKind::Dta);
+        let rdma = reporter_footprint(ReporterKind::Rdma);
+        for c in ResourceClass::ALL {
+            assert!(rdma.get(c) >= dta.get(c), "{} regressed", c.label());
+        }
+    }
+
+    #[test]
+    fn all_variants_fit_the_chip() {
+        for k in ReporterKind::ALL {
+            assert!(reporter_footprint(k).fits());
+        }
+    }
+}

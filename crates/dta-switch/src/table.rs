@@ -1,0 +1,102 @@
+//! Exact-match match-action tables.
+//!
+//! The translator keeps "lookup tables filled with RDMA metadata" (§5.2) —
+//! per-collector QP numbers, rkeys, base addresses — installed by the switch
+//! CPU. We model an exact-match table with bounded capacity; lookups are
+//! counted toward the match-crossbar budget.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A capacity-bounded exact-match table.
+#[derive(Debug, Clone)]
+pub struct ExactTable<K: Eq + Hash + Clone, A: Clone> {
+    entries: HashMap<K, A>,
+    capacity: usize,
+    /// Lookups performed (hit or miss).
+    pub lookups: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, A: Clone> ExactTable<K, A> {
+    /// Table with room for `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ExactTable { entries: HashMap::new(), capacity, lookups: 0, misses: 0 }
+    }
+
+    /// Install or update an entry (control-plane write).
+    ///
+    /// Returns `false` when the table is full and the key is new.
+    pub fn insert(&mut self, key: K, action: A) -> bool {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(key, action);
+        true
+    }
+
+    /// Data-plane lookup.
+    pub fn lookup(&mut self, key: &K) -> Option<A> {
+        self.lookups += 1;
+        let hit = self.entries.get(key).cloned();
+        if hit.is_none() {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> Option<A> {
+        self.entries.remove(key)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = ExactTable::new(4);
+        assert!(t.insert("qp1", 100u32));
+        assert_eq!(t.lookup(&"qp1"), Some(100));
+        assert_eq!(t.lookup(&"qp2"), None);
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn capacity_enforced_for_new_keys_only() {
+        let mut t = ExactTable::new(2);
+        assert!(t.insert(1, 'a'));
+        assert!(t.insert(2, 'b'));
+        assert!(!t.insert(3, 'c'), "table full");
+        assert!(t.insert(1, 'z'), "updates always allowed");
+        assert_eq!(t.lookup(&1), Some('z'));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut t = ExactTable::new(1);
+        t.insert(1, ());
+        assert!(!t.insert(2, ()));
+        t.remove(&1);
+        assert!(t.insert(2, ()));
+    }
+}

@@ -1,0 +1,296 @@
+//! INT-MD wire format (Telemetry Report / INT metadata stack).
+//!
+//! The P4.org telemetry report specification \[21\] defines how INT metadata
+//! accumulates in packets: a 12-byte INT-MD header (version, hop count,
+//! instruction bitmap, remaining-hop budget) followed by one fixed-size
+//! metadata word per instruction per hop. "The INT standard requires that
+//! each value is reported using exactly four bytes" — which is exactly the
+//! constraint DTA's Postcarding slot width inherits.
+//!
+//! DTA sinks parse this stack to produce their reports; implementing the
+//! real format means the reporter exercises genuine INT parsing, not a
+//! synthetic shortcut.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dta_core::report::ReportError;
+
+/// INT instruction bits (subset of the spec's bitmap, MSB-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntInstructions(pub u16);
+
+impl IntInstructions {
+    /// Bit 0: switch ID.
+    pub const SWITCH_ID: u16 = 0x8000;
+    /// Bit 1: ingress+egress port IDs.
+    pub const PORT_IDS: u16 = 0x4000;
+    /// Bit 2: hop latency.
+    pub const HOP_LATENCY: u16 = 0x2000;
+    /// Bit 3: queue ID + occupancy.
+    pub const QUEUE_OCCUPANCY: u16 = 0x1000;
+
+    /// Number of 4-byte metadata words each hop pushes.
+    pub fn words_per_hop(self) -> usize {
+        (self.0 & 0xF000).count_ones() as usize
+    }
+
+    /// Whether an instruction bit is requested.
+    pub fn has(self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+}
+
+/// The INT-MD shim + metadata header (12 bytes in the v2.0 report spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntMdHeader {
+    /// Spec version (2 for v2.0).
+    pub version: u8,
+    /// Per-hop metadata length in 4-byte words.
+    pub hop_ml: u8,
+    /// Remaining hop budget (decremented per hop; 0 = stop inserting).
+    pub remaining_hops: u8,
+    /// Instruction bitmap.
+    pub instructions: IntInstructions,
+}
+
+impl IntMdHeader {
+    /// Encoded size.
+    pub const LEN: usize = 12;
+
+    /// Header requesting `instructions` over at most `max_hops` hops.
+    pub fn new(instructions: IntInstructions, max_hops: u8) -> Self {
+        IntMdHeader {
+            version: 2,
+            hop_ml: instructions.words_per_hop() as u8,
+            remaining_hops: max_hops,
+            instructions,
+        }
+    }
+
+    /// Serialize.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.version << 4);
+        buf.put_u8(0); // flags (D/E/M) unused here
+        buf.put_u8(self.hop_ml);
+        buf.put_u8(self.remaining_hops);
+        buf.put_u16(self.instructions.0);
+        buf.put_u16(0); // domain-specific ID
+        buf.put_u32(0); // domain-specific instructions/flags
+    }
+
+    /// Deserialize.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, ReportError> {
+        if buf.remaining() < Self::LEN {
+            return Err(ReportError::Truncated { need: Self::LEN, have: buf.remaining() });
+        }
+        let version = buf.get_u8() >> 4;
+        if version != 2 {
+            return Err(ReportError::BadVersion(version));
+        }
+        let _flags = buf.get_u8();
+        let hop_ml = buf.get_u8();
+        let remaining_hops = buf.get_u8();
+        let instructions = IntInstructions(buf.get_u16());
+        let _ds_id = buf.get_u16();
+        let _ds_instr = buf.get_u32();
+        Ok(IntMdHeader { version, hop_ml, remaining_hops, instructions })
+    }
+}
+
+/// One hop's metadata, as pushed by a transit switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HopMetadata {
+    /// Switch ID (present iff requested).
+    pub switch_id: Option<u32>,
+    /// Packed ingress(16) | egress(16) ports.
+    pub ports: Option<u32>,
+    /// Hop latency in ns.
+    pub hop_latency: Option<u32>,
+    /// Packed queue id(8) | occupancy(24).
+    pub queue: Option<u32>,
+}
+
+impl HopMetadata {
+    /// Serialize in instruction-bitmap order.
+    pub fn encode<B: BufMut>(&self, instr: IntInstructions, buf: &mut B) {
+        if instr.has(IntInstructions::SWITCH_ID) {
+            buf.put_u32(self.switch_id.unwrap_or(0));
+        }
+        if instr.has(IntInstructions::PORT_IDS) {
+            buf.put_u32(self.ports.unwrap_or(0));
+        }
+        if instr.has(IntInstructions::HOP_LATENCY) {
+            buf.put_u32(self.hop_latency.unwrap_or(0));
+        }
+        if instr.has(IntInstructions::QUEUE_OCCUPANCY) {
+            buf.put_u32(self.queue.unwrap_or(0));
+        }
+    }
+
+    /// Deserialize in instruction-bitmap order.
+    pub fn decode<B: Buf>(instr: IntInstructions, buf: &mut B) -> Result<Self, ReportError> {
+        let need = instr.words_per_hop() * 4;
+        if buf.remaining() < need {
+            return Err(ReportError::Truncated { need, have: buf.remaining() });
+        }
+        let mut md = HopMetadata::default();
+        if instr.has(IntInstructions::SWITCH_ID) {
+            md.switch_id = Some(buf.get_u32());
+        }
+        if instr.has(IntInstructions::PORT_IDS) {
+            md.ports = Some(buf.get_u32());
+        }
+        if instr.has(IntInstructions::HOP_LATENCY) {
+            md.hop_latency = Some(buf.get_u32());
+        }
+        if instr.has(IntInstructions::QUEUE_OCCUPANCY) {
+            md.queue = Some(buf.get_u32());
+        }
+        Ok(md)
+    }
+}
+
+/// A full INT metadata stack as it arrives at the sink: header + newest-
+/// first per-hop metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntStack {
+    /// The MD header.
+    pub header: IntMdHeader,
+    /// Per-hop metadata, hop 0 (first switch) first.
+    pub hops: Vec<HopMetadata>,
+}
+
+impl IntStack {
+    /// Start an empty stack at the INT source.
+    pub fn source(instructions: IntInstructions, max_hops: u8) -> Self {
+        IntStack { header: IntMdHeader::new(instructions, max_hops), hops: Vec::new() }
+    }
+
+    /// A transit switch pushes its metadata (decrementing the hop budget);
+    /// returns false when the budget is exhausted (the switch forwards
+    /// without inserting, per the spec's E-bit behaviour).
+    pub fn push_hop(&mut self, md: HopMetadata) -> bool {
+        if self.header.remaining_hops == 0 {
+            return false;
+        }
+        self.header.remaining_hops -= 1;
+        self.hops.push(md);
+        true
+    }
+
+    /// Serialize the full stack.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            IntMdHeader::LEN + self.hops.len() * self.header.hop_ml as usize * 4,
+        );
+        self.header.encode(&mut buf);
+        // On the wire the newest hop is on top (LIFO); the sink reverses.
+        for hop in self.hops.iter().rev() {
+            hop.encode(self.header.instructions, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Parse a stack at the sink. `total_hops` is recovered from the stack
+    /// length and `hop_ml`.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ReportError> {
+        let header = IntMdHeader::decode(&mut buf)?;
+        let per_hop = header.hop_ml as usize * 4;
+        if per_hop == 0 {
+            return Ok(IntStack { header, hops: Vec::new() });
+        }
+        if buf.remaining() % per_hop != 0 {
+            return Err(ReportError::Truncated { need: per_hop, have: buf.remaining() % per_hop });
+        }
+        let mut hops = Vec::with_capacity(buf.remaining() / per_hop);
+        while buf.has_remaining() {
+            hops.push(HopMetadata::decode(header.instructions, &mut buf)?);
+        }
+        hops.reverse(); // wire order is newest-first
+        Ok(IntStack { header, hops })
+    }
+
+    /// Extract the switch-ID path (what INT-MD path tracing reports via
+    /// Key-Write).
+    pub fn switch_path(&self) -> Vec<u32> {
+        self.hops.iter().filter_map(|h| h.switch_id).collect()
+    }
+
+    /// Sum of per-hop latencies (the §7 end-to-end delay query input).
+    pub fn total_latency(&self) -> u64 {
+        self.hops.iter().filter_map(|h| h.hop_latency).map(u64::from).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_instr() -> IntInstructions {
+        IntInstructions(
+            IntInstructions::SWITCH_ID
+                | IntInstructions::HOP_LATENCY
+                | IntInstructions::QUEUE_OCCUPANCY,
+        )
+    }
+
+    #[test]
+    fn stack_accumulates_and_roundtrips() {
+        let mut stack = IntStack::source(full_instr(), 8);
+        for hop in 0..5u32 {
+            assert!(stack.push_hop(HopMetadata {
+                switch_id: Some(100 + hop),
+                hop_latency: Some(10 * hop),
+                queue: Some(hop),
+                ports: None,
+            }));
+        }
+        let wire = stack.encode();
+        let parsed = IntStack::decode(wire).unwrap();
+        assert_eq!(parsed, stack);
+        assert_eq!(parsed.switch_path(), vec![100, 101, 102, 103, 104]);
+        assert_eq!(parsed.total_latency(), 10 + 20 + 30 + 40);
+    }
+
+    #[test]
+    fn hop_budget_enforced() {
+        let mut stack = IntStack::source(full_instr(), 2);
+        assert!(stack.push_hop(HopMetadata::default()));
+        assert!(stack.push_hop(HopMetadata::default()));
+        assert!(!stack.push_hop(HopMetadata::default()), "budget exhausted");
+        assert_eq!(stack.hops.len(), 2);
+    }
+
+    #[test]
+    fn words_per_hop_matches_bitmap() {
+        assert_eq!(full_instr().words_per_hop(), 3);
+        assert_eq!(IntInstructions(IntInstructions::SWITCH_ID).words_per_hop(), 1);
+        assert_eq!(IntInstructions(0).words_per_hop(), 0);
+    }
+
+    #[test]
+    fn five_hop_switch_id_stack_is_20_bytes_of_metadata() {
+        // The paper's 20B path-tracing payload: 5 hops x 4B switch IDs.
+        let instr = IntInstructions(IntInstructions::SWITCH_ID);
+        let mut stack = IntStack::source(instr, 5);
+        for i in 0..5 {
+            stack.push_hop(HopMetadata { switch_id: Some(i), ..HopMetadata::default() });
+        }
+        assert_eq!(stack.encode().len(), IntMdHeader::LEN + 20);
+    }
+
+    #[test]
+    fn truncated_stack_rejected() {
+        let mut stack = IntStack::source(full_instr(), 5);
+        stack.push_hop(HopMetadata { switch_id: Some(1), ..HopMetadata::default() });
+        let wire = stack.encode();
+        let short = wire.slice(0..wire.len() - 3);
+        assert!(IntStack::decode(short).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut stack = IntStack::source(full_instr(), 5).encode().to_vec();
+        stack[0] = 0x10; // version 1
+        assert!(IntStack::decode(Bytes::from(stack)).is_err());
+    }
+}

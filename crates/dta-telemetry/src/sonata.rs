@@ -1,0 +1,112 @@
+//! Sonata: query-driven streaming telemetry (Table 2).
+//!
+//! Sonata partitions queries between switches and stream processors. Two
+//! DTA integrations:
+//! * per-query results — "reporting fixed-size network query results using
+//!   queryID keys" (Key-Write);
+//! * raw data transfer — "appending query-specific packet tuples from
+//!   switches to lists at streaming processors" (Append).
+
+use dta_core::{DtaReport, TelemetryKey};
+
+use crate::traces::TracePacket;
+
+/// A Sonata query running partially on the switch.
+pub struct SonataQuery {
+    /// Query identifier (the Key-Write key).
+    pub query_id: u32,
+    /// Epoch length in nanoseconds (results export at epoch boundaries).
+    pub epoch_ns: u64,
+    /// Redundancy for result reports.
+    pub redundancy: u8,
+    epoch_start: u64,
+    /// In-epoch accumulator (e.g., a packet counter for a filter query).
+    accumulator: u64,
+    seq: u32,
+}
+
+impl SonataQuery {
+    /// New query with the given epoch.
+    pub fn new(query_id: u32, epoch_ns: u64, redundancy: u8) -> Self {
+        assert!(epoch_ns > 0);
+        SonataQuery { query_id, epoch_ns, redundancy, epoch_start: 0, accumulator: 0, seq: 0 }
+    }
+
+    /// Feed a packet that matched the query's filter. At an epoch boundary,
+    /// the epoch's result is exported under the query-ID key.
+    pub fn on_match(&mut self, pkt: &TracePacket) -> Option<DtaReport> {
+        let mut out = None;
+        if pkt.ts_ns >= self.epoch_start + self.epoch_ns && self.accumulator > 0 {
+            self.seq = self.seq.wrapping_add(1);
+            out = Some(DtaReport::key_write(
+                self.seq,
+                TelemetryKey::query_id(self.query_id),
+                self.redundancy,
+                self.accumulator.to_be_bytes().to_vec(),
+            ));
+            self.accumulator = 0;
+            self.epoch_start = pkt.ts_ns - pkt.ts_ns % self.epoch_ns;
+        }
+        self.accumulator += 1;
+        out
+    }
+}
+
+/// Sonata raw-tuple mirroring to a stream processor's list.
+pub struct SonataRawTransfer {
+    /// Target list at the streaming processor.
+    pub list_id: u32,
+    seq: u32,
+}
+
+impl SonataRawTransfer {
+    /// New raw-transfer channel.
+    pub fn new(list_id: u32) -> Self {
+        SonataRawTransfer { list_id, seq: 0 }
+    }
+
+    /// Mirror one matched packet's tuple.
+    pub fn on_match(&mut self, pkt: &TracePacket) -> DtaReport {
+        self.seq = self.seq.wrapping_add(1);
+        DtaReport::append(self.seq, self.list_id, pkt.flow.encode().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::FlowTuple;
+
+    fn pkt(ts: u64) -> TracePacket {
+        TracePacket {
+            ts_ns: ts,
+            flow: FlowTuple::tcp(1, 2, 3, 4),
+            size: 64,
+            last_of_flow: false,
+        }
+    }
+
+    #[test]
+    fn results_export_at_epoch_boundaries() {
+        let mut q = SonataQuery::new(7, 1000, 2);
+        assert!(q.on_match(&pkt(0)).is_none());
+        assert!(q.on_match(&pkt(500)).is_none());
+        let r = q.on_match(&pkt(1500)).expect("epoch result");
+        assert_eq!(r.payload, 2u64.to_be_bytes().to_vec());
+        // Accumulator restarted: next epoch counts from the boundary packet.
+        let r2 = q.on_match(&pkt(2600)).expect("second epoch");
+        assert_eq!(r2.payload, 1u64.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn raw_transfer_mirrors_tuples() {
+        let mut t = SonataRawTransfer::new(3);
+        let r = t.on_match(&pkt(0));
+        assert_eq!(r.payload.len(), FlowTuple::ENCODED_LEN);
+        if let dta_core::PrimitiveHeader::Append(h) = r.primitive {
+            assert_eq!(h.list_id, 3);
+        } else {
+            panic!("wrong primitive");
+        }
+    }
+}

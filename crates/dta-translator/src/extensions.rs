@@ -1,0 +1,172 @@
+//! Query-enhancing translator extensions (§7).
+//!
+//! "In some cases, queries may be known ahead of time, in which case our
+//! translator can aid in their processing. For example, while switches can
+//! measure the queuing latency of a flow, we are often interested in knowing
+//! the end to end delay, which can be expressed as:
+//! `SELECT flowID, path WHERE SUM(latency) > T`.
+//! Knowing the query ahead of time, our translator can wait for postcards
+//! from all switches through which the SYN packet of the flow was routed,
+//! sum their latency, and report it if it is over the threshold."
+
+use std::collections::HashMap;
+
+use dta_core::{DtaReport, TelemetryKey};
+
+/// A matched flow: its key, per-hop latencies, and the total that crossed
+/// the threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyMatch {
+    /// The flow that exceeded the threshold.
+    pub key: TelemetryKey,
+    /// Per-hop latencies (ns), in hop order.
+    pub per_hop: Vec<u32>,
+    /// The end-to-end sum.
+    pub total: u64,
+}
+
+/// The `SELECT flowID, path WHERE SUM(latency) > T` standing query,
+/// evaluated *at the translator* over intercepted latency postcards.
+pub struct LatencySumQuery {
+    /// Threshold `T` in nanoseconds.
+    pub threshold: u64,
+    /// Hop bound `B`.
+    pub hops: u8,
+    /// Append list matched flows are reported to.
+    pub report_list: u32,
+    pending: HashMap<TelemetryKey, Vec<Option<u32>>>,
+    seq: u32,
+    /// Flows evaluated (all hops seen).
+    pub evaluated: u64,
+    /// Flows that crossed the threshold.
+    pub matched: u64,
+}
+
+impl LatencySumQuery {
+    /// Standing query with threshold `threshold` ns.
+    pub fn new(threshold: u64, hops: u8, report_list: u32) -> Self {
+        assert!(hops >= 1);
+        LatencySumQuery {
+            threshold,
+            hops,
+            report_list,
+            pending: HashMap::new(),
+            seq: 0,
+            evaluated: 0,
+            matched: 0,
+        }
+    }
+
+    /// Feed one latency postcard `(flow, hop, latency_ns)`. When all `B`
+    /// hops of a flow have reported, the sum is evaluated; a match produces
+    /// an Append report for the operator's alert list and the match record.
+    pub fn on_postcard(
+        &mut self,
+        key: &TelemetryKey,
+        hop: u8,
+        path_len: u8,
+        latency_ns: u32,
+    ) -> Option<(LatencyMatch, DtaReport)> {
+        assert!(hop < self.hops);
+        let needed = if path_len == 0 { self.hops } else { path_len.min(self.hops) };
+        let entry = self.pending.entry(*key).or_insert_with(|| vec![None; self.hops as usize]);
+        entry[hop as usize] = Some(latency_ns);
+        let have = entry.iter().take(needed as usize).filter(|v| v.is_some()).count();
+        if have < needed as usize {
+            return None;
+        }
+        let per_hop: Vec<u32> = entry
+            .iter()
+            .take(needed as usize)
+            .map(|v| v.expect("counted above"))
+            .collect();
+        self.pending.remove(key);
+        self.evaluated += 1;
+        let total: u64 = per_hop.iter().map(|v| *v as u64).sum();
+        if total <= self.threshold {
+            return None;
+        }
+        self.matched += 1;
+        self.seq = self.seq.wrapping_add(1);
+        // Report: flow key (16B) + total latency (8B) into the alert list.
+        let mut payload = key.as_bytes().to_vec();
+        payload.extend_from_slice(&total.to_be_bytes());
+        let report = DtaReport::append(self.seq, self.report_list, payload);
+        Some((LatencyMatch { key: *key, per_hop, total }, report))
+    }
+
+    /// Flows with partially collected latencies (diagnostics).
+    pub fn pending_flows(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> TelemetryKey {
+        TelemetryKey::from_u64(i)
+    }
+
+    #[test]
+    fn sum_over_threshold_matches() {
+        let mut q = LatencySumQuery::new(1_000, 5, 9);
+        let k = key(1);
+        for hop in 0..4u8 {
+            assert!(q.on_postcard(&k, hop, 5, 100).is_none());
+        }
+        // 4x100 + 700 = 1100 > 1000.
+        let (m, report) = q.on_postcard(&k, 4, 5, 700).expect("must match");
+        assert_eq!(m.total, 1100);
+        assert_eq!(m.per_hop, vec![100, 100, 100, 100, 700]);
+        assert_eq!(q.matched, 1);
+        // The alert report carries key + total.
+        assert_eq!(&report.payload[..16], k.as_bytes());
+        assert_eq!(&report.payload[16..24], &1100u64.to_be_bytes());
+    }
+
+    #[test]
+    fn sum_under_threshold_is_silent() {
+        let mut q = LatencySumQuery::new(10_000, 5, 9);
+        let k = key(2);
+        for hop in 0..5u8 {
+            assert!(q.on_postcard(&k, hop, 5, 100).is_none());
+        }
+        assert_eq!(q.evaluated, 1);
+        assert_eq!(q.matched, 0);
+        assert_eq!(q.pending_flows(), 0, "evaluated flow must clear");
+    }
+
+    #[test]
+    fn short_paths_evaluate_at_their_length() {
+        let mut q = LatencySumQuery::new(150, 5, 9);
+        let k = key(3);
+        assert!(q.on_postcard(&k, 0, 2, 100).is_none());
+        let got = q.on_postcard(&k, 1, 2, 100);
+        assert!(got.is_some(), "2-hop path must evaluate at 2 hops");
+        assert_eq!(got.unwrap().0.total, 200);
+    }
+
+    #[test]
+    fn flows_evaluate_independently() {
+        let mut q = LatencySumQuery::new(100, 2, 9);
+        let a = key(10);
+        let b = key(11);
+        q.on_postcard(&a, 0, 2, 90);
+        q.on_postcard(&b, 0, 2, 10);
+        assert_eq!(q.pending_flows(), 2);
+        assert!(q.on_postcard(&a, 1, 2, 90).is_some()); // 180 > 100
+        assert!(q.on_postcard(&b, 1, 2, 10).is_none()); // 20 <= 100
+    }
+
+    #[test]
+    fn out_of_order_hops_still_evaluate() {
+        let mut q = LatencySumQuery::new(10, 3, 9);
+        let k = key(4);
+        assert!(q.on_postcard(&k, 2, 3, 5).is_none());
+        assert!(q.on_postcard(&k, 0, 3, 5).is_none());
+        let got = q.on_postcard(&k, 1, 3, 5).expect("complete");
+        assert_eq!(got.0.per_hop, vec![5, 5, 5]);
+    }
+}

@@ -1,0 +1,35 @@
+//! The DTA translator — the paper's core contribution.
+//!
+//! The translator is the collector's last-hop (ToR) switch. It intercepts
+//! DTA reports addressed to the collector, and converts them into standard
+//! RoCEv2 operations against the collector's registered memory, "completely
+//! substituting the DTA headers with the specific RoCEv2 headers required by
+//! the DTA operation" (§5.2). Along the way it:
+//!
+//! * generates the `N`-redundant copies for Key-Write / Key-Increment /
+//!   Postcarding through the multicast engine,
+//! * aggregates per-flow postcards in an SRAM cache so a 5-hop path costs a
+//!   single RDMA WRITE ([`postcard_cache`]),
+//! * batches Append entries so one WRITE carries `B` reports ([`append`]),
+//! * rate-limits RDMA generation toward congested collectors, optionally
+//!   NACKing reporters ([`ratelimit`]),
+//! * keeps per-QP packet sequence numbers and resynchronizes after NAKs,
+//! * and accounts its Tofino resource footprint ([`resources`], Table 3).
+
+pub mod append;
+pub mod extensions;
+pub mod node;
+pub mod partition;
+pub mod postcard_cache;
+pub mod ratelimit;
+pub mod resources;
+pub mod translator;
+
+pub use append::AppendBatcher;
+pub use extensions::{LatencyMatch, LatencySumQuery};
+pub use node::TranslatorNode;
+pub use partition::Partitioner;
+pub use postcard_cache::{CacheEmission, PostcardCache};
+pub use ratelimit::{RateLimiter, RateLimiterConfig};
+pub use resources::{translator_footprint, TranslatorFeatures};
+pub use translator::{Translator, TranslatorConfig, TranslatorOutput, TranslatorStats};

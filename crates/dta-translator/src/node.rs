@@ -1,0 +1,164 @@
+//! The translator as a simulated network node.
+//!
+//! Deployed as an *interceptor* on the collector's ToR: every packet
+//! transiting the switch is inspected; DTA reports (UDP port 40080) are
+//! translated into RoCEv2 packets toward the collector, RoCE responses
+//! (UDP port 4791) feed queue-pair resynchronization, and everything else is
+//! forwarded untouched ("basic user-traffic forwarding", §5.2).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dta_core::framing::UdpPacket;
+use dta_core::{DtaReport, DTA_UDP_PORT};
+use dta_net::{Emission, NetNode, NodeId, Packet, SimTime};
+use dta_rdma::packet::{RocePacket, ROCE_UDP_PORT};
+
+use crate::translator::Translator;
+
+/// UDP source port for NACKs returned to reporters.
+pub const DTA_NACK_PORT: u16 = 40081;
+/// Magic prefix of a NACK payload.
+pub const NACK_MAGIC: &[u8; 4] = b"DNAK";
+
+/// Encode a NACK payload for report sequence `seq`.
+pub fn encode_nack(seq: u32) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_slice(NACK_MAGIC);
+    b.put_u32(seq);
+    b.freeze()
+}
+
+/// Decode a NACK payload, returning the dropped report's sequence number.
+pub fn decode_nack(payload: &[u8]) -> Option<u32> {
+    if payload.len() == 8 && &payload[..4] == NACK_MAGIC {
+        Some(u32::from_be_bytes(payload[4..8].try_into().unwrap()))
+    } else {
+        None
+    }
+}
+
+/// Per-node counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslatorNodeStats {
+    /// DTA reports decoded.
+    pub dta_in: u64,
+    /// Malformed packets dropped.
+    pub malformed: u64,
+    /// Non-DTA packets forwarded.
+    pub forwarded: u64,
+    /// RoCE responses consumed.
+    pub roce_responses: u64,
+}
+
+/// The translator wrapped as a [`NetNode`].
+pub struct TranslatorNode {
+    /// The translation dataplane.
+    pub translator: Translator,
+    my_id: NodeId,
+    my_ip: u32,
+    collector_id: NodeId,
+    collector_ip: u32,
+    /// Counters.
+    pub stats: TranslatorNodeStats,
+}
+
+impl TranslatorNode {
+    /// Wrap `translator` at node `my_id`/`my_ip`, fronting the collector at
+    /// `collector_id`/`collector_ip`.
+    pub fn new(
+        translator: Translator,
+        my_id: NodeId,
+        my_ip: u32,
+        collector_id: NodeId,
+        collector_ip: u32,
+    ) -> Self {
+        TranslatorNode {
+            translator,
+            my_id,
+            my_ip,
+            collector_id,
+            collector_ip,
+            stats: TranslatorNodeStats::default(),
+        }
+    }
+
+    fn roce_to_emission(&self, roce: &RocePacket) -> Emission {
+        let udp = UdpPacket::frame(
+            self.my_ip,
+            ROCE_UDP_PORT,
+            self.collector_ip,
+            ROCE_UDP_PORT,
+            roce.encode(),
+        );
+        Emission::now(Packet::rdma(self.my_id, self.collector_id, udp.encode()))
+    }
+}
+
+impl NetNode for TranslatorNode {
+    fn receive(&mut self, now: SimTime, packet: Packet) -> Vec<Emission> {
+        let Ok(udp) = UdpPacket::decode(packet.payload.clone()) else {
+            self.stats.malformed += 1;
+            return Vec::new();
+        };
+        match udp.udp.dst_port {
+            DTA_UDP_PORT => {
+                let Ok(report) = DtaReport::decode(udp.payload.clone()) else {
+                    self.stats.malformed += 1;
+                    return Vec::new();
+                };
+                self.stats.dta_in += 1;
+                let reporter_ip = udp.ip.src;
+                let reporter_node = packet.src;
+                let out = self.translator.process(now.as_nanos(), &report);
+                let mut emissions: Vec<Emission> =
+                    out.packets.iter().map(|p| self.roce_to_emission(p)).collect();
+                if out.nack {
+                    let nack = UdpPacket::frame(
+                        self.my_ip,
+                        DTA_NACK_PORT,
+                        reporter_ip,
+                        udp.udp.src_port,
+                        encode_nack(report.header.seq),
+                    );
+                    emissions.push(Emission::now(Packet::new(
+                        self.my_id,
+                        reporter_node,
+                        nack.encode(),
+                    )));
+                }
+                emissions
+            }
+            ROCE_UDP_PORT => {
+                // A response from the collector (ACK/NAK).
+                if let Ok(roce) = RocePacket::decode(udp.payload.clone()) {
+                    self.stats.roce_responses += 1;
+                    self.translator.on_roce_response(&roce);
+                } else {
+                    self.stats.malformed += 1;
+                }
+                Vec::new()
+            }
+            _ => {
+                // User traffic: forward toward its destination untouched.
+                self.stats.forwarded += 1;
+                vec![Emission::now(packet)]
+            }
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) -> Vec<Emission> {
+        let out = self.translator.flush(now.as_nanos());
+        out.packets.iter().map(|p| self.roce_to_emission(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nack_roundtrip() {
+        assert_eq!(decode_nack(&encode_nack(0xDEAD_BEEF)), Some(0xDEAD_BEEF));
+        assert_eq!(decode_nack(b"bogus!!!"), None);
+        assert_eq!(decode_nack(b"DNAK"), None); // too short
+    }
+}

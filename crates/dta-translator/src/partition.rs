@@ -1,0 +1,101 @@
+//! Multi-collector partitioning.
+//!
+//! "It is beneficial to enable collection at multiple servers for
+//! scalability or resiliency. DTA can be deployed alongside multiple
+//! collectors and permit easy partitioning of reports based on the IP and
+//! DTA headers." (§7)
+//!
+//! The partitioner inspects exactly the fields a Tofino parser would have in
+//! headers — the primitive opcode and its key / list id — and picks a
+//! collector deterministically, so every report for the same key always
+//! lands on the same collector (a requirement for queryability).
+
+use dta_core::{DtaReport, PrimitiveHeader};
+use dta_hash::{Crc32, CrcParams};
+
+/// Deterministic report-to-collector partitioner.
+#[derive(Debug)]
+pub struct Partitioner {
+    collectors: u32,
+    hash: Crc32,
+}
+
+impl Partitioner {
+    /// Partitioner over `collectors` collectors.
+    ///
+    /// # Panics
+    /// Panics if `collectors` is zero.
+    pub fn new(collectors: u32) -> Self {
+        assert!(collectors > 0, "need at least one collector");
+        Partitioner { collectors, hash: Crc32::new(CrcParams::KOOPMAN) }
+    }
+
+    /// Number of collectors.
+    pub fn collectors(&self) -> u32 {
+        self.collectors
+    }
+
+    /// Collector index for a report.
+    pub fn route(&self, report: &DtaReport) -> u32 {
+        let digest = match &report.primitive {
+            PrimitiveHeader::KeyWrite(h) => self.hash.compute(h.key.as_bytes()),
+            PrimitiveHeader::KeyIncrement(h) => self.hash.compute(h.key.as_bytes()),
+            PrimitiveHeader::Postcarding(h) => self.hash.compute(h.key.as_bytes()),
+            PrimitiveHeader::Append(h) => self.hash.compute(&h.list_id.to_be_bytes()),
+        };
+        digest % self.collectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::TelemetryKey;
+
+    #[test]
+    fn same_key_same_collector() {
+        let p = Partitioner::new(4);
+        let k = TelemetryKey::from_u64(1);
+        let a = DtaReport::key_write(0, k, 2, vec![1; 4]);
+        let b = DtaReport::key_write(99, k, 1, vec![2; 4]);
+        assert_eq!(p.route(&a), p.route(&b), "same key must co-locate");
+    }
+
+    #[test]
+    fn postcards_colocate_with_their_flow() {
+        let p = Partitioner::new(8);
+        let k = TelemetryKey::from_u64(42);
+        let first = p.route(&DtaReport::postcard(0, k, 0, 5, 1));
+        for hop in 1..5 {
+            assert_eq!(p.route(&DtaReport::postcard(0, k, hop, 5, 1)), first);
+        }
+    }
+
+    #[test]
+    fn appends_partition_by_list() {
+        let p = Partitioner::new(4);
+        let a = p.route(&DtaReport::append(0, 7, vec![0; 4]));
+        let b = p.route(&DtaReport::append(1, 7, vec![1; 4]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_spreads_across_collectors() {
+        let p = Partitioner::new(4);
+        let mut counts = [0u32; 4];
+        for i in 0..4000u64 {
+            let r = DtaReport::key_write(0, TelemetryKey::from_u64(i), 1, vec![0; 4]);
+            counts[p.route(&r) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..=1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_collector_always_zero() {
+        let p = Partitioner::new(1);
+        let r = DtaReport::append(0, 123, vec![0; 4]);
+        assert_eq!(p.route(&r), 0);
+    }
+}

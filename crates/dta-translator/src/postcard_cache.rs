@@ -1,0 +1,292 @@
+//! The Postcarding aggregation cache.
+//!
+//! "Postcarding uses an SRAM-based hash table with 32K slots storing
+//! fixed-size 32-bit payloads. ... Emissions are triggered either by a
+//! collision or when a row counter reaches the path length." (§5.2)
+//!
+//! Each row caches the encoded per-hop words of one in-flight flow. When the
+//! row completes (all `path_len` postcards seen) — or another flow collides
+//! into the row — the row is emitted as a single chunk write. Early
+//! (collision-forced) emissions produce partial paths; Figure 14 counts them
+//! as failures.
+
+use dta_core::TelemetryKey;
+use dta_hash::{Crc32, CrcParams};
+use dta_switch::RegisterArray;
+
+/// Maximum hop bound supported by a cache row.
+pub const MAX_HOPS: usize = 8;
+
+/// One cached row: the flow id tag, its per-hop encoded words, and progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Row {
+    key: TelemetryKey,
+    words: [u32; MAX_HOPS],
+    /// Bitmask of hops present.
+    present: u8,
+    /// Path length once known (0 = unknown).
+    path_len: u8,
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row { key: TelemetryKey([0; 16]), words: [0; MAX_HOPS], present: 0, path_len: 0 }
+    }
+}
+
+/// An emitted aggregate: the flow key plus the hops collected so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEmission {
+    /// Flow the chunk belongs to.
+    pub key: TelemetryKey,
+    /// Encoded word per hop; `None` for hops never seen (the translator
+    /// fills these with blank codewords before the RDMA write).
+    pub words: Vec<Option<u32>>,
+    /// Whether the aggregate was complete (reached its path length) or was
+    /// evicted early by a collision.
+    pub complete: bool,
+}
+
+/// Statistics for Figure 14.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Postcards inserted.
+    pub postcards: u64,
+    /// Complete aggregates emitted.
+    pub complete_emissions: u64,
+    /// Early (collision) emissions.
+    pub early_emissions: u64,
+}
+
+/// The SRAM postcard cache.
+pub struct PostcardCache {
+    rows: RegisterArray<Row>,
+    occupied: Vec<bool>,
+    index: Crc32,
+    hops: u8,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl PostcardCache {
+    /// Cache with `slots` rows for paths of up to `hops` hops.
+    ///
+    /// # Panics
+    /// Panics when `hops > MAX_HOPS` or `slots == 0`.
+    pub fn new(slots: usize, hops: u8) -> Self {
+        assert!(slots > 0, "cache must have at least one row");
+        assert!((hops as usize) <= MAX_HOPS, "hop bound {hops} exceeds {MAX_HOPS}");
+        PostcardCache {
+            rows: RegisterArray::new(slots),
+            occupied: vec![false; slots],
+            index: Crc32::new(CrcParams::IEEE),
+            hops,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn slots(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Hop bound `B`.
+    pub fn hops(&self) -> u8 {
+        self.hops
+    }
+
+    fn row_index(&self, key: &TelemetryKey) -> usize {
+        (self.index.compute(key.as_bytes()) as usize) % self.rows.len()
+    }
+
+    /// Insert one postcard's encoded `word`. Returns any emission this
+    /// insertion triggered (a completed row, a collision eviction, or both a
+    /// collision eviction followed later by the new flow's completion).
+    ///
+    /// `path_len = 0` means the egress did not provide the length; the row
+    /// then completes only when all `B` hops are present.
+    pub fn insert(
+        &mut self,
+        key: &TelemetryKey,
+        hop: u8,
+        path_len: u8,
+        word: u32,
+    ) -> Vec<CacheEmission> {
+        assert!(hop < self.hops, "hop {hop} out of bound {}", self.hops);
+        self.stats.postcards += 1;
+        let idx = self.row_index(key);
+        let mut out = Vec::new();
+
+        let mut row = self.rows.read(idx);
+        if self.occupied[idx] && row.key != *key {
+            // Collision: evict the current occupant early.
+            self.stats.early_emissions += 1;
+            out.push(self.emission_from(&row, false));
+            self.occupied[idx] = false;
+            row = Row::default();
+        }
+        if !self.occupied[idx] {
+            row = Row { key: *key, ..Row::default() };
+            self.occupied[idx] = true;
+        }
+
+        row.words[hop as usize] = word;
+        row.present |= 1 << hop;
+        if path_len > 0 {
+            row.path_len = path_len;
+        }
+
+        let needed = if row.path_len > 0 { row.path_len } else { self.hops };
+        let have = row.present.count_ones() as u8;
+        // Complete when every hop below `needed` has arrived.
+        let full_mask = (1u16 << needed) - 1;
+        if have >= needed && (row.present as u16 & full_mask) == full_mask {
+            self.stats.complete_emissions += 1;
+            out.push(self.emission_from(&row, true));
+            self.occupied[idx] = false;
+            self.rows.write(idx, Row::default());
+        } else {
+            self.rows.write(idx, row);
+        }
+        out
+    }
+
+    fn emission_from(&self, row: &Row, complete: bool) -> CacheEmission {
+        let words = (0..self.hops)
+            .map(|h| (row.present & (1 << h) != 0).then(|| row.words[h as usize]))
+            .collect();
+        CacheEmission { key: row.key, words, complete }
+    }
+
+    /// Flush every occupied row (shutdown / timer path). All flushed rows
+    /// count as early emissions.
+    pub fn flush(&mut self) -> Vec<CacheEmission> {
+        let mut out = Vec::new();
+        for idx in 0..self.rows.len() {
+            if self.occupied[idx] {
+                let row = self.rows.read(idx);
+                self.stats.early_emissions += 1;
+                out.push(self.emission_from(&row, false));
+                self.occupied[idx] = false;
+                self.rows.write(idx, Row::default());
+            }
+        }
+        out
+    }
+
+    /// SRAM bytes the cache occupies.
+    pub fn sram_bytes(&self) -> usize {
+        self.rows.sram_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> TelemetryKey {
+        TelemetryKey::from_u64(i)
+    }
+
+    #[test]
+    fn five_postcards_complete_a_row() {
+        let mut c = PostcardCache::new(1024, 5);
+        let k = key(1);
+        for hop in 0..4 {
+            assert!(c.insert(&k, hop, 5, 100 + hop as u32).is_empty());
+        }
+        let em = c.insert(&k, 4, 5, 104);
+        assert_eq!(em.len(), 1);
+        assert!(em[0].complete);
+        assert_eq!(
+            em[0].words,
+            vec![Some(100), Some(101), Some(102), Some(103), Some(104)]
+        );
+        assert_eq!(c.stats.complete_emissions, 1);
+    }
+
+    #[test]
+    fn short_path_completes_at_declared_length() {
+        let mut c = PostcardCache::new(64, 5);
+        let k = key(2);
+        assert!(c.insert(&k, 0, 3, 7).is_empty());
+        assert!(c.insert(&k, 1, 3, 8).is_empty());
+        let em = c.insert(&k, 2, 3, 9);
+        assert_eq!(em.len(), 1);
+        assert!(em[0].complete);
+        assert_eq!(em[0].words, vec![Some(7), Some(8), Some(9), None, None]);
+    }
+
+    #[test]
+    fn out_of_order_postcards_still_complete() {
+        let mut c = PostcardCache::new(64, 5);
+        let k = key(3);
+        for hop in [4u8, 0, 3, 1] {
+            assert!(c.insert(&k, hop, 5, hop as u32).is_empty());
+        }
+        let em = c.insert(&k, 2, 5, 2);
+        assert_eq!(em.len(), 1);
+        assert!(em[0].complete);
+    }
+
+    #[test]
+    fn collision_forces_early_emission() {
+        // Single-row cache: every distinct flow collides.
+        let mut c = PostcardCache::new(1, 5);
+        let a = key(10);
+        let b = key(20);
+        assert!(c.insert(&a, 0, 5, 1).is_empty());
+        assert!(c.insert(&a, 1, 5, 2).is_empty());
+        let em = c.insert(&b, 0, 5, 9);
+        assert_eq!(em.len(), 1);
+        assert!(!em[0].complete);
+        assert_eq!(em[0].key, a);
+        assert_eq!(em[0].words, vec![Some(1), Some(2), None, None, None]);
+        assert_eq!(c.stats.early_emissions, 1);
+    }
+
+    #[test]
+    fn flush_evicts_partial_rows() {
+        let mut c = PostcardCache::new(1024, 5);
+        c.insert(&key(1), 0, 5, 1);
+        c.insert(&key(2), 0, 5, 2);
+        let flushed = c.flush();
+        assert_eq!(flushed.len(), 2);
+        assert!(flushed.iter().all(|e| !e.complete));
+        // A second flush is a no-op.
+        assert!(c.flush().is_empty());
+    }
+
+    #[test]
+    fn duplicate_hop_overwrites_word() {
+        let mut c = PostcardCache::new(64, 5);
+        let k = key(4);
+        c.insert(&k, 0, 5, 1);
+        c.insert(&k, 0, 5, 2); // retransmitted postcard with new value
+        for hop in 1..4 {
+            c.insert(&k, hop, 5, 0);
+        }
+        let em = c.insert(&k, 4, 5, 0);
+        assert_eq!(em[0].words[0], Some(2));
+    }
+
+    #[test]
+    fn unknown_path_len_waits_for_all_b_hops() {
+        let mut c = PostcardCache::new(64, 5);
+        let k = key(5);
+        for hop in 0..4 {
+            assert!(c.insert(&k, hop, 0, hop as u32).is_empty());
+        }
+        let em = c.insert(&k, 4, 0, 4);
+        assert_eq!(em.len(), 1);
+        assert!(em[0].complete);
+    }
+
+    #[test]
+    fn sram_accounting_32k_slots() {
+        let c = PostcardCache::new(32 * 1024, 5);
+        // Row is key(16) + words(32) + flags: the prototype's "32K slots
+        // storing fixed-size 32-bit payloads" maps to 32K rows here.
+        assert!(c.sram_bytes() >= 32 * 1024 * 36);
+    }
+}

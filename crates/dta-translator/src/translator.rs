@@ -1,0 +1,631 @@
+//! DTA-to-RDMA translation (the pipeline of Figure 6).
+
+use bytes::Bytes;
+use dta_collector::layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
+use dta_collector::postcarding::{hop_checksum, ValueCodec};
+use dta_core::{DtaReport, PrimitiveHeader};
+#[cfg(test)]
+use dta_core::TelemetryKey;
+use dta_hash::{Checksummer, HashFamily};
+use dta_rdma::cm::ConnectionParams;
+use dta_rdma::packet::RocePacket;
+use dta_rdma::qp::QueuePair;
+use dta_rdma::verbs::RdmaOp;
+use dta_switch::MulticastEngine;
+
+use crate::append::AppendBatcher;
+use crate::postcard_cache::{CacheEmission, PostcardCache};
+use crate::ratelimit::{RateLimiter, RateLimiterConfig};
+
+/// Translator sizing and behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct TranslatorConfig {
+    /// Postcarding aggregation cache rows (32K on the Tofino prototype).
+    pub postcard_cache_slots: usize,
+    /// Postcarding hop bound `B`.
+    pub postcard_hops: u8,
+    /// Postcarding slot width in bits.
+    pub postcard_bits: u32,
+    /// Postcarding value-universe size |V| (must match the collector codec).
+    pub postcard_values: u32,
+    /// Postcarding redundancy `N`.
+    pub postcard_redundancy: usize,
+    /// Append batch size `B` (16 in the paper's headline results).
+    pub append_batch: usize,
+    /// Path MTU toward the collector; batches larger than this segment into
+    /// WRITE FIRST/MIDDLE/LAST sequences.
+    pub mtu: usize,
+    /// Optional RDMA rate limiter.
+    pub rate_limit: Option<RateLimiterConfig>,
+}
+
+impl Default for TranslatorConfig {
+    fn default() -> Self {
+        TranslatorConfig {
+            postcard_cache_slots: 32 * 1024,
+            postcard_hops: 5,
+            postcard_bits: 32,
+            postcard_values: 1 << 12,
+            postcard_redundancy: 1,
+            append_batch: 16,
+            mtu: dta_rdma::segment::MTU_1024,
+            rate_limit: None,
+        }
+    }
+}
+
+/// Counters for the translation paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslatorStats {
+    /// DTA reports processed.
+    pub reports_in: u64,
+    /// RoCE packets emitted.
+    pub rdma_out: u64,
+    /// Reports dropped by the rate limiter.
+    pub rate_limited: u64,
+    /// NACKs sent back to reporters.
+    pub nacks_sent: u64,
+    /// Reports dropped because the target service is not connected.
+    pub no_service: u64,
+    /// QP resynchronizations performed after collector NAKs.
+    pub resyncs: u64,
+}
+
+/// The result of translating one DTA report.
+#[derive(Debug, Default)]
+pub struct TranslatorOutput {
+    /// RoCE packets to forward to the collector NIC.
+    pub packets: Vec<RocePacket>,
+    /// Whether a NACK should be returned to the reporter.
+    pub nack: bool,
+}
+
+/// A connected per-primitive RDMA path.
+struct ServiceConn {
+    qp: QueuePair,
+    params: ConnectionParams,
+}
+
+/// The DTA translator dataplane.
+pub struct Translator {
+    config: TranslatorConfig,
+    family: HashFamily,
+    csum: Checksummer,
+    codec: ValueCodec,
+    multicast: MulticastEngine,
+
+    kw: Option<(ServiceConn, KwLayout)>,
+    postcard: Option<(ServiceConn, PostcardLayout)>,
+    append: Option<(ServiceConn, AppendLayout, AppendBatcher)>,
+    cms: Option<(ServiceConn, CmsLayout)>,
+
+    cache: PostcardCache,
+    limiter: Option<RateLimiter>,
+    /// Counters.
+    pub stats: TranslatorStats,
+}
+
+impl Translator {
+    /// Translator with no connected services.
+    pub fn new(config: TranslatorConfig) -> Self {
+        let mut multicast = MulticastEngine::new();
+        for n in 1..=dta_hash::polynomials::MAX_REDUNDANCY as u16 {
+            multicast.install_group(n, n);
+        }
+        let cache = PostcardCache::new(config.postcard_cache_slots, config.postcard_hops);
+        let codec = ValueCodec::switch_ids(config.postcard_values, config.postcard_bits);
+        let limiter = config.rate_limit.map(RateLimiter::new);
+        Translator {
+            config,
+            family: HashFamily::new(dta_hash::polynomials::MAX_REDUNDANCY),
+            csum: Checksummer::new(),
+            codec,
+            multicast,
+            kw: None,
+            postcard: None,
+            append: None,
+            cms: None,
+            cache,
+            limiter,
+            stats: TranslatorStats::default(),
+        }
+    }
+
+    /// Translator configuration.
+    pub fn config(&self) -> &TranslatorConfig {
+        &self.config
+    }
+
+    /// The postcard aggregation cache (for Figure 14 statistics).
+    pub fn postcard_cache(&self) -> &PostcardCache {
+        &self.cache
+    }
+
+    /// The append batcher, when connected.
+    pub fn append_batcher(&self) -> Option<&AppendBatcher> {
+        self.append.as_ref().map(|(_, _, b)| b)
+    }
+
+    /// Attach the Key-Write service (CM handshake result).
+    pub fn connect_key_write(&mut self, qp: QueuePair, params: ConnectionParams) {
+        let layout = KwLayout {
+            base_va: params.base_va,
+            slots: params.slots,
+            value_bytes: params.slot_bytes - KwLayout::CSUM_BYTES,
+        };
+        self.kw = Some((ServiceConn { qp, params }, layout));
+    }
+
+    /// Attach the Postcarding service.
+    pub fn connect_postcarding(&mut self, qp: QueuePair, params: ConnectionParams) {
+        let layout = PostcardLayout {
+            base_va: params.base_va,
+            chunks: params.slots,
+            hops: self.config.postcard_hops,
+            slot_bits: self.config.postcard_bits,
+        };
+        assert_eq!(
+            layout.chunk_stride(),
+            params.slot_bytes as u64,
+            "collector chunk stride disagrees with translator hop bound"
+        );
+        self.postcard = Some((ServiceConn { qp, params }, layout));
+    }
+
+    /// Attach the Append service.
+    pub fn connect_append(&mut self, qp: QueuePair, params: ConnectionParams) {
+        let entries_per_list = params.slots;
+        let entry_bytes = params.slot_bytes;
+        let list_bytes = entries_per_list * entry_bytes as u64;
+        let lists = (params.region_len / list_bytes) as u32;
+        let layout = AppendLayout {
+            base_va: params.base_va,
+            lists,
+            entries_per_list,
+            entry_bytes,
+        };
+        let batcher = AppendBatcher::new(layout, self.config.append_batch);
+        self.append = Some((ServiceConn { qp, params }, layout, batcher));
+    }
+
+    /// Attach the Key-Increment service.
+    pub fn connect_key_increment(&mut self, qp: QueuePair, params: ConnectionParams) {
+        let layout = CmsLayout { base_va: params.base_va, slots: params.slots };
+        self.cms = Some((ServiceConn { qp, params }, layout));
+    }
+
+    /// Handle a RoCE response from the collector (ACK or NAK). On NAK, the
+    /// matching QP's send PSN resynchronizes to the collector's expected
+    /// PSN (§5.2's queue-pair resynchronization).
+    pub fn on_roce_response(&mut self, pkt: &RocePacket) {
+        if !pkt.is_nak() {
+            return;
+        }
+        let qpn = pkt.bth.dest_qp;
+        for conn in [
+            self.kw.as_mut().map(|(c, _)| c),
+            self.postcard.as_mut().map(|(c, _)| c),
+            self.append.as_mut().map(|(c, _, _)| c),
+            self.cms.as_mut().map(|(c, _)| c),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if conn.qp.qpn == qpn {
+                conn.qp.resync_send(pkt.bth.psn);
+                self.stats.resyncs += 1;
+                return;
+            }
+        }
+    }
+
+    /// Translate one DTA report into RoCE packets (the ingress→egress
+    /// traversal of Figure 6).
+    pub fn process(&mut self, now_ns: u64, report: &DtaReport) -> TranslatorOutput {
+        self.stats.reports_in += 1;
+        let mut out = TranslatorOutput::default();
+        let immediate = report.header.flags.immediate.then_some(report.header.seq);
+
+        match &report.primitive {
+            PrimitiveHeader::KeyWrite(h) => {
+                let Some((_, layout)) = &self.kw else {
+                    self.stats.no_service += 1;
+                    return out;
+                };
+                let layout = *layout;
+                let n = h.redundancy as usize;
+                if !self.admit(now_ns, n as u64, report, &mut out) {
+                    return out;
+                }
+                // Slot image: checksum || value, padded to the slot width.
+                let w = layout.value_bytes as usize;
+                let mut img = Vec::with_capacity(4 + w);
+                img.extend_from_slice(&self.csum.checksum32(h.key.as_bytes()).to_be_bytes());
+                let take = report.payload.len().min(w);
+                img.extend_from_slice(&report.payload[..take]);
+                img.resize(4 + w, 0);
+
+                // The PRE replicates the packet once per redundancy copy;
+                // each replica's rid selects the hash function.
+                let replicas = self
+                    .multicast
+                    .replicate(n as u16, ())
+                    .expect("redundancy groups pre-installed");
+                for r in replicas {
+                    let va = layout.slot_va(&self.family, r.rid as usize, &h.key);
+                    let rkey = self.kw.as_ref().expect("checked above").0.params.rkey;
+                    let op = match immediate {
+                        Some(imm) => RdmaOp::WriteImm {
+                            rkey,
+                            va,
+                            data: Bytes::from(img.clone()),
+                            imm,
+                        },
+                        None => RdmaOp::Write { rkey, va, data: Bytes::from(img.clone()) },
+                    };
+                    let conn = &mut self.kw.as_mut().expect("checked above").0;
+                    out.packets.push(op.into_packet(&mut conn.qp));
+                }
+            }
+
+            PrimitiveHeader::KeyIncrement(h) => {
+                let Some((_, layout)) = &self.cms else {
+                    self.stats.no_service += 1;
+                    return out;
+                };
+                let layout = *layout;
+                let n = h.redundancy as usize;
+                if !self.admit(now_ns, n as u64, report, &mut out) {
+                    return out;
+                }
+                let replicas = self
+                    .multicast
+                    .replicate(n as u16, ())
+                    .expect("redundancy groups pre-installed");
+                for r in replicas {
+                    let va = layout.slot_va(&self.family, r.rid as usize, &h.key);
+                    let (conn, _) = self.cms.as_mut().expect("checked above");
+                    let op = RdmaOp::FetchAdd { rkey: conn.params.rkey, va, add: h.delta };
+                    out.packets.push(op.into_packet(&mut conn.qp));
+                }
+            }
+
+            PrimitiveHeader::Append(h) => {
+                let Some((_, _, batcher)) = &mut self.append else {
+                    self.stats.no_service += 1;
+                    return out;
+                };
+                let Some(batch) = batcher.push(h.list_id, &report.payload) else {
+                    return out; // staged or invalid list
+                };
+                if !self.admit(now_ns, 1, report, &mut out) {
+                    return out;
+                }
+                let mtu = self.config.mtu;
+                let (conn, _, _) = self.append.as_mut().expect("checked above");
+                if batch.data.len() > mtu {
+                    // Over-MTU batches take the segmented-write path (the
+                    // immediate flag is not combinable with segmentation in
+                    // this prototype; the WRITE LAST completes silently).
+                    out.packets.extend(dta_rdma::segment::segment_write(
+                        &mut conn.qp,
+                        conn.params.rkey,
+                        batch.va,
+                        Bytes::from(batch.data),
+                        mtu,
+                    ));
+                } else {
+                    let op = match immediate {
+                        Some(imm) => RdmaOp::WriteImm {
+                            rkey: conn.params.rkey,
+                            va: batch.va,
+                            data: Bytes::from(batch.data),
+                            imm,
+                        },
+                        None => RdmaOp::Write {
+                            rkey: conn.params.rkey,
+                            va: batch.va,
+                            data: Bytes::from(batch.data),
+                        },
+                    };
+                    out.packets.push(op.into_packet(&mut conn.qp));
+                }
+            }
+
+            PrimitiveHeader::Postcarding(h) => {
+                if self.postcard.is_none() {
+                    self.stats.no_service += 1;
+                    return out;
+                }
+                let word = hop_checksum(&h.key, h.hop, self.config.postcard_bits)
+                    ^ self.codec.encode(Some(h.value));
+                let emissions = self.cache.insert(&h.key, h.hop, h.path_len, word);
+                for emission in emissions {
+                    self.emit_postcard_chunk(now_ns, &emission, report, &mut out);
+                }
+            }
+        }
+        self.stats.rdma_out += out.packets.len() as u64;
+        out
+    }
+
+    /// Flush translator-held state (cache rows, partial batches) — the
+    /// periodic timer path.
+    pub fn flush(&mut self, now_ns: u64) -> TranslatorOutput {
+        let mut out = TranslatorOutput::default();
+        for emission in self.cache.flush() {
+            let fake = DtaReport::postcard(0, emission.key, 0, 0, 0);
+            self.emit_postcard_chunk(now_ns, &emission, &fake, &mut out);
+        }
+        if let Some((_, layout, _)) = &self.append {
+            let lists = layout.lists;
+            for list in 0..lists {
+                let (_, _, batcher) = self.append.as_mut().expect("just matched");
+                let Some(batch) = batcher.flush(list) else { continue };
+                let (conn, _, _) = self.append.as_mut().expect("just matched");
+                let op = RdmaOp::Write {
+                    rkey: conn.params.rkey,
+                    va: batch.va,
+                    data: Bytes::from(batch.data),
+                };
+                out.packets.push(op.into_packet(&mut conn.qp));
+            }
+        }
+        self.stats.rdma_out += out.packets.len() as u64;
+        out
+    }
+
+    /// Emit one aggregated postcard chunk (complete or early) as `N` chunk
+    /// writes.
+    fn emit_postcard_chunk(
+        &mut self,
+        now_ns: u64,
+        emission: &CacheEmission,
+        report: &DtaReport,
+        out: &mut TranslatorOutput,
+    ) {
+        let n = self.config.postcard_redundancy;
+        if !self.admit(now_ns, n as u64, report, out) {
+            return;
+        }
+        let (_, layout) = self.postcard.as_ref().expect("caller checked service");
+        let layout = *layout;
+        // Fill unseen hops with blank codewords so every chunk write covers
+        // all B slots (§4: "each flow always writes all B hops' values").
+        let blank = self.codec.encode(None);
+        let mut img = Vec::with_capacity(layout.chunk_stride() as usize);
+        for hop in 0..layout.hops {
+            let word = emission.words[hop as usize].unwrap_or_else(|| {
+                hop_checksum(&emission.key, hop, layout.slot_bits) ^ blank
+            });
+            img.extend_from_slice(&word.to_be_bytes());
+        }
+        img.resize(layout.chunk_stride() as usize, 0);
+
+        let replicas = self
+            .multicast
+            .replicate(n as u16, ())
+            .expect("redundancy groups pre-installed");
+        for r in replicas {
+            let va = layout.chunk_va(&self.family, r.rid as usize, &emission.key);
+            let (conn, _) = self.postcard.as_mut().expect("caller checked service");
+            let op = RdmaOp::Write { rkey: conn.params.rkey, va, data: Bytes::from(img.clone()) };
+            out.packets.push(op.into_packet(&mut conn.qp));
+        }
+    }
+
+    /// Rate-limiter admission for `msgs` RDMA messages.
+    fn admit(
+        &mut self,
+        now_ns: u64,
+        msgs: u64,
+        report: &DtaReport,
+        out: &mut TranslatorOutput,
+    ) -> bool {
+        let Some(limiter) = &mut self.limiter else {
+            return true;
+        };
+        if limiter.admit(now_ns, msgs) {
+            return true;
+        }
+        self.stats.rate_limited += 1;
+        if report.header.flags.nack_on_drop {
+            out.nack = true;
+            self.stats.nacks_sent += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_collector::service::{
+        CollectorService, ServiceConfig, SERVICE_APPEND, SERVICE_CMS, SERVICE_KW,
+        SERVICE_POSTCARD,
+    };
+    use dta_core::DtaFlags;
+    use dta_rdma::cm::CmRequester;
+    use dta_rdma::nic::RxOutcome;
+
+    /// Build a collector + fully connected translator pair.
+    fn connected() -> (CollectorService, Translator) {
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        let mut tr = Translator::new(TranslatorConfig {
+            postcard_values: 1 << 12,
+            append_batch: 4,
+            ..TranslatorConfig::default()
+        });
+        for (service, qpn) in [
+            (SERVICE_KW, 0x31),
+            (SERVICE_POSTCARD, 0x32),
+            (SERVICE_APPEND, 0x33),
+            (SERVICE_CMS, 0x34),
+        ] {
+            let req = CmRequester::new(qpn, 0);
+            let reply = svc.handle_cm(&req.request(service));
+            let (qp, params) = req.complete(&reply).unwrap();
+            match service {
+                SERVICE_KW => tr.connect_key_write(qp, params),
+                SERVICE_POSTCARD => tr.connect_postcarding(qp, params),
+                SERVICE_APPEND => tr.connect_append(qp, params),
+                SERVICE_CMS => tr.connect_key_increment(qp, params),
+                _ => unreachable!(),
+            }
+        }
+        (svc, tr)
+    }
+
+    fn run(svc: &mut CollectorService, out: TranslatorOutput) {
+        for pkt in &out.packets {
+            match svc.nic_ingress(pkt) {
+                RxOutcome::Executed(_) => {}
+                other => panic!("collector rejected packet: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn keywrite_report_lands_and_queries() {
+        let (mut svc, mut tr) = connected();
+        let key = TelemetryKey::from_u64(7);
+        let report = DtaReport::key_write(0, key, 2, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        let out = tr.process(0, &report);
+        assert_eq!(out.packets.len(), 2, "N=2 redundancy -> 2 writes");
+        run(&mut svc, out);
+        let kw = svc.keywrite.as_ref().unwrap();
+        let got = kw.query(&key, 2, dta_collector::QueryPolicy::Plurality);
+        assert_eq!(
+            got,
+            dta_collector::QueryOutcome::Found(vec![0xDE, 0xAD, 0xBE, 0xEF])
+        );
+    }
+
+    #[test]
+    fn postcards_aggregate_into_one_write() {
+        let (mut svc, mut tr) = connected();
+        let key = TelemetryKey::from_u64(11);
+        let path = [5u32, 6, 7, 8, 9];
+        let mut packets = 0;
+        for (hop, v) in path.iter().enumerate() {
+            let out = tr.process(0, &DtaReport::postcard(0, key, hop as u8, 5, *v));
+            packets += out.packets.len();
+            run(&mut svc, out);
+        }
+        assert_eq!(packets, 1, "5 postcards -> 1 chunk write (N=1)");
+        let store = svc.postcarding.as_ref().unwrap();
+        assert_eq!(
+            store.query(&key, 1),
+            dta_collector::PostcardQueryOutcome::Found(path.to_vec())
+        );
+    }
+
+    #[test]
+    fn append_batches_by_four() {
+        let (mut svc, mut tr) = connected();
+        let mut packets = 0;
+        for i in 0..8u32 {
+            let out = tr.process(0, &DtaReport::append(i, 3, i.to_be_bytes().to_vec()));
+            packets += out.packets.len();
+            run(&mut svc, out);
+        }
+        assert_eq!(packets, 2, "8 entries at batch 4 -> 2 writes");
+        let reader = svc.append.as_mut().unwrap();
+        for i in 0..8u32 {
+            assert_eq!(reader.poll(3), i.to_be_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn key_increment_accumulates_via_fetch_add() {
+        let (mut svc, mut tr) = connected();
+        let key = TelemetryKey::src_ip(0x0A00_0001);
+        for _ in 0..5 {
+            let out = tr.process(0, &DtaReport::key_increment(0, key, 2, 10));
+            run(&mut svc, out);
+        }
+        let s = svc.key_increment.as_ref().unwrap();
+        assert_eq!(s.query(&key, 2), 50);
+    }
+
+    #[test]
+    fn immediate_flag_raises_collector_completion() {
+        let (mut svc, mut tr) = connected();
+        let report = DtaReport::key_write(77, TelemetryKey::from_u64(1), 1, vec![1; 4])
+            .with_flags(DtaFlags { immediate: true, nack_on_drop: false });
+        let out = tr.process(0, &report);
+        run(&mut svc, out);
+        let wc = svc.nic.poll_completion().expect("immediate completion");
+        assert_eq!(wc.imm, Some(77));
+    }
+
+    #[test]
+    fn rate_limiter_drops_and_nacks() {
+        let (_svc, _) = connected();
+        let mut tr = Translator::new(TranslatorConfig {
+            rate_limit: Some(RateLimiterConfig { msgs_per_sec: 1.0, burst: 2 }),
+            ..TranslatorConfig::default()
+        });
+        // Connect only KW via a fresh collector.
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        let req = CmRequester::new(1, 0);
+        let reply = svc.handle_cm(&req.request(SERVICE_KW));
+        let (qp, params) = req.complete(&reply).unwrap();
+        tr.connect_key_write(qp, params);
+
+        let flags = DtaFlags { immediate: false, nack_on_drop: true };
+        let r1 = DtaReport::key_write(0, TelemetryKey::from_u64(1), 2, vec![0; 4])
+            .with_flags(flags);
+        let out1 = tr.process(0, &r1);
+        assert_eq!(out1.packets.len(), 2);
+        assert!(!out1.nack);
+        let out2 = tr.process(0, &r1);
+        assert!(out2.packets.is_empty(), "bucket exhausted");
+        assert!(out2.nack);
+        assert_eq!(tr.stats.rate_limited, 1);
+        assert_eq!(tr.stats.nacks_sent, 1);
+    }
+
+    #[test]
+    fn disconnected_service_drops_report() {
+        let mut tr = Translator::new(TranslatorConfig::default());
+        let out = tr.process(0, &DtaReport::append(0, 1, vec![0; 4]));
+        assert!(out.packets.is_empty());
+        assert_eq!(tr.stats.no_service, 1);
+    }
+
+    #[test]
+    fn nak_resyncs_send_psn() {
+        let (mut svc, mut tr) = connected();
+        // Send one KW report normally.
+        let out = tr.process(0, &DtaReport::key_write(0, TelemetryKey::from_u64(1), 1, vec![0; 4]));
+        run(&mut svc, out);
+        // Simulate loss: process a report but drop its packet, then send
+        // another — the collector NAKs the gap.
+        let _lost = tr.process(0, &DtaReport::key_write(1, TelemetryKey::from_u64(2), 1, vec![0; 4]));
+        let out3 = tr.process(0, &DtaReport::key_write(2, TelemetryKey::from_u64(3), 1, vec![0; 4]));
+        let nak = match svc.nic_ingress(&out3.packets[0]) {
+            RxOutcome::Nak(nak) => nak,
+            other => panic!("expected NAK, got {other:?}"),
+        };
+        tr.on_roce_response(&nak);
+        assert_eq!(tr.stats.resyncs, 1);
+        // After resync the stream flows again.
+        let out4 = tr.process(0, &DtaReport::key_write(3, TelemetryKey::from_u64(4), 1, vec![0; 4]));
+        run(&mut svc, out4);
+    }
+
+    #[test]
+    fn flush_emits_partial_state() {
+        let (mut svc, mut tr) = connected();
+        // 3 postcards of a 5-hop path + 2 staged append entries.
+        let key = TelemetryKey::from_u64(5);
+        for hop in 0..3u8 {
+            run(&mut svc, tr.process(0, &DtaReport::postcard(0, key, hop, 5, 42)));
+        }
+        run(&mut svc, tr.process(0, &DtaReport::append(0, 1, vec![1; 4])));
+        let out = tr.flush(0);
+        assert_eq!(out.packets.len(), 2, "one early chunk + one padded batch");
+        run(&mut svc, out);
+    }
+}
