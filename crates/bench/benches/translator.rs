@@ -73,7 +73,7 @@ fn bench_translate_and_execute(c: &mut Criterion) {
         let mut i = 0u32;
         g.bench_with_input(BenchmarkId::new("append", batch), &batch, |b, _| {
             b.iter(|| {
-                let r = DtaReport::append(i, (i % 8) as u32, i.to_be_bytes().to_vec());
+                let r = DtaReport::append(i, i % 8, i.to_be_bytes().to_vec());
                 i = i.wrapping_add(1);
                 for pkt in tr.process(0, &r).packets {
                     col.nic_ingress(&pkt);
@@ -96,12 +96,73 @@ fn bench_translate_and_execute(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sustained throughput through the batch hot path: reports stream through
+/// `process_batch` and the NIC's burst RX, per primitive, with redundancy
+/// N∈{1,2,4} for the keyed primitives. This is the loop `repro --json`
+/// tracks in `BENCH_translator.json`.
+fn bench_sustained(c: &mut Criterion) {
+    use dta_translator::TranslatorOutput;
+    const POOL: u64 = 4096;
+    const BATCH: usize = 256;
+
+    let mut g = c.benchmark_group("translator_sustained");
+
+    let run = |g: &mut criterion::BenchmarkGroup<'_>,
+               id: BenchmarkId,
+               reports: Vec<dta_core::DtaReport>,
+               batch: usize| {
+        let (mut col, mut tr) = pair(batch);
+        let mut out = TranslatorOutput::default();
+        let mut responses = Vec::new();
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                for chunk in reports.chunks(BATCH) {
+                    tr.process_batch(0, chunk, &mut out);
+                    responses.clear();
+                    col.nic_ingress_burst(&out.packets, &mut responses);
+                }
+            })
+        });
+    };
+
+    g.throughput(Throughput::Elements(POOL));
+    for n in [1u8, 2, 4] {
+        let reports: Vec<_> = (0..POOL)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), n, vec![1, 2, 3, 4]))
+            .collect();
+        run(&mut g, BenchmarkId::new("key_write", n), reports, 16);
+
+        let incs: Vec<_> = (0..POOL)
+            .map(|i| DtaReport::key_increment(0, TelemetryKey::from_u64(i % 1024), n, 1))
+            .collect();
+        run(&mut g, BenchmarkId::new("key_increment", n), incs, 16);
+    }
+
+    g.throughput(Throughput::Elements(POOL * 5));
+    let postcards: Vec<_> = (0..POOL)
+        .flat_map(|i| {
+            let key = TelemetryKey::from_u64(i);
+            (0..5u8).map(move |hop| DtaReport::postcard(0, key, hop, 5, hop as u32 + 1))
+        })
+        .collect();
+    run(&mut g, BenchmarkId::new("postcarding", "5hop"), postcards, 16);
+
+    g.throughput(Throughput::Elements(POOL));
+    for batch in [1usize, 16] {
+        let appends: Vec<_> = (0..POOL as u32)
+            .map(|i| DtaReport::append(i, i % 8, i.to_be_bytes().to_vec()))
+            .collect();
+        run(&mut g, BenchmarkId::new("append", batch), appends, batch);
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_millis(600))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_translate_and_execute
+    targets = bench_translate_and_execute, bench_sustained
 }
 criterion_main!(benches);

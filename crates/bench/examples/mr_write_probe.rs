@@ -1,0 +1,19 @@
+//! Probe: raw MemoryRegion::write cost (stripe lock + stats accounting).
+use dta_rdma::mr::{MemoryRegion, MrAccess};
+use std::time::Instant;
+
+fn main() {
+    let mr = MemoryRegion::new(0, 1 << 20, 1, MrAccess::WRITE);
+    let data = [0xABu8; 8];
+    // random-ish offsets within 1MB
+    let offs: Vec<u64> = (0..4096u64).map(|i| (i.wrapping_mul(2654435761) % ((1 << 20) - 8)) & !7).collect();
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed().as_millis() < 400 {
+        for &o in &offs {
+            mr.write(o, &data).unwrap();
+        }
+        n += offs.len() as u64;
+    }
+    println!("mr.write 8B: {:.1} ns/op", start.elapsed().as_nanos() as f64 / n as f64);
+}

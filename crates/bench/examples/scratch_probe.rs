@@ -1,0 +1,15 @@
+//! Sanity probe: hit rate of the key digest scratch for a sequential
+//! 4K-flow working set (the bench stream shape).
+fn main() {
+    let mut s = dta_hash::KeyScratch::new(16 * 1024, 8);
+    for _pass in 0..3 {
+        for i in 0..4096u64 {
+            let mut k = [0u8; 16];
+            k[0] = 6;
+            k[1..9].copy_from_slice(&i.to_be_bytes());
+            s.digests(&k, 2);
+        }
+    }
+    println!("{:?} hit_rate={:.3}", s.stats, s.hit_rate());
+    assert!(s.hit_rate() > 0.6, "scratch ineffective on sequential flows");
+}

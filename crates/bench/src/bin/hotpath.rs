@@ -1,0 +1,111 @@
+//! `hotpath` — component-level breakdown of the key-write report path.
+//!
+//! Prints ns/op for each layer of the translator→RDMA→collector pipeline so
+//! perf regressions can be localized without external profilers.
+
+use std::time::Instant;
+
+use dta_bench::perf::connected_pair;
+use dta_core::{DtaReport, TelemetryKey};
+use dta_hash::{Crc32, CrcParams, HashFamily, KeyScratch};
+
+fn time(label: &str, per_loop_ops: u64, mut f: impl FnMut()) {
+    // Warm up.
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / (iters * per_loop_ops) as f64;
+    println!("{label:<38} {ns:>9.1} ns/op");
+}
+
+fn main() {
+    const OPS: u64 = 4_096;
+    let keys: Vec<TelemetryKey> = (0..OPS).map(TelemetryKey::from_u64).collect();
+
+    let crc = Crc32::new(CrcParams::IEEE);
+    time("crc32 slice-by-8 (16B)", OPS, || {
+        for k in &keys {
+            std::hint::black_box(crc.compute(k.as_bytes()));
+        }
+    });
+    time("crc32 bytewise oracle (16B)", OPS, || {
+        for k in &keys {
+            std::hint::black_box(crc.compute_bytewise(k.as_bytes()));
+        }
+    });
+
+    let fam = HashFamily::new(8);
+    time("family hash x2 (16B)", OPS, || {
+        for k in &keys {
+            std::hint::black_box(fam.hash(0, k.as_bytes()));
+            std::hint::black_box(fam.hash(1, k.as_bytes()));
+        }
+    });
+
+    let mut scratch = KeyScratch::new(4096, 8);
+    time("scratch digests N=2 (16K keys)", OPS, || {
+        for k in &keys {
+            std::hint::black_box(scratch.digests(k.as_bytes(), 2));
+        }
+    });
+
+    let reports: Vec<DtaReport> = keys
+        .iter()
+        .map(|k| DtaReport::key_write(0, *k, 2, vec![1, 2, 3, 4]))
+        .collect();
+
+    let (_, mut tr) = connected_pair(16);
+    time("translator.process only (N=2)", OPS, || {
+        for r in &reports {
+            std::hint::black_box(tr.process(0, r));
+        }
+    });
+
+    let (_, mut tr2) = connected_pair(16);
+    let mut out = dta_translator::TranslatorOutput::default();
+    time("translator.process_batch (N=2)", OPS, || {
+        tr2.process_batch(0, &reports, &mut out);
+        std::hint::black_box(&out);
+    });
+    println!(
+        "  scratch {:?}  pool (recycled, allocated) {:?}",
+        tr2.key_scratch_stats(),
+        tr2.image_pool_stats()
+    );
+
+    // Ingress alone: pre-translate one batch, then replay it with the
+    // responder's expected PSN rewound before each pass, so every replay
+    // executes the full path (PSN accept + memory write + stats), not the
+    // duplicate-drop short-circuit.
+    let (mut col, mut tr3) = connected_pair(16);
+    let mut pre = dta_translator::TranslatorOutput::default();
+    tr3.process_batch(0, &reports, &mut pre);
+    let kw_qpn = pre.packets[0].bth.dest_qp;
+    let first_psn = pre.packets[0].bth.psn;
+    time("collector.nic_ingress only (executed)", 2 * OPS, || {
+        col.nic.qp_mut(kw_qpn).expect("kw responder qp").resync(first_psn);
+        for pkt in &pre.packets {
+            std::hint::black_box(col.nic_ingress(pkt));
+        }
+    });
+    time("collector.nic_ingress only (dup-drop)", 2 * OPS, || {
+        // Without the rewind every packet is a PSN duplicate: the
+        // validation-only floor.
+        for pkt in &pre.packets {
+            std::hint::black_box(col.nic_ingress(pkt));
+        }
+    });
+
+    let (mut col4, mut tr4) = connected_pair(16);
+    time("full pipeline process+ingress (N=2)", OPS, || {
+        for r in &reports {
+            for pkt in tr4.process(0, r).packets {
+                col4.nic_ingress(&pkt);
+            }
+        }
+    });
+}

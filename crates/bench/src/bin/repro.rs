@@ -5,6 +5,9 @@
 //! repro --exp f7a        # one experiment
 //! repro --all --quick    # reduced trial counts
 //! repro --list           # experiment inventory
+//! repro --json           # sustained translator throughput ->
+//!                        #   BENCH_translator.json (phase: current)
+//! repro --json --label optimized   # record under a custom phase label
 //! ```
 
 use dta_bench::{all_experiments, run_experiment, ExperimentId};
@@ -14,6 +17,46 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let all = args.iter().any(|a| a == "--all");
+    let json = args.iter().any(|a| a == "--json");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("current");
+
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
+
+    if json {
+        let window = std::time::Duration::from_millis(if quick { 100 } else { 500 });
+        let repeat = args
+            .iter()
+            .position(|a| a == "--repeat")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 1 } else { 5 });
+        let results = dta_bench::perf::record_phase_filtered(
+            "BENCH_translator.json",
+            label,
+            window,
+            only,
+            repeat,
+        );
+        println!("phase '{label}' -> BENCH_translator.json");
+        for e in &results {
+            println!(
+                "  translator_e2e/{:<20} {:>10.1} ns/report  {:>12.3} M reports/s",
+                e.name,
+                e.ns_per_report,
+                e.reports_per_sec / 1e6
+            );
+        }
+        return;
+    }
     let exp = args
         .iter()
         .position(|a| a == "--exp")

@@ -232,8 +232,8 @@ pub fn figure16(quick: bool) -> Vec<Table> {
         let mut readers: Vec<AppendReader> =
             regions.iter().map(|r| AppendReader::new(layout, r.clone())).collect();
         let stop = std::sync::atomic::AtomicBool::new(false);
-        let active = crossbeam::thread::scope(|s| {
-            s.spawn(|_| {
+        let active = std::thread::scope(|s| {
+            s.spawn(|| {
                 let mut i = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let region = &regions[(i % cores as u64) as usize];
@@ -245,8 +245,7 @@ pub fn figure16(quick: bool) -> Vec<Table> {
             let st = parallel_append_poll(&mut readers, entries);
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
             st
-        })
-        .expect("scope");
+        });
         rate_table.row(&[
             cores.to_string(),
             fmt_rate(idle.rate()),

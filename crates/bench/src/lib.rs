@@ -9,5 +9,6 @@
 //! paper-vs-measured numbers.
 
 pub mod exp;
+pub mod perf;
 
 pub use exp::{all_experiments, run_experiment, ExperimentId};

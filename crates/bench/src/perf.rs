@@ -1,0 +1,399 @@
+//! Sustained-throughput measurement of the translator→RDMA→collector hot
+//! path, and the `BENCH_translator.json` tracking file.
+//!
+//! Unlike the criterion micro-benches (statistical, per-call), this module
+//! answers the paper's Figure 6/10 question — *how many reports per second
+//! does the software pipeline sustain end-to-end?* — with one fixed
+//! wall-clock loop per primitive, so numbers are comparable commit-to-
+//! commit. `repro --json` appends a labelled phase to
+//! `BENCH_translator.json`; committing a `baseline` phase before a perf PR
+//! and an `optimized` phase after records the trajectory in-repo.
+
+use std::time::{Duration, Instant};
+
+use dta_collector::service::{
+    CollectorService, ServiceConfig, SERVICE_APPEND, SERVICE_CMS, SERVICE_KW, SERVICE_POSTCARD,
+};
+use dta_core::{DtaReport, TelemetryKey};
+use dta_rdma::cm::CmRequester;
+use dta_translator::{Translator, TranslatorConfig, TranslatorOutput};
+
+/// One measured pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Benchmark name (`key_write/2`, `append/16`, ...).
+    pub name: String,
+    /// Mean nanoseconds per report.
+    pub ns_per_report: f64,
+    /// Sustained reports per second.
+    pub reports_per_sec: f64,
+    /// Reports executed during the measurement window.
+    pub reports: u64,
+}
+
+/// Build a collector + fully connected translator pair (the same wiring the
+/// criterion benches use).
+pub fn connected_pair(append_batch: usize) -> (CollectorService, Translator) {
+    let mut c = CollectorService::new(ServiceConfig::default());
+    let mut t = Translator::new(TranslatorConfig { append_batch, ..TranslatorConfig::default() });
+    for (service, qpn) in [
+        (SERVICE_KW, 1u32),
+        (SERVICE_POSTCARD, 2),
+        (SERVICE_APPEND, 3),
+        (SERVICE_CMS, 4),
+    ] {
+        let req = CmRequester::new(qpn, 0);
+        let reply = c.handle_cm(&req.request(service));
+        let (qp, params) = req.complete(&reply).unwrap();
+        match service {
+            SERVICE_KW => t.connect_key_write(qp, params),
+            SERVICE_POSTCARD => t.connect_postcarding(qp, params),
+            SERVICE_APPEND => t.connect_append(qp, params),
+            SERVICE_CMS => t.connect_key_increment(qp, params),
+            _ => unreachable!(),
+        }
+    }
+    (c, t)
+}
+
+/// Distinct keys cycled by the report stream — the active flow working set
+/// (the same quantity the paper's Figure 14 parameterizes its translator
+/// cache against). 4K active flows is rack-scale; the pool also stays
+/// cache-resident so the measurement exercises the pipeline, not DRAM.
+const KEY_POOL: u64 = 4 * 1024;
+
+/// Reports per [`Translator::process_batch`] call in the sustained loop —
+/// the steady-state batch a translator would pull off its ingress queue.
+const BATCH: usize = 256;
+
+/// Sustained loop over the report pool: translate through the batch entry
+/// point (the hot path), execute every packet at the collector NIC.
+fn run_loop(
+    name: &str,
+    window: Duration,
+    reports: &[DtaReport],
+    col: &mut CollectorService,
+    tr: &mut Translator,
+) -> PerfEntry {
+    let mut out = TranslatorOutput::default();
+    let mut responses = Vec::new();
+    let pass = |out: &mut TranslatorOutput,
+                responses: &mut Vec<_>,
+                col: &mut CollectorService,
+                tr: &mut Translator| {
+        for chunk in reports.chunks(BATCH) {
+            tr.process_batch(0, chunk, out);
+            responses.clear();
+            col.nic_ingress_burst(&out.packets, responses);
+        }
+    };
+    // Warm-up: one pass over the pool.
+    pass(&mut out, &mut responses, col, tr);
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        pass(&mut out, &mut responses, col, tr);
+        done += reports.len() as u64;
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    std::hint::black_box(&out);
+    finish_entry(name, start.elapsed(), done)
+}
+
+/// Sustained loop through the per-report [`Translator::process`] API —
+/// kept measured (as `*_single` entries) so the unbatched path's
+/// trajectory is tracked alongside the batch path.
+fn run_loop_single(
+    name: &str,
+    window: Duration,
+    reports: &[DtaReport],
+    col: &mut CollectorService,
+    tr: &mut Translator,
+) -> PerfEntry {
+    for r in reports {
+        for pkt in tr.process(0, r).packets {
+            col.nic_ingress(&pkt);
+        }
+    }
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        for r in reports {
+            for pkt in tr.process(0, r).packets {
+                col.nic_ingress(&pkt);
+            }
+        }
+        done += reports.len() as u64;
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    finish_entry(name, start.elapsed(), done)
+}
+
+fn finish_entry(name: &str, elapsed: Duration, done: u64) -> PerfEntry {
+    let ns = elapsed.as_nanos() as f64 / done as f64;
+    PerfEntry {
+        name: name.to_string(),
+        ns_per_report: ns,
+        reports_per_sec: 1e9 / ns,
+        reports: done,
+    }
+}
+
+/// Measure the full translator suite: Key-Write at N∈{1,2,4}, Postcarding,
+/// Append at B∈{1,16}, Key-Increment at N=2.
+pub fn translator_suite(window: Duration) -> Vec<PerfEntry> {
+    translator_suite_filtered(window, None)
+}
+
+/// [`translator_suite`] restricted to benchmarks whose name contains
+/// `only` (all benchmarks when `None`) — for quick paired A/B runs on
+/// noisy machines.
+pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<PerfEntry> {
+    let mut results = Vec::new();
+    let wants = |name: &str| only.is_none_or(|f| name.contains(f));
+
+    for n in [1u8, 2, 4] {
+        let reports = || -> Vec<DtaReport> {
+            (0..KEY_POOL)
+                .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), n, vec![1, 2, 3, 4]))
+                .collect()
+        };
+        if wants(&format!("key_write/{n}")) {
+            let (mut col, mut tr) = connected_pair(16);
+            results.push(run_loop(
+                &format!("key_write/{n}"),
+                window,
+                &reports(),
+                &mut col,
+                &mut tr,
+            ));
+        }
+        if wants(&format!("key_write_single/{n}")) {
+            let (mut col, mut tr) = connected_pair(16);
+            results.push(run_loop_single(
+                &format!("key_write_single/{n}"),
+                window,
+                &reports(),
+                &mut col,
+                &mut tr,
+            ));
+        }
+    }
+
+    if wants("postcarding/5hop") {
+        let (mut col, mut tr) = connected_pair(16);
+        let reports: Vec<DtaReport> = (0..KEY_POOL)
+            .flat_map(|i| {
+                let key = TelemetryKey::from_u64(i);
+                (0..5u8).map(move |hop| DtaReport::postcard(0, key, hop, 5, hop as u32 + 1))
+            })
+            .collect();
+        results.push(run_loop("postcarding/5hop", window, &reports, &mut col, &mut tr));
+    }
+
+    for batch in [1usize, 16] {
+        if !wants(&format!("append/{batch}")) {
+            continue;
+        }
+        let (mut col, mut tr) = connected_pair(batch);
+        let reports: Vec<DtaReport> = (0..KEY_POOL as u32)
+            .map(|i| DtaReport::append(i, i % 8, i.to_be_bytes().to_vec()))
+            .collect();
+        results.push(run_loop(&format!("append/{batch}"), window, &reports, &mut col, &mut tr));
+    }
+
+    if wants("key_increment/2") {
+        let (mut col, mut tr) = connected_pair(16);
+        let reports: Vec<DtaReport> = (0..KEY_POOL)
+            .map(|i| DtaReport::key_increment(0, TelemetryKey::from_u64(i % 4096), 2, 1))
+            .collect();
+        results.push(run_loop("key_increment/2", window, &reports, &mut col, &mut tr));
+    }
+
+    results
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_translator.json: {"phases": {"<label>": {"<name>": {...}, ...}}}
+// Hand-rolled read/merge/write — the build environment has no serde_json.
+// The parser accepts only what `write_json` emits.
+// ---------------------------------------------------------------------------
+
+/// Parse the phases of an existing `BENCH_translator.json`.
+///
+/// Returns `(label, entries)` pairs. Unrecognized content is discarded (the
+/// file is regenerated wholesale on every write).
+pub fn parse_phases(text: &str) -> Vec<(String, Vec<PerfEntry>)> {
+    let mut phases = Vec::new();
+    // Phase blocks look like:  "label": { "name": { "ns_per_report": ... } }
+    // Entries are the only objects containing "ns_per_report".
+    let mut current: Option<(String, Vec<PerfEntry>)> = None;
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                let tail = tail.trim_start_matches(':').trim();
+                if tail == "{" && !name.is_empty() {
+                    if name == "phases" || name == "schema" {
+                        continue;
+                    }
+                    if current.is_none() {
+                        current = Some((name.to_string(), Vec::new()));
+                    } else if let Some((_, entries)) = current.as_mut() {
+                        entries.push(PerfEntry {
+                            name: name.to_string(),
+                            ns_per_report: 0.0,
+                            reports_per_sec: 0.0,
+                            reports: 0,
+                        });
+                    }
+                    continue;
+                }
+                // Scalar field inside an entry.
+                if let Some((_, entries)) = current.as_mut() {
+                    if let Some(e) = entries.last_mut() {
+                        let val: f64 = tail.parse().unwrap_or(0.0);
+                        match name {
+                            "ns_per_report" => e.ns_per_report = val,
+                            "reports_per_sec" => e.reports_per_sec = val,
+                            "reports" => e.reports = val as u64,
+                            _ => {}
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        // A phase block closes at `}` column depth we cannot track exactly;
+        // close the current phase when we see `}` followed by another
+        // phase-level `"label": {` or end. Simplest: a lone "}" at two-space
+        // indent closes the phase.
+        if line.starts_with("    }") && !line.starts_with("      ") {
+            if let Some(done) = current.take() {
+                phases.push(done);
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        phases.push(done);
+    }
+    phases
+}
+
+/// Serialize phases into the `BENCH_translator.json` format.
+pub fn render_json(phases: &[(String, Vec<PerfEntry>)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"dta-bench/translator-v1\",\n  \"phases\": {\n");
+    for (pi, (label, entries)) in phases.iter().enumerate() {
+        s.push_str(&format!("    \"{label}\": {{\n"));
+        for (ei, e) in entries.iter().enumerate() {
+            s.push_str(&format!(
+                "      \"{}\": {{\n        \"ns_per_report\": {:.2},\n        \"reports_per_sec\": {:.0},\n        \"reports\": {}\n      }}{}\n",
+                e.name,
+                e.ns_per_report,
+                e.reports_per_sec,
+                e.reports,
+                if ei + 1 < entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("    }}{}\n", if pi + 1 < phases.len() { "," } else { "" }));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Measure the suite and merge it into `path` under `label`, replacing any
+/// existing phase with the same label.
+pub fn record_phase(path: &str, label: &str, window: Duration) -> Vec<PerfEntry> {
+    record_phase_filtered(path, label, window, None, 1)
+}
+
+/// [`record_phase`] restricted to benchmarks whose name contains `only`,
+/// repeated `repeat` times with the per-benchmark median recorded — the
+/// defense against CPU-steal spikes on shared hosts.
+pub fn record_phase_filtered(
+    path: &str,
+    label: &str,
+    window: Duration,
+    only: Option<&str>,
+    repeat: usize,
+) -> Vec<PerfEntry> {
+    let repeat = repeat.max(1);
+    let mut runs: Vec<Vec<PerfEntry>> = (0..repeat)
+        .map(|_| translator_suite_filtered(window, only))
+        .collect();
+    // Median per benchmark, by ns/report.
+    let results: Vec<PerfEntry> = (0..runs[0].len())
+        .map(|i| {
+            let mut samples: Vec<PerfEntry> =
+                runs.iter_mut().map(|r| r[i].clone()).collect();
+            samples.sort_by(|a, b| a.ns_per_report.total_cmp(&b.ns_per_report));
+            samples.swap_remove(samples.len() / 2)
+        })
+        .collect();
+    let mut phases = std::fs::read_to_string(path)
+        .map(|t| parse_phases(&t))
+        .unwrap_or_default();
+    phases.retain(|(l, _)| l != label);
+    phases.push((label.to_string(), results.clone()));
+    std::fs::write(path, render_json(&phases)).expect("write bench json");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, ns: f64) -> PerfEntry {
+        PerfEntry {
+            name: name.into(),
+            ns_per_report: ns,
+            reports_per_sec: 1e9 / ns,
+            reports: 1000,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_phases() {
+        let phases = vec![
+            ("baseline".to_string(), vec![entry("key_write/2", 812.5), entry("append/16", 97.0)]),
+            ("optimized".to_string(), vec![entry("key_write/2", 301.25)]),
+        ];
+        let text = render_json(&phases);
+        let back = parse_phases(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "baseline");
+        assert_eq!(back[0].1.len(), 2);
+        assert_eq!(back[0].1[0].name, "key_write/2");
+        assert!((back[0].1[0].ns_per_report - 812.5).abs() < 1e-9);
+        assert_eq!(back[1].1[0].name, "key_write/2");
+        assert_eq!(back[1].1[0].reports, 1000);
+    }
+
+    #[test]
+    fn suite_measures_all_primitives_quickly() {
+        let results = translator_suite(Duration::from_millis(20));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["key_write/1", "key_write_single/1", "key_write/2", "key_write_single/2",
+             "key_write/4", "key_write_single/4", "postcarding/5hop", "append/1",
+             "append/16", "key_increment/2"]
+        );
+        for e in &results {
+            assert!(e.reports_per_sec > 0.0, "{} measured nothing", e.name);
+        }
+    }
+
+    #[test]
+    fn only_filter_selects_single_benchmark() {
+        let results =
+            translator_suite_filtered(Duration::from_millis(10), Some("key_write/2"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["key_write/2"]);
+    }
+}

@@ -53,7 +53,7 @@ pub fn simulate_keywrite(
     trials: u64,
     seed: u64,
 ) -> McOutcome {
-    assert!(slots > 0 && n >= 1 && b >= 1 && b <= 32);
+    assert!(slots > 0 && n >= 1 && (1..=32).contains(&b));
     let mut rng = StdRng::seed_from_u64(seed);
     let mask: u32 = if b == 32 { u32::MAX } else { (1 << b) - 1 };
     let mut out = McOutcome { trials, ..Default::default() };
@@ -88,7 +88,7 @@ pub fn simulate_keywrite(
                 }
             }
         }
-        candidates.sort_by(|a, b| b.1.cmp(&a.1));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
         match candidates.first() {
             None => out.empty += 1,
             Some((_, top)) if candidates.len() > 1 && candidates[1].1 == *top => {
@@ -110,6 +110,7 @@ pub fn simulate_keywrite(
 /// `hops` encoded words; overwrites replace whole chunks; a chunk decodes
 /// for the queried key only if every word XORs back into the value universe
 /// (probability `((values+1)/2^b)^hops` per overwritten chunk).
+#[allow(clippy::too_many_arguments)] // mirrors the analysis' parameter list
 pub fn simulate_postcarding(
     chunks: u64,
     n: u32,

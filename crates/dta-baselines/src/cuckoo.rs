@@ -57,12 +57,10 @@ impl CuckooTable {
         // Update in place if present.
         for which in 0..2u8 {
             let b = self.hash(&key, which);
-            for slot in self.buckets[b].iter_mut() {
-                if let Some(e) = slot {
-                    if e.key == key {
-                        e.value = value;
-                        return true;
-                    }
+            for e in self.buckets[b].iter_mut().flatten() {
+                if e.key == key {
+                    e.value = value;
+                    return true;
                 }
             }
         }
@@ -93,11 +91,9 @@ impl CuckooTable {
     pub fn get(&self, key: &FlowTuple) -> Option<u32> {
         for which in 0..2u8 {
             let b = self.hash(key, which);
-            for slot in &self.buckets[b] {
-                if let Some(e) = slot {
-                    if e.key == *key {
-                        return Some(e.value);
-                    }
+            for e in self.buckets[b].iter().flatten() {
+                if e.key == *key {
+                    return Some(e.value);
                 }
             }
         }

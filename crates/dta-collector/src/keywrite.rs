@@ -159,7 +159,7 @@ impl KeyWriteStore {
                 }
             }
         }
-        if let (Some(b), Some(t1)) = (breakdown.as_deref_mut(), t1) {
+        if let (Some(b), Some(t1)) = (breakdown, t1) {
             b.get_slots_ns += t1.elapsed().as_nanos() as u64;
         }
 
@@ -169,7 +169,7 @@ impl KeyWriteStore {
         match policy {
             QueryPolicy::FirstMatch => QueryOutcome::Found(candidates.swap_remove(0).0),
             QueryPolicy::Plurality => {
-                candidates.sort_by(|a, b| b.1.cmp(&a.1));
+                candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
                 if candidates.len() > 1 && candidates[0].1 == candidates[1].1 {
                     QueryOutcome::Ambiguous
                 } else {

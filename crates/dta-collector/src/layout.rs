@@ -53,6 +53,14 @@ impl KwLayout {
     pub fn slot_va(&self, family: &HashFamily, n: usize, key: &TelemetryKey) -> u64 {
         self.base_va + self.slot_index(family, n, key) * self.slot_bytes() as u64
     }
+
+    /// Virtual address from a precomputed raw digest `h_n(key)` (the
+    /// translator's cached-digest hot path; must agree with
+    /// [`KwLayout::slot_va`]).
+    #[inline]
+    pub fn slot_va_from_digest(&self, digest: u32) -> u64 {
+        self.base_va + dta_hash::slot_of(digest, self.slots) * self.slot_bytes() as u64
+    }
 }
 
 /// Geometry of a Postcarding region (Figure 5): `chunks` chunks of `B` hop
@@ -111,6 +119,13 @@ impl PostcardLayout {
     /// chunk writes).
     pub fn chunk_va(&self, family: &HashFamily, n: usize, key: &TelemetryKey) -> u64 {
         self.base_va + self.chunk_index(family, n, key) * self.chunk_stride()
+    }
+
+    /// Chunk start address from a precomputed raw digest `h_n(key)` (must
+    /// agree with [`PostcardLayout::chunk_va`]).
+    #[inline]
+    pub fn chunk_va_from_digest(&self, digest: u32) -> u64 {
+        self.base_va + dta_hash::slot_of(digest, self.chunks) * self.chunk_stride()
     }
 }
 
@@ -171,6 +186,13 @@ impl CmsLayout {
     /// Virtual address of copy `n` of `key`'s counter.
     pub fn slot_va(&self, family: &HashFamily, n: usize, key: &TelemetryKey) -> u64 {
         self.base_va + family.slot(n, key.as_bytes(), self.slots) * Self::SLOT_BYTES as u64
+    }
+
+    /// Counter address from a precomputed raw digest `h_n(key)` (must agree
+    /// with [`CmsLayout::slot_va`]).
+    #[inline]
+    pub fn slot_va_from_digest(&self, digest: u32) -> u64 {
+        self.base_va + dta_hash::slot_of(digest, self.slots) * Self::SLOT_BYTES as u64
     }
 }
 
@@ -241,6 +263,25 @@ mod tests {
             let k = TelemetryKey::from_u64(i);
             for n in 0..4 {
                 assert_eq!(l.slot_va(&f, n, &k) % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn digest_addressing_matches_family_addressing() {
+        // The translator's cached-digest fast path and the collector's
+        // family-based query path must compute identical addresses.
+        let f = fam();
+        let kw = KwLayout { base_va: 0x1000, slots: 999, value_bytes: 4 };
+        let pc = PostcardLayout { base_va: 0x2000, chunks: 77, hops: 5, slot_bits: 32 };
+        let cms = CmsLayout { base_va: 0x3000, slots: 1234 };
+        for i in 0..200u64 {
+            let k = TelemetryKey::from_u64(i);
+            for n in 0..4 {
+                let digest = f.hash(n, k.as_bytes());
+                assert_eq!(kw.slot_va_from_digest(digest), kw.slot_va(&f, n, &k));
+                assert_eq!(pc.chunk_va_from_digest(digest), pc.chunk_va(&f, n, &k));
+                assert_eq!(cms.slot_va_from_digest(digest), cms.slot_va(&f, n, &k));
             }
         }
     }

@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn roce_over_udp_executes_and_acks() {
-        let mut svc = CollectorService::new(ServiceConfig::default());
+        // Per-packet ACKs so the single write's response is observable.
+        let mut svc = CollectorService::new(ServiceConfig {
+            nic: dta_rdma::nic::NicConfig::bluefield2().with_ack_coalesce(1),
+            ..ServiceConfig::default()
+        });
         let req = CmRequester::new(0x60, 0);
         let reply = svc.handle_cm(&req.request(SERVICE_KW));
         let (mut qp, params) = req.complete(&reply).unwrap();

@@ -50,11 +50,11 @@ pub fn parallel_kw_query(
     assert!(cores >= 1);
     let start = Instant::now();
     let chunk = keys.len().div_ceil(cores);
-    let found: u64 = crossbeam::thread::scope(|s| {
+    let found: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = keys
             .chunks(chunk.max(1))
             .map(|shard| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     shard
                         .iter()
                         .filter(|k| store.query(k, redundancy, policy).is_found())
@@ -63,8 +63,7 @@ pub fn parallel_kw_query(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("query thread panicked")).sum()
-    })
-    .expect("crossbeam scope");
+    });
     ParallelRunStats { queries: keys.len() as u64, found, elapsed: start.elapsed() }
 }
 
@@ -74,11 +73,11 @@ pub fn parallel_kw_query(
 /// at the tail pointer").
 pub fn parallel_append_poll(readers: &mut [AppendReader], polls_per_list: u64) -> ParallelRunStats {
     let start = Instant::now();
-    let total: u64 = crossbeam::thread::scope(|s| {
+    let total: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = readers
             .iter_mut()
             .map(|r| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut sink = 0u64;
                     for _ in 0..polls_per_list {
                         // Every list is polled at index 0 of its own reader.
@@ -92,8 +91,7 @@ pub fn parallel_append_poll(readers: &mut [AppendReader], polls_per_list: u64) -
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("poll thread panicked")).sum()
-    })
-    .expect("crossbeam scope");
+    });
     ParallelRunStats { queries: total, found: total, elapsed: start.elapsed() }
 }
 

@@ -221,8 +221,21 @@ impl CollectorService {
     }
 
     /// Feed one inbound RoCE packet to the NIC.
+    #[inline]
     pub fn nic_ingress(&mut self, pkt: &RocePacket) -> RxOutcome {
         self.nic.ingress(pkt)
+    }
+
+    /// Feed a burst of inbound RoCE packets to the NIC (the hot receive
+    /// path), appending due responses to `responses`. Returns the number
+    /// executed.
+    #[inline]
+    pub fn nic_ingress_burst(
+        &mut self,
+        pkts: &[RocePacket],
+        responses: &mut Vec<RocePacket>,
+    ) -> u64 {
+        self.nic.ingress_burst(pkts, responses)
     }
 
     /// Memory instructions executed so far across all regions (Figure 8).

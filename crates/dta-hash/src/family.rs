@@ -3,6 +3,22 @@
 use crate::crc::Crc32;
 use crate::polynomials::{CHECKSUM_PARAMS, INDEX_POLYS, MAX_REDUNDANCY};
 
+/// Map a 32-bit digest uniformly onto `0..slots` — the shared reduction
+/// used by both the translator's address generation and the collector's
+/// query-side recomputation (they must agree bit-for-bit).
+///
+/// For tables that fit 32 bits this is a multiply-shift (Lemire's
+/// fastrange), which the hot path prefers over a 64-bit division; larger
+/// tables fall back to modulo.
+#[inline]
+pub fn slot_of(digest: u32, slots: u64) -> u64 {
+    if slots <= u32::MAX as u64 {
+        (digest as u64 * slots) >> 32
+    } else {
+        digest as u64 % slots
+    }
+}
+
 /// A family of `n` independent hash functions `h_0 .. h_{n-1}`, each a
 /// distinct CRC32, as used by the translator to compute the `N` redundancy
 /// slots of Key-Write / Key-Increment and the `N` chunks of Postcarding.
@@ -45,13 +61,14 @@ impl HashFamily {
     }
 
     /// Slot index for member `i` over a table of `slots` entries
-    /// (`h_0(n, K) mod Buf_len` in Algorithm 1).
+    /// (`h_0(n, K) mod Buf_len` in Algorithm 1; the reduction is
+    /// [`slot_of`]).
     ///
     /// # Panics
     /// Panics if `slots` is zero.
     pub fn slot(&self, i: usize, key: &[u8], slots: u64) -> u64 {
         assert!(slots > 0, "slot table must be non-empty");
-        self.hash(i, key) as u64 % slots
+        slot_of(self.hash(i, key), slots)
     }
 
     /// All `n` slot indices for `key` (may contain duplicates when two
@@ -61,12 +78,18 @@ impl HashFamily {
     }
 }
 
+/// The shared checksum engine. Table construction builds 8KB of slice-by-8
+/// tables, so it must happen once per process, not once per call — the
+/// Postcarding hot path computes a hop checksum per report.
+fn checksum_engine() -> &'static Crc32 {
+    static ENGINE: std::sync::OnceLock<Crc32> = std::sync::OnceLock::new();
+    ENGINE.get_or_init(|| Crc32::new(CHECKSUM_PARAMS))
+}
+
 /// The 32-bit key checksum (`h1` in Algorithm 1) stored alongside telemetry
 /// values for query validation.
 pub fn checksum32(key: &[u8]) -> u32 {
-    // A fresh engine is cheap relative to clarity here; hot paths hold a
-    // cached copy via `Checksummer`.
-    Crc32::new(CHECKSUM_PARAMS).compute(key)
+    checksum_engine().compute(key)
 }
 
 /// A `b`-bit checksum (`b <= 32`), used by the Postcarding primitive where

@@ -22,9 +22,11 @@
 pub mod crc;
 pub mod family;
 pub mod polynomials;
+pub mod scratch;
 
 pub use crc::{Crc32, CrcParams};
-pub use family::{checksum32, checksum_b, Checksummer, HashFamily};
+pub use family::{checksum32, checksum_b, slot_of, Checksummer, HashFamily};
+pub use scratch::{KeyDigests, KeyScratch, ScratchStats};
 
 #[cfg(test)]
 mod tests {

@@ -53,9 +53,9 @@ mod tests {
 
     #[test]
     fn catalogue_entries_are_unique() {
-        for i in 0..INDEX_POLYS.len() {
-            for j in (i + 1)..INDEX_POLYS.len() {
-                assert_ne!(INDEX_POLYS[i], INDEX_POLYS[j]);
+        for (i, a) in INDEX_POLYS.iter().enumerate() {
+            for b in &INDEX_POLYS[i + 1..] {
+                assert_ne!(a, b);
             }
         }
     }

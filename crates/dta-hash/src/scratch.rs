@@ -1,0 +1,300 @@
+//! Per-key digest scratch cache.
+//!
+//! A Key-Write or Key-Increment report at redundancy `N` needs the key's
+//! 32-bit checksum plus `N` slot-index digests — `1 + N` CRC passes over
+//! the same 16 bytes. Real report streams have heavy key locality (the
+//! same flows keep reporting), so the translator keeps a small 2-way
+//! set-associative scratch of recently hashed keys: a hit replaces all
+//! `1 + N` CRC passes with one 16-byte compare.
+//!
+//! The scratch is deliberately small (default 16K entries ≈ 1MB) — it
+//! models the translator ASIC's SRAM, not a DRAM cache — and stores the
+//! *raw* digests, so one entry serves any slot-table size and any
+//! redundancy up to the digests it has computed.
+
+use crate::crc::Crc32;
+use crate::family::HashFamily;
+use crate::polynomials::{CHECKSUM_PARAMS, MAX_REDUNDANCY};
+
+/// Fixed key width (the DTA wire key).
+pub const KEY_BYTES: usize = 16;
+
+/// Digests of one key: checksum plus the first `computed` slot hashes.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyDigests {
+    /// `checksum32` of the key (query-validation checksum).
+    pub checksum: u32,
+    /// Raw slot-index digests `h_0(key) .. h_{computed-1}(key)` — *not*
+    /// reduced modulo any table size.
+    pub slots: [u32; MAX_REDUNDANCY],
+    /// How many slot digests are valid.
+    pub computed: u8,
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    key: [u8; KEY_BYTES],
+    digests: KeyDigests,
+    valid: bool,
+}
+
+const EMPTY: Entry = Entry {
+    key: [0; KEY_BYTES],
+    digests: KeyDigests { checksum: 0, slots: [0; MAX_REDUNDANCY], computed: 0 },
+    valid: false,
+};
+
+/// Hit/miss counters for the scratch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Lookups that found all requested digests cached.
+    pub hits: u64,
+    /// Lookups that had to run the CRC engine.
+    pub misses: u64,
+}
+
+/// A 2-way set-associative cache of per-key digests with its own CRC
+/// engines.
+///
+/// Two ways per set with a one-bit LRU make the hit rate robust against
+/// pairs of active keys hashing to the same set — the failure mode that
+/// hollows out a direct-mapped scratch under real flow working sets.
+///
+/// Owns a [`HashFamily`] and checksum engine so a lookup is self-contained;
+/// the family is shared semantics-wise with the collector (both sides build
+/// the same [`HashFamily`], see `dta-collector::layout`).
+pub struct KeyScratch {
+    family: HashFamily,
+    csum: Crc32,
+    entries: Vec<Entry>,
+    /// MRU way per set (bit-per-set would do; a byte keeps the code plain).
+    mru: Vec<u8>,
+    set_mask: usize,
+    /// Hit/miss counters.
+    pub stats: ScratchStats,
+}
+
+impl KeyScratch {
+    /// Scratch with `entries` slots (rounded up to a power of two, min 32,
+    /// organized as 2-way sets) over a family of `family_n` hash functions.
+    pub fn new(entries: usize, family_n: usize) -> Self {
+        let n = entries.next_power_of_two().max(32);
+        let sets = n / 2;
+        KeyScratch {
+            family: HashFamily::new(family_n),
+            csum: Crc32::new(CHECKSUM_PARAMS),
+            entries: vec![EMPTY; n],
+            mru: vec![0u8; sets],
+            set_mask: sets - 1,
+            stats: ScratchStats::default(),
+        }
+    }
+
+    /// Default sizing: 16K entries (≈1MB, register-file scale), full-width
+    /// family.
+    pub fn default_size() -> Self {
+        KeyScratch::new(16 * 1024, MAX_REDUNDANCY)
+    }
+
+    /// The hash family backing the slot digests.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Number of cache slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has zero slots (never true).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn set_of(key: &[u8; KEY_BYTES], mask: usize) -> usize {
+        // Full-avalanche mix (murmur3 fmix64) of the key bytes. A single
+        // multiply is NOT enough here: high input bits never diffuse into
+        // the low output bits, which collapses structured key populations
+        // (e.g. sequential ids) onto a handful of sets and zeroes the hit
+        // rate.
+        let a = u64::from_le_bytes(key[0..8].try_into().unwrap());
+        let b = u64::from_le_bytes(key[8..16].try_into().unwrap());
+        let mut h = a ^ b.rotate_left(29);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        h as usize & mask
+    }
+
+    /// Digests of `key` with at least `n` slot hashes computed, from cache
+    /// when possible.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the family width.
+    #[inline]
+    pub fn digests(&mut self, key: &[u8; KEY_BYTES], n: usize) -> KeyDigests {
+        assert!(n <= self.family.len(), "redundancy {n} exceeds family width");
+        let set = Self::set_of(key, self.set_mask);
+        let base = set * 2;
+        // Probe both ways.
+        for way in 0..2usize {
+            let e = &mut self.entries[base + way];
+            if e.valid && e.key == *key {
+                if (e.digests.computed as usize) < n {
+                    // Key cached but at lower redundancy: extend in place.
+                    for i in (e.digests.computed as usize)..n {
+                        e.digests.slots[i] = self.family.hash(i, key);
+                    }
+                    e.digests.computed = n as u8;
+                    self.stats.misses += 1;
+                } else {
+                    self.stats.hits += 1;
+                }
+                self.mru[set] = way as u8;
+                return self.entries[base + way].digests;
+            }
+        }
+        // Miss: compute and install over the LRU way.
+        self.stats.misses += 1;
+        let mut d = KeyDigests {
+            checksum: self.csum.compute(key),
+            slots: [0; MAX_REDUNDANCY],
+            computed: n as u8,
+        };
+        for i in 0..n {
+            d.slots[i] = self.family.hash(i, key);
+        }
+        let victim = 1 - self.mru[set] as usize;
+        self.entries[base + victim] = Entry { key: *key, digests: d, valid: true };
+        self.mru[set] = victim as u8;
+        d
+    }
+
+    /// Checksum of `key` (cached along the same path).
+    pub fn checksum32(&mut self, key: &[u8; KEY_BYTES]) -> u32 {
+        self.digests(key, 0).checksum
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for KeyScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyScratch")
+            .field("entries", &self.entries.len())
+            .field("family", &self.family.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{checksum32, Checksummer};
+
+    fn key(v: u64) -> [u8; KEY_BYTES] {
+        let mut k = [0u8; KEY_BYTES];
+        k[..8].copy_from_slice(&v.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn digests_match_direct_computation() {
+        let mut s = KeyScratch::new(64, 4);
+        let fam = HashFamily::new(4);
+        let cs = Checksummer::new();
+        for v in 0..200u64 {
+            let k = key(v);
+            let d = s.digests(&k, 4);
+            assert_eq!(d.checksum, cs.checksum32(&k));
+            assert_eq!(d.checksum, checksum32(&k));
+            for i in 0..4 {
+                assert_eq!(d.slots[i], fam.hash(i, &k), "slot digest {i} for key {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_key_hits() {
+        let mut s = KeyScratch::new(64, 2);
+        let k = key(42);
+        s.digests(&k, 2);
+        assert_eq!(s.stats, ScratchStats { hits: 0, misses: 1 });
+        for _ in 0..10 {
+            s.digests(&k, 2);
+        }
+        assert_eq!(s.stats, ScratchStats { hits: 10, misses: 1 });
+        assert!(s.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn two_way_sets_survive_a_conflicting_pair() {
+        // Two keys in the same set must coexist (the direct-mapped failure
+        // mode); alternate between them and expect hits after the first
+        // pass regardless of which set they land in.
+        let mut s = KeyScratch::new(32, 2);
+        let (a, b) = (key(1), key(2));
+        s.digests(&a, 2);
+        s.digests(&b, 2);
+        let misses_after_warm = s.stats.misses;
+        for _ in 0..20 {
+            s.digests(&a, 2);
+            s.digests(&b, 2);
+        }
+        assert_eq!(s.stats.misses, misses_after_warm, "alternating pair should always hit");
+        assert_eq!(s.stats.hits, 40);
+    }
+
+    #[test]
+    fn redundancy_extension_recomputes_consistently() {
+        let mut s = KeyScratch::new(64, 8);
+        let fam = HashFamily::new(8);
+        let k = key(7);
+        let d2 = s.digests(&k, 2);
+        assert_eq!(d2.computed, 2);
+        let d8 = s.digests(&k, 8);
+        assert_eq!(d8.computed, 8);
+        for i in 0..8 {
+            assert_eq!(d8.slots[i], fam.hash(i, &k));
+        }
+        // And the extension preserved the first two digests.
+        assert_eq!(d8.slots[0], d2.slots[0]);
+        assert_eq!(d8.slots[1], d2.slots[1]);
+    }
+
+    #[test]
+    fn colliding_slots_evict_and_stay_correct() {
+        // Tiny cache: plenty of evictions; correctness must not depend on
+        // hit rate.
+        let mut s = KeyScratch::new(16, 2);
+        let fam = HashFamily::new(2);
+        for round in 0..3 {
+            for v in 0..500u64 {
+                let k = key(v);
+                let d = s.digests(&k, 2);
+                assert_eq!(d.slots[0], fam.hash(0, &k), "round {round} key {v}");
+                assert_eq!(d.slots[1], fam.hash(1, &k), "round {round} key {v}");
+            }
+        }
+        assert!(s.stats.misses > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_family_redundancy_panics() {
+        let mut s = KeyScratch::new(16, 2);
+        s.digests(&key(1), 3);
+    }
+}

@@ -4,6 +4,33 @@ use dta_hash::{checksum32, checksum_b, Crc32, CrcParams, HashFamily};
 use proptest::prelude::*;
 
 proptest! {
+    /// The slice-by-8 fast path equals the byte-at-a-time oracle for every
+    /// preset parameter set, at arbitrary lengths up to 4096 and arbitrary
+    /// content.
+    #[test]
+    fn slice_by_8_equals_bytewise_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        preset in 0usize..CrcParams::ALL_PRESETS.len(),
+    ) {
+        let crc = Crc32::new(CrcParams::ALL_PRESETS[preset]);
+        prop_assert_eq!(crc.compute(&data), crc.compute_bytewise(&data));
+    }
+
+    /// Incremental slice-by-8 over arbitrary chunk boundaries equals the
+    /// oracle (chunk tails shorter than 8 bytes exercise the mixed walk).
+    #[test]
+    fn chunked_slice_by_8_equals_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        chunk in 1usize..64,
+    ) {
+        let crc = Crc32::new(CrcParams::CASTAGNOLI);
+        let mut st = crc.start();
+        for piece in data.chunks(chunk) {
+            st = crc.update(st, piece);
+        }
+        prop_assert_eq!(crc.finish(st), crc.compute_bytewise(&data));
+    }
+
     /// Incremental CRC over arbitrary chunkings equals one-shot CRC.
     #[test]
     fn incremental_equals_oneshot(

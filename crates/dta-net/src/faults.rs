@@ -119,7 +119,7 @@ impl FaultInjector {
         {
             let idx = self.rng.gen_range(0..packet.payload.len());
             let mut buf = BytesMut::from(&packet.payload[..]);
-            buf[idx] ^= 1 << self.rng.gen_range(0..8);
+            buf[idx] ^= 1u8 << self.rng.gen_range(0u8..8);
             packet.payload = Bytes::from(buf);
             self.corrupted += 1;
         }

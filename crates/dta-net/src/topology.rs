@@ -154,7 +154,7 @@ pub struct FatTree {
 impl FatTree {
     /// Build a k-ary fat-tree. `k` must be even and ≥ 2.
     pub fn new(k: u32) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree k must be even, got {k}");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even, got {k}");
         let half = k / 2;
         let n_core = half * half;
         let n_agg = k * half;

@@ -133,7 +133,7 @@ fn fat_tree_all_hosts_reach_all_hosts_k6() {
     for (i, &a) in hosts.iter().enumerate() {
         for &b in hosts.iter().skip(i + 1) {
             let hops = routing.hops(a, b).expect("reachable");
-            assert!(hops >= 2 && hops <= 6, "host path length {hops}");
+            assert!((2..=6).contains(&hops), "host path length {hops}");
         }
     }
 }

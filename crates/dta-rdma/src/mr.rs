@@ -6,11 +6,26 @@
 //! validated against the region's bounds and key before touching memory —
 //! and counted, because "memory instructions per report" is the paper's
 //! Figure 8 metric.
+//!
+//! Storage is **lock-striped**: the region is split into fixed power-of-two
+//! stripes, each behind its own `RwLock`. Slot writes landing in different
+//! stripes proceed in parallel (like DMA channels hitting different DRAM
+//! banks), and the common one-stripe access takes exactly one uncontended
+//! lock instead of the previous whole-region `RwLock`. The accessors are
+//! allocation-free: [`MemoryRegion::read_into`] copies into a caller buffer
+//! and [`MemoryRegion::with_slice`] lends a borrowed view (zero-copy when
+//! the range stays inside one stripe, which slot-sized accesses always do
+//! in practice).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+/// Stripe width in bytes. Power of two so stripe index and offset are a
+/// shift and a mask. 4KB keeps a slot access inside one stripe except when
+/// it straddles a 4KB boundary (rare: slots are tens of bytes).
+pub const STRIPE_BYTES: usize = 4096;
+const STRIPE_SHIFT: u32 = STRIPE_BYTES.trailing_zeros();
 
 /// Errors when executing an RDMA op against registered memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,24 +76,118 @@ impl MrAccess {
     pub const ATOMIC: MrAccess = MrAccess { remote_write: true, remote_atomic: true };
 }
 
-/// Memory-instruction counters (Figure 8 accounting).
+/// Query-side counters. Write/atomic instruction counts live inside the
+/// stripes (updated under the stripe lock those ops already hold) and are
+/// summed on demand — the write hot path performs no region-global atomic
+/// RMW at all.
 #[derive(Debug, Default)]
 pub struct MrStats {
-    /// RDMA WRITE operations executed.
-    pub writes: AtomicU64,
     /// FETCH_ADD operations executed.
     pub atomics: AtomicU64,
-    /// Total bytes written.
-    pub bytes_written: AtomicU64,
     /// Local read operations (collector-side queries).
     pub local_reads: AtomicU64,
 }
 
-impl MrStats {
-    /// Total memory instructions so far (one per RDMA op, as in Figure 8:
-    /// the NIC's DMA engine issues one memory transaction per operation).
-    pub fn memory_instructions(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed) + self.atomics.load(Ordering::Relaxed)
+/// One lock-striped segment of a region: its bytes plus the counters the
+/// stripe lock already serializes (cheaper than region-global atomics).
+struct Stripe {
+    buf: Box<[u8]>,
+    writes: u64,
+    bytes_written: u64,
+}
+
+/// A minimal spin rwlock specialized for stripe access: slot-sized
+/// critical sections (a bounds-checked memcpy) make parking machinery pure
+/// overhead. Writers CAS `0 -> WRITER`; readers increment while no writer
+/// holds it. Not panic-safe: a panicking critical section deadlocks the
+/// stripe instead of poisoning (acceptable for the simulator; sections
+/// contain no panicking calls).
+struct StripeLock {
+    state: AtomicU32,
+    data: UnsafeCell<Stripe>,
+}
+
+const WRITER: u32 = u32::MAX;
+
+// Safety: access to `data` is serialized by `state` (exclusive writer or
+// shared readers), exactly like a std RwLock.
+unsafe impl Sync for StripeLock {}
+unsafe impl Send for StripeLock {}
+
+impl StripeLock {
+    fn new(stripe: Stripe) -> Self {
+        StripeLock { state: AtomicU32::new(0), data: UnsafeCell::new(stripe) }
+    }
+
+    #[inline]
+    fn with_write<R>(&self, f: impl FnOnce(&mut Stripe) -> R) -> R {
+        let mut spins = 0u32;
+        while self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Safety: we hold the exclusive write lock.
+        let r = f(unsafe { &mut *self.data.get() });
+        self.state.store(0, Ordering::Release);
+        r
+    }
+
+    #[inline]
+    fn with_read<R>(&self, f: impl FnOnce(&Stripe) -> R) -> R {
+        let mut spins = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s != WRITER
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Safety: we hold a shared read lock (writers are excluded).
+        let r = f(unsafe { &*self.data.get() });
+        self.state.fetch_sub(1, Ordering::Release);
+        r
+    }
+}
+
+/// The striped backing store shared by all clones of a region.
+struct Stripes {
+    len: usize,
+    stripes: Vec<StripeLock>,
+}
+
+impl Stripes {
+    fn new(len: usize) -> Self {
+        let n = len.div_ceil(STRIPE_BYTES);
+        let mut stripes = Vec::with_capacity(n);
+        let mut left = len;
+        for _ in 0..n {
+            let sz = left.min(STRIPE_BYTES);
+            stripes.push(StripeLock::new(Stripe {
+                buf: vec![0u8; sz].into_boxed_slice(),
+                writes: 0,
+                bytes_written: 0,
+            }));
+            left -= sz;
+        }
+        Stripes { len, stripes }
     }
 }
 
@@ -86,7 +195,9 @@ impl MrStats {
 ///
 /// Interior mutability allows the simulated NIC (ingress path) and the
 /// collector's query threads to share the region, like DMA and CPU share
-/// DRAM.
+/// DRAM. Locking is per-stripe; accesses to different stripes never
+/// contend, and multi-stripe accesses take the stripe locks in ascending
+/// order (so concurrent spanning accesses cannot deadlock).
 #[derive(Clone)]
 pub struct MemoryRegion {
     /// Starting virtual address.
@@ -94,7 +205,7 @@ pub struct MemoryRegion {
     /// rkey advertised to peers.
     pub rkey: u32,
     access: MrAccess,
-    mem: Arc<RwLock<Vec<u8>>>,
+    mem: Arc<Stripes>,
     stats: Arc<MrStats>,
 }
 
@@ -104,6 +215,7 @@ impl core::fmt::Debug for MemoryRegion {
             .field("base_va", &self.base_va)
             .field("rkey", &self.rkey)
             .field("len", &self.len())
+            .field("stripes", &self.mem.stripes.len())
             .finish()
     }
 }
@@ -115,14 +227,14 @@ impl MemoryRegion {
             base_va,
             rkey,
             access,
-            mem: Arc::new(RwLock::new(vec![0u8; len])),
+            mem: Arc::new(Stripes::new(len)),
             stats: Arc::new(MrStats::default()),
         }
     }
 
     /// Region length in bytes.
     pub fn len(&self) -> usize {
-        self.mem.read().len()
+        self.mem.len
     }
 
     /// Whether the region is empty.
@@ -144,15 +256,69 @@ impl MemoryRegion {
     }
 
     /// Execute an RDMA WRITE of `data` at `va`.
+    #[inline]
     pub fn write(&self, va: u64, data: &[u8]) -> Result<(), MrError> {
         if !self.access.remote_write {
             return Err(MrError::AccessDenied);
         }
         let off = self.offset(va, data.len())?;
-        self.mem.write()[off..off + data.len()].copy_from_slice(data);
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        let stripe = off >> STRIPE_SHIFT;
+        let within = off & (STRIPE_BYTES - 1);
+        if within + data.len() <= STRIPE_BYTES {
+            // Fast path: slot-sized writes stay inside one stripe. All
+            // accounting happens under the stripe lock already held — the
+            // write path touches no region-global atomics.
+            self.mem.stripes[stripe].with_write(|s| {
+                s.buf[within..within + data.len()].copy_from_slice(data);
+                s.writes += 1;
+                s.bytes_written += data.len() as u64;
+            });
+        } else {
+            self.write_spanning(off, data);
+        }
         Ok(())
+    }
+
+    /// Slow path for writes crossing stripe boundaries: stripe locks are
+    /// taken in ascending order (no deadlock against other spanning ops).
+    /// The op counts once, on its first stripe.
+    fn write_spanning(&self, mut off: usize, data: &[u8]) {
+        let mut src = data;
+        let mut first = true;
+        while !src.is_empty() {
+            let stripe = off >> STRIPE_SHIFT;
+            let within = off & (STRIPE_BYTES - 1);
+            let take = src.len().min(STRIPE_BYTES - within);
+            self.mem.stripes[stripe].with_write(|s| {
+                s.buf[within..within + take].copy_from_slice(&src[..take]);
+                if first {
+                    s.writes += 1;
+                }
+                s.bytes_written += take as u64;
+            });
+            first = false;
+            src = &src[take..];
+            off += take;
+        }
+    }
+
+    /// RDMA WRITE operations executed (summed from the per-stripe
+    /// counters).
+    pub fn writes(&self) -> u64 {
+        self.mem.stripes.iter().map(|s| s.with_read(|st| st.writes)).sum()
+    }
+
+    /// Total bytes written into the region (summed from the per-stripe
+    /// counters).
+    pub fn bytes_written(&self) -> u64 {
+        self.mem.stripes.iter().map(|s| s.with_read(|st| st.bytes_written)).sum()
+    }
+
+    /// Total memory instructions executed against this region (one per
+    /// RDMA op, as in Figure 8: the NIC's DMA engine issues one memory
+    /// transaction per operation).
+    pub fn memory_instructions(&self) -> u64 {
+        self.writes() + self.stats.atomics.load(Ordering::Relaxed)
     }
 
     /// Execute a FETCH_ADD of `add` at `va` (8-byte, per the IB spec).
@@ -161,35 +327,114 @@ impl MemoryRegion {
         if !self.access.remote_atomic {
             return Err(MrError::AccessDenied);
         }
-        if va % 8 != 0 {
+        if !va.is_multiple_of(8) {
             return Err(MrError::Misaligned(va));
         }
         let off = self.offset(va, 8)?;
-        let mut mem = self.mem.write();
-        let old = u64::from_be_bytes(mem[off..off + 8].try_into().unwrap());
-        let new = old.wrapping_add(add);
-        mem[off..off + 8].copy_from_slice(&new.to_be_bytes());
+        // The region-relative offset must be 8B-aligned too (as with real
+        // RDMA, where registered regions are page-aligned): an unaligned
+        // base_va would otherwise let an aligned va straddle a stripe.
+        if off % 8 != 0 {
+            return Err(MrError::Misaligned(va));
+        }
+        let stripe = off >> STRIPE_SHIFT;
+        let within = off & (STRIPE_BYTES - 1);
+        let old = self.mem.stripes[stripe].with_write(|s| {
+            let word = &mut s.buf[within..within + 8];
+            let old = u64::from_be_bytes(word.as_ref().try_into().unwrap());
+            word.copy_from_slice(&old.wrapping_add(add).to_be_bytes());
+            old
+        });
         self.stats.atomics.fetch_add(1, Ordering::Relaxed);
         Ok(old)
     }
 
-    /// Local (collector-side) read of `len` bytes at `va`. Not an RDMA op;
-    /// counted separately as a query-side memory access.
-    pub fn read(&self, va: u64, len: usize) -> Result<Vec<u8>, MrError> {
+    /// Copy `dst.len()` bytes at `va` into a caller-provided buffer — the
+    /// allocation-free read used by every query path.
+    ///
+    /// Counted as a query-side memory access when `counted` paths call it
+    /// via [`MemoryRegion::read`]; use [`MemoryRegion::peek_into`] for
+    /// diagnostics.
+    pub fn read_into(&self, va: u64, dst: &mut [u8]) -> Result<(), MrError> {
+        self.copy_out(va, dst)?;
+        // Counted only on success, consistently with `with_slice`.
+        self.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// [`MemoryRegion::read_into`] without touching the query counters
+    /// (test/diagnostic use).
+    pub fn peek_into(&self, va: u64, dst: &mut [u8]) -> Result<(), MrError> {
+        self.copy_out(va, dst)
+    }
+
+    fn copy_out(&self, va: u64, dst: &mut [u8]) -> Result<(), MrError> {
+        let mut off = self.offset(va, dst.len())?;
+        let mut out = dst;
+        while !out.is_empty() {
+            let stripe = off >> STRIPE_SHIFT;
+            let within = off & (STRIPE_BYTES - 1);
+            let take = out.len().min(STRIPE_BYTES - within);
+            self.mem.stripes[stripe]
+                .with_read(|s| out[..take].copy_from_slice(&s.buf[within..within + take]));
+            out = &mut out[take..];
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Run `f` over the bytes at `[va, va+len)` without copying when the
+    /// range lies inside one stripe (slot-sized accesses always do unless
+    /// they straddle a stripe boundary, in which case the bytes are staged
+    /// through a small stack buffer — still allocation-free for ranges up
+    /// to 64 bytes, the largest slot any primitive uses).
+    ///
+    /// Counted as one query-side memory access.
+    pub fn with_slice<R>(
+        &self,
+        va: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, MrError> {
         let off = self.offset(va, len)?;
         self.stats.local_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(self.mem.read()[off..off + len].to_vec())
+        let stripe = off >> STRIPE_SHIFT;
+        let within = off & (STRIPE_BYTES - 1);
+        if within + len <= STRIPE_BYTES {
+            Ok(self.mem.stripes[stripe].with_read(|s| f(&s.buf[within..within + len])))
+        } else if len <= 64 {
+            let mut buf = [0u8; 64];
+            self.copy_out(va, &mut buf[..len])?;
+            Ok(f(&buf[..len]))
+        } else {
+            let mut buf = vec![0u8; len];
+            self.copy_out(va, &mut buf)?;
+            Ok(f(&buf))
+        }
+    }
+
+    /// Local (collector-side) read of `len` bytes at `va` into a fresh
+    /// vector. Not an RDMA op; counted separately as a query-side memory
+    /// access. Hot paths should prefer [`MemoryRegion::read_into`] /
+    /// [`MemoryRegion::with_slice`], which do not allocate.
+    pub fn read(&self, va: u64, len: usize) -> Result<Vec<u8>, MrError> {
+        let mut out = vec![0u8; len];
+        self.read_into(va, &mut out)?;
+        Ok(out)
     }
 
     /// Read without counting (test/diagnostic use).
     pub fn peek(&self, va: u64, len: usize) -> Result<Vec<u8>, MrError> {
-        let off = self.offset(va, len)?;
-        Ok(self.mem.read()[off..off + len].to_vec())
+        let mut out = vec![0u8; len];
+        self.peek_into(va, &mut out)?;
+        Ok(out)
     }
 
     /// Zero the whole region (e.g., periodic Key-Increment counter reset).
     pub fn reset(&self) {
-        self.mem.write().fill(0);
+        for stripe in &self.mem.stripes {
+            stripe.with_write(|s| s.buf.fill(0));
+        }
     }
 }
 
@@ -235,7 +480,7 @@ impl MemoryRegistry {
 
     /// Sum of memory instructions across all regions.
     pub fn memory_instructions(&self) -> u64 {
-        self.regions.iter().map(|r| r.stats().memory_instructions()).sum()
+        self.regions.iter().map(|r| r.memory_instructions()).sum()
     }
 }
 
@@ -248,8 +493,69 @@ mod tests {
         let mr = MemoryRegion::new(0x1000, 64, 1, MrAccess::WRITE);
         mr.write(0x1010, &[1, 2, 3, 4]).unwrap();
         assert_eq!(mr.read(0x1010, 4).unwrap(), vec![1, 2, 3, 4]);
-        assert_eq!(mr.stats().writes.load(Ordering::Relaxed), 1);
+        assert_eq!(mr.writes(), 1);
+        assert_eq!(mr.bytes_written(), 4);
         assert_eq!(mr.stats().local_reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn read_into_is_allocation_free_interface() {
+        let mr = MemoryRegion::new(0, 64, 1, MrAccess::WRITE);
+        mr.write(8, &[7; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        mr.read_into(8, &mut buf).unwrap();
+        assert_eq!(buf, [7; 8]);
+        assert!(matches!(
+            mr.read_into(60, &mut buf),
+            Err(MrError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn with_slice_lends_written_bytes() {
+        let mr = MemoryRegion::new(0x100, 256, 1, MrAccess::WRITE);
+        mr.write(0x180, &[9, 8, 7]).unwrap();
+        let sum = mr.with_slice(0x180, 3, |s| s.iter().map(|&b| b as u32).sum::<u32>()).unwrap();
+        assert_eq!(sum, 24);
+        assert!(mr.with_slice(0x1FF, 2, |_| ()).is_err());
+    }
+
+    #[test]
+    fn accesses_spanning_stripes_are_exact() {
+        // Region bigger than one stripe; write across the boundary.
+        let len = STRIPE_BYTES * 2 + 17;
+        let mr = MemoryRegion::new(0, len, 1, MrAccess::WRITE);
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let va = (STRIPE_BYTES - 100) as u64;
+        mr.write(va, &data).unwrap();
+        assert_eq!(mr.peek(va, data.len()).unwrap(), data);
+        // Spanning with_slice stages through a buffer but sees the same bytes.
+        let first = mr.with_slice(va, data.len(), |s| s.to_vec()).unwrap();
+        assert_eq!(first, data);
+        // Tail of the region is still addressable.
+        mr.write((len - 4) as u64, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mr.peek((len - 4) as u64, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_writers_to_distinct_stripes() {
+        let mr = MemoryRegion::new(0, STRIPE_BYTES * 8, 1, MrAccess::WRITE);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let mr = mr.clone();
+                s.spawn(move || {
+                    let base = t * STRIPE_BYTES as u64;
+                    for i in 0..64u64 {
+                        mr.write(base + i * 8, &[t as u8 + 1; 8]).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..8u64 {
+            let got = mr.peek(t * STRIPE_BYTES as u64, 8).unwrap();
+            assert_eq!(got, vec![t as u8 + 1; 8]);
+        }
+        assert_eq!(mr.writes(), 8 * 64);
     }
 
     #[test]
@@ -276,6 +582,20 @@ mod tests {
     fn misaligned_atomic_rejected() {
         let mr = MemoryRegion::new(0, 64, 1, MrAccess::ATOMIC);
         assert!(matches!(mr.fetch_add(4, 1), Err(MrError::Misaligned(4))));
+    }
+
+    #[test]
+    fn unaligned_base_va_atomic_rejected_not_panicking() {
+        // Over an unaligned base_va, an 8B-aligned va has an unaligned
+        // region offset and could straddle a stripe boundary; every
+        // atomic must error cleanly (never panic). Aligned-base regions
+        // are unaffected.
+        let mr = MemoryRegion::new(4, STRIPE_BYTES * 2, 1, MrAccess::ATOMIC);
+        let va = STRIPE_BYTES as u64; // va % 8 == 0, but off % 8 == 4
+        assert!(matches!(mr.fetch_add(va, 1), Err(MrError::Misaligned(_))));
+        assert!(matches!(mr.fetch_add(12, 1), Err(MrError::Misaligned(_))));
+        let aligned = MemoryRegion::new(8, STRIPE_BYTES * 2, 2, MrAccess::ATOMIC);
+        assert_eq!(aligned.fetch_add(16, 5).unwrap(), 0);
     }
 
     #[test]
@@ -322,6 +642,27 @@ mod tests {
             u64::from_be_bytes(mr.peek(0, 8).unwrap().try_into().unwrap()),
             1
         );
+    }
+
+    #[test]
+    fn concurrent_fetch_adds_sum_exactly() {
+        let mr = MemoryRegion::new(0, STRIPE_BYTES * 2, 1, MrAccess::ATOMIC);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mr = mr.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        mr.fetch_add(0, 1).unwrap();
+                        mr.fetch_add(STRIPE_BYTES as u64, 2).unwrap();
+                    }
+                });
+            }
+        });
+        let lo = u64::from_be_bytes(mr.peek(0, 8).unwrap().try_into().unwrap());
+        let hi =
+            u64::from_be_bytes(mr.peek(STRIPE_BYTES as u64, 8).unwrap().try_into().unwrap());
+        assert_eq!(lo, 4000);
+        assert_eq!(hi, 8000);
     }
 
     #[test]

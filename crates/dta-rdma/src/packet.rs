@@ -417,17 +417,39 @@ impl RocePacket {
 /// ICRC masks mutable fields; the simulation's PDUs are immutable in flight
 /// so a plain CRC provides the same integrity property.
 mod dta_hash_icrc {
-    /// CRC32 (IEEE, reflected) over `data`.
+    use dta_hash::{Crc32, CrcParams};
+    use std::sync::OnceLock;
+
+    /// CRC32 (IEEE, reflected) over `data`, via the shared slice-by-8
+    /// engine — this runs once per encoded/decoded packet, so it must not
+    /// be the bit-serial walk.
     pub fn icrc32(data: &[u8]) -> u32 {
-        let mut crc = 0xFFFF_FFFFu32;
-        for &b in data {
-            crc ^= b as u32;
-            for _ in 0..8 {
-                let mask = (crc & 1).wrapping_neg();
-                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        static ENGINE: OnceLock<Crc32> = OnceLock::new();
+        ENGINE.get_or_init(|| Crc32::new(CrcParams::IEEE)).compute(data)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        /// The engine-backed ICRC must equal the original bit-serial
+        /// definition (wire-format stability).
+        #[test]
+        fn matches_bit_serial_reference() {
+            fn reference(data: &[u8]) -> u32 {
+                let mut crc = 0xFFFF_FFFFu32;
+                for &b in data {
+                    crc ^= b as u32;
+                    for _ in 0..8 {
+                        let mask = (crc & 1).wrapping_neg();
+                        crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                    }
+                }
+                !crc
+            }
+            for len in [0usize, 1, 7, 8, 13, 64, 300] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+                assert_eq!(super::icrc32(&data), reference(&data), "len {len}");
             }
         }
-        !crc
     }
 }
 

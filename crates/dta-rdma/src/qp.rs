@@ -61,6 +61,9 @@ pub struct QueuePair {
     pub duplicates: u64,
     /// Count of packets accepted in order.
     pub accepted: u64,
+    /// ACK-eligible packets received since this QP last emitted an ACK
+    /// (responder-side ACK coalescing state — per-QP, as on real HCAs).
+    unacked: u32,
 }
 
 impl QueuePair {
@@ -75,6 +78,20 @@ impl QueuePair {
             naks: 0,
             duplicates: 0,
             accepted: 0,
+            unacked: 0,
+        }
+    }
+
+    /// Record one ACK-eligible packet and decide whether an ACK is due
+    /// now: every `coalesce`-th eligible packet, or immediately for
+    /// solicited packets (which also flush the pending count).
+    pub fn ack_due(&mut self, coalesce: u32, solicited: bool) -> bool {
+        self.unacked += 1;
+        if solicited || self.unacked >= coalesce.max(1) {
+            self.unacked = 0;
+            true
+        } else {
+            false
         }
     }
 

@@ -21,10 +21,17 @@ pub struct Replica<T> {
     pub item: T,
 }
 
+/// Small-group fast path width: redundancy groups live at gid 1..=8, so the
+/// dataplane lookup is an array index, not a hash.
+const SMALL_GIDS: usize = 16;
+
 /// The packet replication engine: multicast group table + replication.
 #[derive(Debug, Default)]
 pub struct MulticastEngine {
     groups: HashMap<u16, u16>,
+    /// Mirror of `groups` for gid < SMALL_GIDS (0 = not installed); the
+    /// per-packet lookup the redundancy groups take.
+    small: [u16; SMALL_GIDS],
     /// Total copies emitted (for pipeline load accounting).
     pub copies_emitted: u64,
 }
@@ -43,6 +50,9 @@ impl MulticastEngine {
     pub fn install_group(&mut self, gid: u16, copies: u16) {
         assert!(copies > 0, "a multicast group must emit at least one copy");
         self.groups.insert(gid, copies);
+        if (gid as usize) < SMALL_GIDS {
+            self.small[gid as usize] = copies;
+        }
     }
 
     /// Replication factor of `gid`.
@@ -54,9 +64,26 @@ impl MulticastEngine {
     /// each tagged with its replica id, or `None` for an uninstalled group
     /// (the ASIC would drop the packet).
     pub fn replicate<T: Clone>(&mut self, gid: u16, item: T) -> Option<Vec<Replica<T>>> {
-        let n = *self.groups.get(&gid)?;
-        self.copies_emitted += n as u64;
+        let n = self.replicate_count(gid)?;
         Some((0..n).map(|rid| Replica { rid, item: item.clone() }).collect())
+    }
+
+    /// Allocation-free replication: account for group `gid` firing once and
+    /// return its copy count, or `None` for an uninstalled group. Hot paths
+    /// iterate `0..n` as the replica ids instead of materializing
+    /// [`Replica`] values.
+    #[inline]
+    pub fn replicate_count(&mut self, gid: u16) -> Option<u16> {
+        let n = if (gid as usize) < SMALL_GIDS {
+            match self.small[gid as usize] {
+                0 => return None,
+                n => n,
+            }
+        } else {
+            *self.groups.get(&gid)?
+        };
+        self.copies_emitted += n as u64;
+        Some(n)
     }
 }
 

@@ -198,7 +198,7 @@ impl IntStack {
         if per_hop == 0 {
             return Ok(IntStack { header, hops: Vec::new() });
         }
-        if buf.remaining() % per_hop != 0 {
+        if !buf.remaining().is_multiple_of(per_hop) {
             return Err(ReportError::Truncated { need: per_hop, have: buf.remaining() % per_hop });
         }
         let mut hops = Vec::with_capacity(buf.remaining() / per_hop);

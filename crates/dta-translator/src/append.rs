@@ -7,7 +7,7 @@
 //! will read all stored items, and bring these to the egress pipeline where
 //! they are sent as a single RDMA Write packet." (§5.2)
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use dta_collector::layout::AppendLayout;
 
@@ -32,6 +32,9 @@ pub struct AppendBatcher {
     batch: usize,
     /// Per-list staged entries (the "B−1 entries in SRAM registers").
     staged: HashMap<u32, Vec<u8>>,
+    /// Lists with a non-empty partial batch. The timer flush walks only
+    /// these instead of scanning all (up to 131K) list ids.
+    dirty: BTreeSet<u32>,
     /// Per-list ring head, in entries.
     heads: HashMap<u32, u64>,
     /// Entries accepted.
@@ -59,6 +62,7 @@ impl AppendBatcher {
             layout,
             batch,
             staged: HashMap::new(),
+            dirty: BTreeSet::new(),
             heads: HashMap::new(),
             entries_in: 0,
             batches_out: 0,
@@ -102,9 +106,11 @@ impl AppendBatcher {
         let staged = self.staged.entry(list).or_default();
         staged.extend_from_slice(&entry);
         if staged.len() < self.batch * self.layout.entry_bytes as usize {
+            self.dirty.insert(list);
             return None;
         }
         let data = std::mem::take(staged);
+        self.dirty.remove(&list);
         let head = self.heads.entry(list).or_insert(0);
         let va = self.layout.entry_va(list, *head);
         *head = (*head + self.batch as u64) % self.layout.entries_per_list;
@@ -120,6 +126,17 @@ impl AppendBatcher {
             .unwrap_or(0)
     }
 
+    /// Lists currently holding a partial batch, in ascending order — the
+    /// timer flush walks exactly these.
+    pub fn dirty_lists(&self) -> impl Iterator<Item = u32> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Number of lists holding a partial batch.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
     /// Flush a partial batch for `list` (timer path), zero-padding the tail
     /// of the batch region.
     pub fn flush(&mut self, list: u32) -> Option<BatchWrite> {
@@ -127,6 +144,7 @@ impl AppendBatcher {
         if staged.is_empty() {
             return None;
         }
+        self.dirty.remove(&list);
         let mut data = std::mem::take(staged);
         data.resize(self.batch * self.layout.entry_bytes as usize, 0);
         let head = self.heads.entry(list).or_insert(0);
@@ -243,6 +261,27 @@ mod tests {
         b.push(0, &[0; 4]);
         b.push(0, &[0; 4]);
         assert_eq!(b.staged_entries(0), 2);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_partial_batches() {
+        let mut b = AppendBatcher::new(layout(8, 16), 4);
+        assert_eq!(b.dirty_count(), 0);
+        // Partial batches on lists 2 and 5.
+        b.push(2, &[0; 4]);
+        b.push(5, &[0; 4]);
+        b.push(5, &[0; 4]);
+        assert_eq!(b.dirty_lists().collect::<Vec<_>>(), vec![2, 5]);
+        // Completing list 5's batch cleans it.
+        b.push(5, &[0; 4]);
+        assert!(b.push(5, &[0; 4]).is_some());
+        assert_eq!(b.dirty_lists().collect::<Vec<_>>(), vec![2]);
+        // Flushing list 2 cleans it too.
+        assert!(b.flush(2).is_some());
+        assert_eq!(b.dirty_count(), 0);
+        // Out-of-range pushes never dirty anything.
+        b.push(99, &[0; 4]);
+        assert_eq!(b.dirty_count(), 0);
     }
 }
 

@@ -1,12 +1,24 @@
 //! DTA-to-RDMA translation (the pipeline of Figure 6).
+//!
+//! Hot-path design rules (see `DESIGN.md`):
+//!
+//! * each slot/chunk image is built **once** into an exact-capacity buffer
+//!   and all `N` redundancy replicas receive zero-copy [`Bytes`] handles to
+//!   it — never one heap copy per replica;
+//! * key digests (checksum + `N` slot hashes) come from the
+//!   [`KeyScratch`] cache, so a key that reported recently costs one
+//!   16-byte compare instead of `1 + N` CRC passes;
+//! * [`Translator::process_batch`] reuses the caller's
+//!   [`TranslatorOutput`] so steady-state batch translation does not grow
+//!   or reallocate the packet vector.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use dta_collector::layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
 use dta_collector::postcarding::{hop_checksum, ValueCodec};
 use dta_core::{DtaReport, PrimitiveHeader};
 #[cfg(test)]
 use dta_core::TelemetryKey;
-use dta_hash::{Checksummer, HashFamily};
+use dta_hash::scratch::KeyScratch;
 use dta_rdma::cm::ConnectionParams;
 use dta_rdma::packet::RocePacket;
 use dta_rdma::qp::QueuePair;
@@ -16,6 +28,77 @@ use dta_switch::MulticastEngine;
 use crate::append::AppendBatcher;
 use crate::postcard_cache::{CacheEmission, PostcardCache};
 use crate::ratelimit::{RateLimiter, RateLimiterConfig};
+
+/// Maximum slot/chunk image size served by the recycling pool; larger
+/// images fall back to a `BytesMut` build (none of the paper's primitives
+/// exceed it: Key-Write slots are `4 + value` bytes, Postcarding chunks
+/// `next_pow2(B * 4)`).
+const IMG_POOL_BUF: usize = 64;
+
+/// Image pool depth. Buffers recycle once the NIC (or whatever consumed
+/// the packets) drops them; the depth covers the packets in flight across
+/// a couple of batches before the pool falls back to fresh allocations,
+/// while staying small enough that the rotation is cache-resident (a
+/// deeper pool guarantees a cold line per build and loses to the
+/// allocator's LIFO fast path).
+const IMG_POOL_DEPTH: usize = 1024;
+
+/// A recycling pool of shared image buffers (DPDK-mempool style).
+///
+/// `build` hands out a zero-copy [`Bytes`] view of a pooled buffer when
+/// the next buffer in rotation is no longer referenced by any packet;
+/// otherwise it allocates a fresh buffer (graceful degradation when a
+/// consumer retains payloads indefinitely). In the steady state —
+/// translate, execute at the NIC, drop — the report hot path performs no
+/// heap allocation at all.
+struct ImagePool {
+    bufs: Vec<std::sync::Arc<[u8]>>,
+    next: usize,
+    /// Pool recycles (allocation-free images).
+    recycled: u64,
+    /// Fallback fresh allocations (pool buffer still referenced).
+    allocated: u64,
+}
+
+impl ImagePool {
+    fn new(depth: usize) -> Self {
+        ImagePool {
+            bufs: (0..depth)
+                .map(|_| std::sync::Arc::from([0u8; IMG_POOL_BUF].as_slice()))
+                .collect(),
+            next: 0,
+            recycled: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Produce a `len`-byte image, letting `fill` write it. `len` must be
+    /// at most [`IMG_POOL_BUF`].
+    #[inline]
+    fn build(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) -> Bytes {
+        debug_assert!(len <= IMG_POOL_BUF);
+        let at = self.next;
+        self.next = (self.next + 1) % self.bufs.len();
+        let buf = &mut self.bufs[at];
+        if let Some(bytes) = std::sync::Arc::get_mut(buf) {
+            // Sole owner: every packet that referenced this buffer is gone;
+            // reuse the allocation.
+            bytes[..len].fill(0);
+            fill(&mut bytes[..len]);
+            self.recycled += 1;
+            Bytes::from_owner(buf.clone()).slice(..len)
+        } else {
+            // Still referenced downstream: hand out a fresh full-width
+            // buffer and park it in the rotation so it can recycle later.
+            let mut staged = [0u8; IMG_POOL_BUF];
+            fill(&mut staged[..len]);
+            let arc: std::sync::Arc<[u8]> = std::sync::Arc::from(staged.as_slice());
+            self.allocated += 1;
+            self.bufs[at] = arc.clone();
+            Bytes::from_owner(arc).slice(..len)
+        }
+    }
+}
 
 /// Translator sizing and behaviour knobs.
 #[derive(Debug, Clone)]
@@ -37,6 +120,9 @@ pub struct TranslatorConfig {
     pub mtu: usize,
     /// Optional RDMA rate limiter.
     pub rate_limit: Option<RateLimiterConfig>,
+    /// Key digest scratch entries (rounded to a power of two). Models the
+    /// ASIC's per-key SRAM scratch; a hit skips all CRC work for a report.
+    pub key_scratch_entries: usize,
 }
 
 impl Default for TranslatorConfig {
@@ -50,6 +136,7 @@ impl Default for TranslatorConfig {
             append_batch: 16,
             mtu: dta_rdma::segment::MTU_1024,
             rate_limit: None,
+            key_scratch_entries: 16 * 1024,
         }
     }
 }
@@ -71,13 +158,21 @@ pub struct TranslatorStats {
     pub resyncs: u64,
 }
 
-/// The result of translating one DTA report.
+/// The result of translating one DTA report (or a batch of them).
 #[derive(Debug, Default)]
 pub struct TranslatorOutput {
     /// RoCE packets to forward to the collector NIC.
     pub packets: Vec<RocePacket>,
     /// Whether a NACK should be returned to the reporter.
     pub nack: bool,
+}
+
+impl TranslatorOutput {
+    /// Reset for reuse, keeping the packet vector's capacity.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.nack = false;
+    }
 }
 
 /// A connected per-primitive RDMA path.
@@ -89,10 +184,10 @@ struct ServiceConn {
 /// The DTA translator dataplane.
 pub struct Translator {
     config: TranslatorConfig,
-    family: HashFamily,
-    csum: Checksummer,
+    scratch: KeyScratch,
     codec: ValueCodec,
     multicast: MulticastEngine,
+    images: ImagePool,
 
     kw: Option<(ServiceConn, KwLayout)>,
     postcard: Option<(ServiceConn, PostcardLayout)>,
@@ -115,12 +210,16 @@ impl Translator {
         let cache = PostcardCache::new(config.postcard_cache_slots, config.postcard_hops);
         let codec = ValueCodec::switch_ids(config.postcard_values, config.postcard_bits);
         let limiter = config.rate_limit.map(RateLimiter::new);
+        let scratch = KeyScratch::new(
+            config.key_scratch_entries,
+            dta_hash::polynomials::MAX_REDUNDANCY,
+        );
         Translator {
             config,
-            family: HashFamily::new(dta_hash::polynomials::MAX_REDUNDANCY),
-            csum: Checksummer::new(),
+            scratch,
             codec,
             multicast,
+            images: ImagePool::new(IMG_POOL_DEPTH),
             kw: None,
             postcard: None,
             append: None,
@@ -144,6 +243,18 @@ impl Translator {
     /// The append batcher, when connected.
     pub fn append_batcher(&self) -> Option<&AppendBatcher> {
         self.append.as_ref().map(|(_, _, b)| b)
+    }
+
+    /// Hit/miss counters of the key digest scratch.
+    pub fn key_scratch_stats(&self) -> dta_hash::ScratchStats {
+        self.scratch.stats
+    }
+
+    /// Image-pool counters: `(recycled, allocated)`. In the steady state
+    /// (packets consumed downstream) `recycled` grows and `allocated`
+    /// stays flat — the report hot path is allocation-free.
+    pub fn image_pool_stats(&self) -> (u64, u64) {
+        (self.images.recycled, self.images.allocated)
     }
 
     /// Attach the Key-Write service (CM handshake result).
@@ -221,49 +332,86 @@ impl Translator {
 
     /// Translate one DTA report into RoCE packets (the ingress→egress
     /// traversal of Figure 6).
+    ///
+    /// Allocates a fresh [`TranslatorOutput`] per call; steady-state hot
+    /// loops should prefer [`Translator::process_batch`], which reuses one.
     pub fn process(&mut self, now_ns: u64, report: &DtaReport) -> TranslatorOutput {
-        self.stats.reports_in += 1;
         let mut out = TranslatorOutput::default();
+        self.process_into(now_ns, report, &mut out);
+        out
+    }
+
+    /// Translate a batch of reports, appending all packets into `out`
+    /// (cleared first, capacity retained). This is the allocation-free
+    /// steady-state entry point: after warm-up, translating a batch of
+    /// Key-Write reports performs one image build per report and no other
+    /// heap traffic in this layer.
+    pub fn process_batch(
+        &mut self,
+        now_ns: u64,
+        reports: &[DtaReport],
+        out: &mut TranslatorOutput,
+    ) {
+        out.clear();
+        for report in reports {
+            self.process_into(now_ns, report, out);
+        }
+    }
+
+    /// Translate one report, appending packets to `out`.
+    fn process_into(&mut self, now_ns: u64, report: &DtaReport, out: &mut TranslatorOutput) {
+        self.stats.reports_in += 1;
+        let packets_before = out.packets.len();
         let immediate = report.header.flags.immediate.then_some(report.header.seq);
 
         match &report.primitive {
             PrimitiveHeader::KeyWrite(h) => {
                 let Some((_, layout)) = &self.kw else {
                     self.stats.no_service += 1;
-                    return out;
+                    return;
                 };
                 let layout = *layout;
                 let n = h.redundancy as usize;
-                if !self.admit(now_ns, n as u64, report, &mut out) {
-                    return out;
+                if !self.admit(now_ns, n as u64, report, out) {
+                    return;
                 }
-                // Slot image: checksum || value, padded to the slot width.
+                // Key digests from the scratch: one lookup covers the
+                // checksum and all N slot addresses.
+                let digests = self.scratch.digests(h.key.as_bytes(), n);
+                // Slot image: checksum || value, padded to the slot width —
+                // built once, shared zero-copy by every replica. Slot-sized
+                // images come from the recycling pool (no allocation in the
+                // steady state).
                 let w = layout.value_bytes as usize;
-                let mut img = Vec::with_capacity(4 + w);
-                img.extend_from_slice(&self.csum.checksum32(h.key.as_bytes()).to_be_bytes());
                 let take = report.payload.len().min(w);
-                img.extend_from_slice(&report.payload[..take]);
-                img.resize(4 + w, 0);
+                let img = if 4 + w <= IMG_POOL_BUF {
+                    self.images.build(4 + w, |buf| {
+                        buf[..4].copy_from_slice(&digests.checksum.to_be_bytes());
+                        buf[4..4 + take].copy_from_slice(&report.payload[..take]);
+                    })
+                } else {
+                    let mut img = BytesMut::with_capacity(4 + w);
+                    img.put_u32(digests.checksum);
+                    img.extend_from_slice(&report.payload[..take]);
+                    img.resize(4 + w, 0);
+                    img.freeze()
+                };
 
                 // The PRE replicates the packet once per redundancy copy;
                 // each replica's rid selects the hash function.
-                let replicas = self
+                let copies = self
                     .multicast
-                    .replicate(n as u16, ())
+                    .replicate_count(n as u16)
                     .expect("redundancy groups pre-installed");
-                for r in replicas {
-                    let va = layout.slot_va(&self.family, r.rid as usize, &h.key);
-                    let rkey = self.kw.as_ref().expect("checked above").0.params.rkey;
+                let (conn, _) = self.kw.as_mut().expect("checked above");
+                let rkey = conn.params.rkey;
+                for rid in 0..copies as usize {
+                    let va = layout.slot_va_from_digest(digests.slots[rid]);
+                    let data = img.clone(); // refcount bump, same backing store
                     let op = match immediate {
-                        Some(imm) => RdmaOp::WriteImm {
-                            rkey,
-                            va,
-                            data: Bytes::from(img.clone()),
-                            imm,
-                        },
-                        None => RdmaOp::Write { rkey, va, data: Bytes::from(img.clone()) },
+                        Some(imm) => RdmaOp::WriteImm { rkey, va, data, imm },
+                        None => RdmaOp::Write { rkey, va, data },
                     };
-                    let conn = &mut self.kw.as_mut().expect("checked above").0;
                     out.packets.push(op.into_packet(&mut conn.qp));
                 }
             }
@@ -271,21 +419,23 @@ impl Translator {
             PrimitiveHeader::KeyIncrement(h) => {
                 let Some((_, layout)) = &self.cms else {
                     self.stats.no_service += 1;
-                    return out;
+                    return;
                 };
                 let layout = *layout;
                 let n = h.redundancy as usize;
-                if !self.admit(now_ns, n as u64, report, &mut out) {
-                    return out;
+                if !self.admit(now_ns, n as u64, report, out) {
+                    return;
                 }
-                let replicas = self
+                let digests = self.scratch.digests(h.key.as_bytes(), n);
+                let copies = self
                     .multicast
-                    .replicate(n as u16, ())
+                    .replicate_count(n as u16)
                     .expect("redundancy groups pre-installed");
-                for r in replicas {
-                    let va = layout.slot_va(&self.family, r.rid as usize, &h.key);
-                    let (conn, _) = self.cms.as_mut().expect("checked above");
-                    let op = RdmaOp::FetchAdd { rkey: conn.params.rkey, va, add: h.delta };
+                let (conn, _) = self.cms.as_mut().expect("checked above");
+                let rkey = conn.params.rkey;
+                for rid in 0..copies as usize {
+                    let va = layout.slot_va_from_digest(digests.slots[rid]);
+                    let op = RdmaOp::FetchAdd { rkey, va, add: h.delta };
                     out.packets.push(op.into_packet(&mut conn.qp));
                 }
             }
@@ -293,13 +443,13 @@ impl Translator {
             PrimitiveHeader::Append(h) => {
                 let Some((_, _, batcher)) = &mut self.append else {
                     self.stats.no_service += 1;
-                    return out;
+                    return;
                 };
                 let Some(batch) = batcher.push(h.list_id, &report.payload) else {
-                    return out; // staged or invalid list
+                    return; // staged or invalid list
                 };
-                if !self.admit(now_ns, 1, report, &mut out) {
-                    return out;
+                if !self.admit(now_ns, 1, report, out) {
+                    return;
                 }
                 let mtu = self.config.mtu;
                 let (conn, _, _) = self.append.as_mut().expect("checked above");
@@ -335,34 +485,32 @@ impl Translator {
             PrimitiveHeader::Postcarding(h) => {
                 if self.postcard.is_none() {
                     self.stats.no_service += 1;
-                    return out;
+                    return;
                 }
                 let word = hop_checksum(&h.key, h.hop, self.config.postcard_bits)
                     ^ self.codec.encode(Some(h.value));
                 let emissions = self.cache.insert(&h.key, h.hop, h.path_len, word);
                 for emission in emissions {
-                    self.emit_postcard_chunk(now_ns, &emission, report, &mut out);
+                    self.emit_postcard_chunk(now_ns, &emission, report, out);
                 }
             }
         }
-        self.stats.rdma_out += out.packets.len() as u64;
-        out
+        self.stats.rdma_out += (out.packets.len() - packets_before) as u64;
     }
 
     /// Flush translator-held state (cache rows, partial batches) — the
-    /// periodic timer path.
+    /// periodic timer path. Only lists with a partial batch are visited
+    /// (via the batcher's dirty set), not the full list id space.
     pub fn flush(&mut self, now_ns: u64) -> TranslatorOutput {
         let mut out = TranslatorOutput::default();
         for emission in self.cache.flush() {
             let fake = DtaReport::postcard(0, emission.key, 0, 0, 0);
             self.emit_postcard_chunk(now_ns, &emission, &fake, &mut out);
         }
-        if let Some((_, layout, _)) = &self.append {
-            let lists = layout.lists;
-            for list in 0..lists {
-                let (_, _, batcher) = self.append.as_mut().expect("just matched");
+        if let Some((conn, _, batcher)) = self.append.as_mut() {
+            let dirty: Vec<u32> = batcher.dirty_lists().collect();
+            for list in dirty {
                 let Some(batch) = batcher.flush(list) else { continue };
-                let (conn, _, _) = self.append.as_mut().expect("just matched");
                 let op = RdmaOp::Write {
                     rkey: conn.params.rkey,
                     va: batch.va,
@@ -376,7 +524,7 @@ impl Translator {
     }
 
     /// Emit one aggregated postcard chunk (complete or early) as `N` chunk
-    /// writes.
+    /// writes sharing a single image build.
     fn emit_postcard_chunk(
         &mut self,
         now_ns: u64,
@@ -393,23 +541,39 @@ impl Translator {
         // Fill unseen hops with blank codewords so every chunk write covers
         // all B slots (§4: "each flow always writes all B hops' values").
         let blank = self.codec.encode(None);
-        let mut img = Vec::with_capacity(layout.chunk_stride() as usize);
-        for hop in 0..layout.hops {
-            let word = emission.words[hop as usize].unwrap_or_else(|| {
-                hop_checksum(&emission.key, hop, layout.slot_bits) ^ blank
-            });
-            img.extend_from_slice(&word.to_be_bytes());
-        }
-        img.resize(layout.chunk_stride() as usize, 0);
+        let stride = layout.chunk_stride() as usize;
+        let img = if stride <= IMG_POOL_BUF {
+            self.images.build(stride, |buf| {
+                for hop in 0..layout.hops {
+                    let word = emission.words[hop as usize].unwrap_or_else(|| {
+                        hop_checksum(&emission.key, hop, layout.slot_bits) ^ blank
+                    });
+                    buf[hop as usize * 4..hop as usize * 4 + 4]
+                        .copy_from_slice(&word.to_be_bytes());
+                }
+            })
+        } else {
+            let mut img = BytesMut::with_capacity(stride);
+            for hop in 0..layout.hops {
+                let word = emission.words[hop as usize].unwrap_or_else(|| {
+                    hop_checksum(&emission.key, hop, layout.slot_bits) ^ blank
+                });
+                img.put_u32(word);
+            }
+            img.resize(stride, 0);
+            img.freeze()
+        };
 
-        let replicas = self
+        let digests = self.scratch.digests(emission.key.as_bytes(), n);
+        let copies = self
             .multicast
-            .replicate(n as u16, ())
+            .replicate_count(n as u16)
             .expect("redundancy groups pre-installed");
-        for r in replicas {
-            let va = layout.chunk_va(&self.family, r.rid as usize, &emission.key);
-            let (conn, _) = self.postcard.as_mut().expect("caller checked service");
-            let op = RdmaOp::Write { rkey: conn.params.rkey, va, data: Bytes::from(img.clone()) };
+        let (conn, _) = self.postcard.as_mut().expect("caller checked service");
+        let rkey = conn.params.rkey;
+        for rid in 0..copies as usize {
+            let va = layout.chunk_va_from_digest(digests.slots[rid]);
+            let op = RdmaOp::Write { rkey, va, data: img.clone() };
             out.packets.push(op.into_packet(&mut conn.qp));
         }
     }
@@ -613,6 +777,160 @@ mod tests {
         // After resync the stream flows again.
         let out4 = tr.process(0, &DtaReport::key_write(3, TelemetryKey::from_u64(4), 1, vec![0; 4]));
         run(&mut svc, out4);
+    }
+
+    #[test]
+    fn replicas_share_one_slot_image_zero_copy() {
+        // Acceptance: redundancy-N fan-out performs exactly one slot-image
+        // build; every replica's payload is a zero-copy handle to the same
+        // backing store (pointer identity), not a per-replica heap copy.
+        let (_svc, mut tr) = connected();
+        for n in [2u8, 4, 8] {
+            let report =
+                DtaReport::key_write(0, TelemetryKey::from_u64(900 + n as u64), n, vec![9; 4]);
+            let out = tr.process(0, &report);
+            assert_eq!(out.packets.len(), n as usize);
+            let first = out.packets[0].payload.as_ptr();
+            for pkt in &out.packets {
+                assert_eq!(
+                    pkt.payload.as_ptr(),
+                    first,
+                    "replica payload was copied instead of shared (N={n})"
+                );
+                assert_eq!(pkt.payload.len(), out.packets[0].payload.len());
+            }
+        }
+    }
+
+    #[test]
+    fn postcard_replicas_share_one_chunk_image() {
+        let (mut svc, _) = connected();
+        let mut tr = Translator::new(TranslatorConfig {
+            postcard_redundancy: 3,
+            ..TranslatorConfig::default()
+        });
+        let req = CmRequester::new(0x99, 0);
+        let reply = svc.handle_cm(&req.request(SERVICE_POSTCARD));
+        let (qp, params) = req.complete(&reply).unwrap();
+        tr.connect_postcarding(qp, params);
+        let key = TelemetryKey::from_u64(31337);
+        let mut last = Vec::new();
+        for hop in 0..5u8 {
+            let out = tr.process(0, &DtaReport::postcard(0, key, hop, 5, 7));
+            if !out.packets.is_empty() {
+                last = out.packets;
+            }
+        }
+        assert_eq!(last.len(), 3, "N=3 chunk writes");
+        let first = last[0].payload.as_ptr();
+        for pkt in &last {
+            assert_eq!(pkt.payload.as_ptr(), first, "chunk image copied per replica");
+        }
+    }
+
+    #[test]
+    fn process_batch_reuses_output_and_matches_process() {
+        let (mut svc, mut tr) = connected();
+        let reports: Vec<DtaReport> = (0..64u64)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), 2, vec![i as u8; 4]))
+            .collect();
+        let mut out = TranslatorOutput::default();
+        tr.process_batch(0, &reports, &mut out);
+        assert_eq!(out.packets.len(), 128, "64 reports x N=2");
+        let cap = out.packets.capacity();
+        for pkt in &out.packets {
+            assert!(matches!(svc.nic_ingress(pkt), RxOutcome::Executed(_)));
+        }
+        // Re-running a same-size batch must not grow the packet vector.
+        let reports2: Vec<DtaReport> = (0..64u64)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(1000 + i), 2, vec![3; 4]))
+            .collect();
+        tr.process_batch(0, &reports2, &mut out);
+        assert_eq!(out.packets.len(), 128);
+        assert_eq!(out.packets.capacity(), cap, "packet vector reallocated");
+        for pkt in &out.packets {
+            assert!(matches!(svc.nic_ingress(pkt), RxOutcome::Executed(_)));
+        }
+        // And the data landed: spot-check a key from each batch.
+        let kw = svc.keywrite.as_ref().unwrap();
+        for k in [5u64, 1005] {
+            assert!(kw
+                .query(&TelemetryKey::from_u64(k), 2, dta_collector::QueryPolicy::Plurality)
+                .is_found());
+        }
+    }
+
+    #[test]
+    fn key_scratch_accelerates_repeated_keys() {
+        let (mut svc, mut tr) = connected();
+        let key = TelemetryKey::from_u64(77);
+        for _ in 0..50 {
+            let out = tr.process(0, &DtaReport::key_write(0, key, 2, vec![1; 4]));
+            run(&mut svc, out);
+        }
+        let stats = tr.key_scratch_stats();
+        assert_eq!(stats.misses, 1, "one CRC pass for 50 same-key reports");
+        assert_eq!(stats.hits, 49);
+        // Correctness unaffected: the key queries back.
+        let kw = svc.keywrite.as_ref().unwrap();
+        assert!(kw.query(&key, 2, dta_collector::QueryPolicy::Plurality).is_found());
+    }
+
+    #[test]
+    fn steady_state_hot_path_recycles_images() {
+        // Acceptance: once packets are consumed downstream, the translator
+        // stops allocating — every image comes from the recycling pool.
+        let (mut svc, mut tr) = connected();
+        for round in 0u64..3 {
+            for i in 0..8192u64 {
+                let r = DtaReport::key_write(0, TelemetryKey::from_u64(i), 2, vec![1; 4]);
+                let out = tr.process(0, &r);
+                run(&mut svc, out); // packets dropped here -> buffers free
+            }
+            let (recycled, allocated) = tr.image_pool_stats();
+            assert_eq!(recycled + allocated, (round + 1) * 8192);
+            assert_eq!(allocated, 0, "steady-state hot path allocated images");
+        }
+    }
+
+    #[test]
+    fn image_pool_degrades_gracefully_when_packets_are_retained() {
+        // A consumer that holds onto every packet forces fallback
+        // allocations (never corruption): retained payloads must keep
+        // their contents even after the pool index wraps.
+        let (_svc, mut tr) = connected();
+        let mut retained = Vec::new();
+        let total = super::IMG_POOL_DEPTH + 100;
+        for i in 0..total as u32 {
+            let r = DtaReport::key_write(0, TelemetryKey::from_u64(i as u64), 1, i.to_be_bytes().to_vec());
+            retained.push(tr.process(0, &r).packets.remove(0));
+        }
+        let (_, allocated) = tr.image_pool_stats();
+        assert!(allocated >= 100, "pool wrap must fall back to fresh buffers");
+        // Every retained payload still carries its own report's value
+        // (4B checksum || 4B value at the default slot width).
+        for (i, pkt) in retained.iter().enumerate() {
+            assert_eq!(
+                &pkt.payload[4..8],
+                &(i as u32).to_be_bytes(),
+                "payload {i} was clobbered by pool reuse"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_visits_only_dirty_lists() {
+        let (mut svc, mut tr) = connected();
+        // Stage partial batches on 3 of the 16 lists.
+        for list in [1u32, 7, 11] {
+            run(&mut svc, tr.process(0, &DtaReport::append(0, list, vec![5; 4])));
+        }
+        assert_eq!(tr.append_batcher().unwrap().dirty_count(), 3);
+        let out = tr.flush(0);
+        assert_eq!(out.packets.len(), 3, "exactly one write per dirty list");
+        run(&mut svc, out);
+        assert_eq!(tr.append_batcher().unwrap().dirty_count(), 0);
+        assert!(tr.flush(0).packets.is_empty(), "second flush has nothing to do");
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of the `bytes` API that DTA uses, with the same
+//! semantics that matter to the hot path:
+//!
+//! * [`Bytes`] is a cheaply clonable, reference-counted view: `clone()` and
+//!   [`Bytes::slice`] are O(1) and share the underlying buffer (no copy).
+//! * [`BytesMut`] is a growable build buffer whose [`BytesMut::freeze`]
+//!   transfers ownership into a [`Bytes`] without copying.
+//! * [`Buf`] / [`BufMut`] are the big-endian cursor traits used by every
+//!   wire codec in the repo.
+//!
+//! Zero-copy behaviour is observable: slices of the same `Bytes` report the
+//! same backing-store pointer (the property the translator's redundancy
+//! fan-out tests assert).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+    /// Exact-size shared slice: one allocation holds header and bytes
+    /// together ([`Bytes::copy_from_slice`]'s hot-path representation).
+    Slice(Arc<[u8]>),
+}
+
+/// A cheaply clonable, immutable, reference-counted byte buffer view.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]), start: 0, end: 0 }
+    }
+
+    /// Wrap a static slice (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(s), start: 0, end: s.len() }
+    }
+
+    /// Copy a slice into a fresh shared buffer (a single allocation).
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes { repr: Repr::Slice(Arc::from(s)), start: 0, end: s.len() }
+    }
+
+    /// Wrap an externally owned shared buffer without copying (the shim's
+    /// version of `Bytes::from_owner`, restricted to `Arc<[u8]>`). The
+    /// caller may keep its own reference — e.g., a recycling buffer pool
+    /// that reuses the allocation once all `Bytes` views drop.
+    pub fn from_owner(owner: Arc<[u8]>) -> Self {
+        let end = owner.len();
+        Bytes { repr: Repr::Slice(owner), start: 0, end }
+    }
+
+    /// View of the bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.start..self.end],
+            Repr::Shared(a) => &a[self.start..self.end],
+            Repr::Slice(a) => &a[self.start..self.end],
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// O(1) sub-view sharing the same backing store (no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice [{begin}, {end}) out of range for length {len}");
+        Bytes { repr: self.repr.clone(), start: self.start + begin, end: self.start + end }
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self` past them.
+    /// O(1); both halves share the backing store.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to({at}) out of range for length {}", self.len());
+        let head = Bytes { repr: self.repr.clone(), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl<I: std::slice::SliceIndex<[u8]>> std::ops::Index<I> for Bytes {
+    type Output = I::Output;
+    #[inline]
+    fn index(&self, index: I) -> &Self::Output {
+        &self.as_slice()[index]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable byte build buffer; [`BytesMut::freeze`] converts it into a
+/// shareable [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append a slice.
+    #[inline]
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Resize, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Truncate to `len`.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Convert into an immutable, shareable [`Bytes`] (ownership transfer,
+    /// no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Take the contents, leaving an empty buffer that retains no capacity.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { vec: std::mem::take(&mut self.vec) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl<'a> From<&'a [u8]> for BytesMut {
+    fn from(s: &'a [u8]) -> Self {
+        BytesMut { vec: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+impl<I: std::slice::SliceIndex<[u8]>> std::ops::Index<I> for BytesMut {
+    type Output = I::Output;
+    #[inline]
+    fn index(&self, index: I) -> &Self::Output {
+        &self.vec[index]
+    }
+}
+
+impl<I: std::slice::SliceIndex<[u8]>> std::ops::IndexMut<I> for BytesMut {
+    #[inline]
+    fn index_mut(&mut self, index: I) -> &mut Self::Output {
+        &mut self.vec[index]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.vec), f)
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Read cursor over a byte source. All multi-byte reads are big-endian,
+/// matching the network byte order of every DTA codec.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Copy the next `len` bytes into an owned [`Bytes`], advancing.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let mut v = vec![0u8; len];
+        self.copy_to_slice(&mut v);
+        Bytes::from(v)
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance({cnt}) past end of buffer");
+        self.start += cnt;
+    }
+
+    /// Zero-copy: the returned [`Bytes`] shares this buffer's backing store.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len)
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        (**self).copy_to_bytes(len)
+    }
+}
+
+/// Write cursor over a growable byte sink. All multi-byte writes are
+/// big-endian.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.vec.resize(self.vec.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        (**self).put_bytes(val, cnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_backing_store() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s1 = b.slice(1..4);
+        let s2 = b.clone();
+        assert_eq!(s1.as_slice(), &[2, 3, 4]);
+        assert_eq!(s1.as_ptr(), unsafe { b.as_ptr().add(1) });
+        assert_eq!(s2.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn freeze_is_ownership_transfer() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32(0xDEAD_BEEF);
+        let ptr = m.as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(b.as_slice(), &0xDEAD_BEEFu32.to_be_bytes());
+    }
+
+    #[test]
+    fn buf_roundtrip_be() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_u16(2);
+        m.put_u32(3);
+        m.put_u64(4);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u16(), 2);
+        assert_eq!(b.get_u32(), 3);
+        assert_eq!(b.get_u64(), 4);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_bytes_on_bytes_is_zero_copy() {
+        let mut b = Bytes::from(vec![9u8; 32]);
+        let base = b.as_ptr();
+        let head = b.copy_to_bytes(8);
+        assert_eq!(head.as_ptr(), base);
+        assert_eq!(b.as_ptr(), unsafe { base.add(8) });
+        assert_eq!(b.remaining(), 24);
+    }
+
+    #[test]
+    fn static_bytes_do_not_allocate() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.slice(1..3).as_slice(), b"el");
+        assert_eq!(&b[..], b"hello");
+    }
+
+    #[test]
+    fn index_and_eq() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1..], [2, 3]);
+        assert_eq!(b, vec![1, 2, 3]);
+        let mut m = BytesMut::from(&b[..]);
+        m[0] = 7;
+        assert_eq!(&m[..], &[7, 2, 3]);
+    }
+}

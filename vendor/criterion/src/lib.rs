@@ -1,0 +1,331 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the measurement surface the repo's benches use — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! warmup-then-measure wall-clock loop. Bench targets must set
+//! `harness = false` (as with the real crate).
+//!
+//! Measurement model: the routine is timed in growing batches during the
+//! warm-up window to calibrate an iteration count that fills the
+//! measurement window, then timed once at that count. Results print as
+//! `group/id  time: [.. per-iter ..]  thrpt: [..]` lines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation: how much work one iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (reports, packets, ops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Bare parameter id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    #[inline]
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/id` label.
+    pub label: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Throughput annotation in effect.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Work units per second implied by the throughput annotation.
+    pub fn rate(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            per_iter / (self.ns_per_iter * 1e-9)
+        })
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(r: f64, unit: &str) -> String {
+    if r >= 1e9 {
+        format!("{:.3} G{unit}/s", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.3} M{unit}/s", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.3} K{unit}/s", r / 1e3)
+    } else {
+        format!("{r:.1} {unit}/s")
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    /// All measurements taken so far (inspectable by custom harnesses).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Respect the bench binary's CLI filter (cargo bench passes
+        // `--bench`; a bare positional arg filters by substring).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+            filter,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (kept for API compatibility; the
+    /// stand-in measures one large sample).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Bench outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up + calibration: grow the batch until the routine has run
+        // for the warm-up window, estimating per-iteration cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut per_iter_ns = f64::MAX;
+        while warm_start.elapsed() < self.warm_up {
+            f(&mut b);
+            let est = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            if est > 0.0 {
+                per_iter_ns = per_iter_ns.min(est.max(0.1));
+            }
+            b.iters = (b.iters * 2).min(1 << 24);
+        }
+        if per_iter_ns == f64::MAX {
+            per_iter_ns = 1.0;
+        }
+        // One measurement filling the window.
+        let target = self.measurement.as_nanos() as f64;
+        b.iters = ((target / per_iter_ns) as u64).clamp(1, 1 << 32);
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+
+        let m = Measurement { label: label.clone(), ns_per_iter: ns, iters: b.iters, throughput };
+        let thrpt = m
+            .rate()
+            .map(|r| {
+                let unit = match throughput {
+                    Some(Throughput::Bytes(_)) => "B",
+                    _ => "elem",
+                };
+                format!("  thrpt: [{}]", human_rate(r, unit))
+            })
+            .unwrap_or_default();
+        println!("{label:<44} time: [{}]{}", human_time(ns), thrpt);
+        self.measurements.push(m);
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Bench a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let t = self.throughput;
+        self.c.run_one(label, t, f);
+        self
+    }
+
+    /// Bench a closure that receives `input` under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.c.run_one(label, t, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].ns_per_iter > 0.0);
+        assert!(c.measurements[0].rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("key_write", 4).id, "key_write/4");
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No serialization machinery exists: the repo's wire formats
+//! are hand-rolled codecs and never go through serde.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repo only uses `#[derive(Serialize, Deserialize)]` as metadata — no
+//! code path actually serializes through serde (the wire formats are all
+//! hand-rolled big-endian codecs). These derives therefore accept the input
+//! and expand to nothing, which keeps the annotations compiling without the
+//! real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
