@@ -157,12 +157,42 @@ fn bench_sustained(c: &mut Criterion) {
     g.finish();
 }
 
+/// Shard-count scaling of the multi-threaded pipeline on the key_write N=2
+/// workload. Each iteration ingests the whole pool through the sharded
+/// dispatcher and barriers on `wait_idle`, so the measured time covers
+/// route + enqueue + parallel translate + parallel RDMA execute. Meaningful
+/// scaling needs `shards + 1` free cores; on fewer, the curve flattens into
+/// queue-handoff overhead (still worth tracking — it is the price of the
+/// sharded path).
+fn bench_sharded_scaling(c: &mut Criterion) {
+    use dta_translator::{ShardedConfig, ShardedTranslator};
+    const POOL: u64 = 4096;
+
+    let mut g = c.benchmark_group("translator_sharded");
+    g.throughput(Throughput::Elements(POOL));
+    for shards in [1usize, 2, 4, 8] {
+        let reports: Vec<_> = (0..POOL)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), 2, vec![1, 2, 3, 4]))
+            .collect();
+        let mut col = CollectorService::new(ServiceConfig::default());
+        let mut st = ShardedTranslator::connect(ShardedConfig::with_shards(shards), &mut col);
+        g.bench_with_input(BenchmarkId::new("key_write_n2", shards), &shards, |b, _| {
+            b.iter(|| {
+                st.ingest_batch(0, reports.iter().cloned());
+                st.wait_idle();
+            })
+        });
+        st.flush_and_join();
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_millis(600))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_translate_and_execute, bench_sustained
+    targets = bench_translate_and_execute, bench_sustained, bench_sharded_scaling
 }
 criterion_main!(benches);

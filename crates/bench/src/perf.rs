@@ -16,7 +16,9 @@ use dta_collector::service::{
 };
 use dta_core::{DtaReport, TelemetryKey};
 use dta_rdma::cm::CmRequester;
-use dta_translator::{Translator, TranslatorConfig, TranslatorOutput};
+use dta_translator::{
+    ShardedConfig, ShardedTranslator, Translator, TranslatorConfig, TranslatorOutput,
+};
 
 /// One measured pipeline configuration.
 #[derive(Debug, Clone)]
@@ -133,6 +135,46 @@ fn run_loop_single(
     finish_entry(name, start.elapsed(), done)
 }
 
+/// Shard counts measured by the `key_write_sharded/*` scaling entries.
+pub const SHARD_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sustained loop through the sharded pipeline: the ingest side routes and
+/// enqueues (cloning `Bytes`-backed reports is a refcount bump, the real
+/// dispatch cost), shard workers translate and execute concurrently, and
+/// the window closes on a `wait_idle` barrier so every counted report has
+/// actually landed in collector memory.
+///
+/// NOTE: scaling beyond 1 requires as many free cores as shards (+1 for
+/// ingest); on core-starved hosts these entries measure queue/scheduling
+/// overhead, not parallel speedup — compare against the host's
+/// `key_write/2` from the same phase, not across machines.
+fn run_loop_sharded(
+    name: &str,
+    window: Duration,
+    shards: usize,
+    reports: &[DtaReport],
+    col: &mut CollectorService,
+) -> PerfEntry {
+    let mut st = ShardedTranslator::connect(ShardedConfig::with_shards(shards), col);
+    // Warm-up: one pass over the pool.
+    st.ingest_batch(0, reports.iter().cloned());
+    st.wait_idle();
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        st.ingest_batch(0, reports.iter().cloned());
+        done += reports.len() as u64;
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    // Everything ingested must finish inside the measured interval.
+    st.wait_idle();
+    let elapsed = start.elapsed();
+    st.flush_and_join();
+    finish_entry(name, elapsed, done)
+}
+
 fn finish_entry(name: &str, elapsed: Duration, done: u64) -> PerfEntry {
     let ns = elapsed.as_nanos() as f64 / done as f64;
     PerfEntry {
@@ -149,12 +191,19 @@ pub fn translator_suite(window: Duration) -> Vec<PerfEntry> {
     translator_suite_filtered(window, None)
 }
 
-/// [`translator_suite`] restricted to benchmarks whose name contains
-/// `only` (all benchmarks when `None`) — for quick paired A/B runs on
-/// noisy machines.
+/// [`translator_suite`] restricted to one benchmark (exact name, e.g.
+/// `key_write/2`) or one family (name prefix up to a `/`, e.g. `key_write`
+/// or `key_write_sharded`); all benchmarks when `None`. The anchored match
+/// keeps quick paired A/B selections stable as suffixed benchmark families
+/// are added (`--only key_write` must not start spinning up the sharded
+/// thread pools).
 pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<PerfEntry> {
     let mut results = Vec::new();
-    let wants = |name: &str| only.is_none_or(|f| name.contains(f));
+    let wants = |name: &str| {
+        only.is_none_or(|f| {
+            name == f || (name.starts_with(f) && name[f.len()..].starts_with('/'))
+        })
+    };
 
     for n in [1u8, 2, 4] {
         let reports = || -> Vec<DtaReport> {
@@ -212,6 +261,25 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
             .map(|i| DtaReport::key_increment(0, TelemetryKey::from_u64(i % 4096), 2, 1))
             .collect();
         results.push(run_loop("key_increment/2", window, &reports, &mut col, &mut tr));
+    }
+
+    // Sharded scaling: `key_write_sharded/S` is the key_write/2 workload
+    // through the multi-threaded pipeline at S shards.
+    for shards in SHARD_POINTS {
+        if !wants(&format!("key_write_sharded/{shards}")) {
+            continue;
+        }
+        let mut col = CollectorService::new(ServiceConfig::default());
+        let reports: Vec<DtaReport> = (0..KEY_POOL)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), 2, vec![1, 2, 3, 4]))
+            .collect();
+        results.push(run_loop_sharded(
+            &format!("key_write_sharded/{shards}"),
+            window,
+            shards,
+            &reports,
+            &mut col,
+        ));
     }
 
     results
@@ -382,7 +450,8 @@ mod tests {
             names,
             ["key_write/1", "key_write_single/1", "key_write/2", "key_write_single/2",
              "key_write/4", "key_write_single/4", "postcarding/5hop", "append/1",
-             "append/16", "key_increment/2"]
+             "append/16", "key_increment/2", "key_write_sharded/1", "key_write_sharded/2",
+             "key_write_sharded/4", "key_write_sharded/8"]
         );
         for e in &results {
             assert!(e.reports_per_sec > 0.0, "{} measured nothing", e.name);
@@ -395,5 +464,23 @@ mod tests {
             translator_suite_filtered(Duration::from_millis(10), Some("key_write/2"));
         let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["key_write/2"]);
+    }
+
+    #[test]
+    fn only_filter_is_family_anchored_not_substring() {
+        // `key_write` selects its own family only — not key_write_single
+        // and, critically, not the thread-spawning key_write_sharded runs.
+        let results = translator_suite_filtered(Duration::from_millis(10), Some("key_write"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["key_write/1", "key_write/2", "key_write/4"]);
+        // A suffixed family is selectable by its own prefix.
+        let sharded =
+            translator_suite_filtered(Duration::from_millis(10), Some("key_write_sharded"));
+        let names: Vec<&str> = sharded.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["key_write_sharded/1", "key_write_sharded/2", "key_write_sharded/4",
+             "key_write_sharded/8"]
+        );
     }
 }

@@ -220,6 +220,27 @@ impl CollectorService {
         reply
     }
 
+    /// A per-shard NIC endpoint: a fresh `RdmaNic` whose registry holds
+    /// clones of this collector's region handles. The striped backing
+    /// stores are shared — writes through a shard endpoint land in exactly
+    /// the memory the stores query — while QP state, segmentation cursors,
+    /// and stats are endpoint-private, so shard threads can drive ingress
+    /// concurrently with no shared mutable state beyond the stripes.
+    pub fn shard_nic(&self) -> RdmaNic {
+        RdmaNic::with_registry(self.nic.perf.config(), self.nic.memory.clone())
+    }
+
+    /// Handle a CM request for a shard connection: mint a dedicated
+    /// responder QP (own PSN domain) and install it into the shard's NIC
+    /// endpoint instead of the collector's main NIC.
+    pub fn handle_cm_shard(&mut self, event: &CmEvent, shard: &mut RdmaNic) -> CmEvent {
+        let (reply, qp) = self.cm.handle_dedicated(event);
+        if let Some(qp) = qp {
+            shard.add_qp(qp);
+        }
+        reply
+    }
+
     /// Feed one inbound RoCE packet to the NIC.
     #[inline]
     pub fn nic_ingress(&mut self, pkt: &RocePacket) -> RxOutcome {
@@ -243,6 +264,29 @@ impl CollectorService {
         self.nic.memory.memory_instructions()
     }
 }
+
+// Multi-writer safety audit (sharded translator support).
+//
+// The RDMA write path's only shared mutable state is the lock-striped
+// `MemoryRegion` inside each store; everything else a shard NIC endpoint
+// touches (QPs, segmentation cursors, counters) is endpoint-private. The
+// stores must therefore be `Sync` — queries run concurrently with shard
+// writers, exactly like collector CPUs reading DRAM under active DMA — and
+// `Send` so harnesses can move them between threads. `AppendReader` is the
+// one deliberately single-consumer structure: its tail pointers are
+// collector-CPU query state (`&mut self`), matching the paper's
+// one-list-per-core rule (§6.5.3); it still must be `Send`. These are
+// compile-time facts, asserted here so a refactor that adds un-synchronized
+// shared state fails to build instead of racing.
+const fn _assert_sync<T: Send + Sync>() {}
+const fn _assert_send<T: Send>() {}
+const _: () = {
+    _assert_sync::<KeyWriteStore>();
+    _assert_sync::<PostcardStore>();
+    _assert_sync::<KeyIncrementStore>();
+    _assert_send::<AppendReader>();
+    _assert_send::<RdmaNic>(); // shard endpoints move onto worker threads
+};
 
 #[cfg(test)]
 mod tests {
@@ -272,6 +316,61 @@ mod tests {
         let requester = CmRequester::new(1, 0);
         let reply = svc.handle_cm(&requester.request(SERVICE_KW));
         assert!(requester.complete(&reply).is_err());
+    }
+
+    #[test]
+    fn shard_nics_write_concurrently_into_shared_stores() {
+        use bytes::Bytes;
+        use dta_rdma::nic::RxOutcome;
+        use dta_rdma::packet::{Reth, RocePacket};
+
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        // Four shard endpoints, each with a dedicated KW QP.
+        let mut shards: Vec<_> = (0..4u32)
+            .map(|s| {
+                let mut nic = svc.shard_nic();
+                let req = CmRequester::new(0x2000 + s, 0);
+                let reply = svc.handle_cm_shard(&req.request(SERVICE_KW), &mut nic);
+                let (qp, params) = req.complete(&reply).unwrap();
+                (nic, qp, params)
+            })
+            .collect();
+        // Distinct responder QPNs per shard.
+        let mut qpns: Vec<u32> = shards.iter().map(|(_, qp, _)| qp.dest_qpn).collect();
+        qpns.sort_unstable();
+        qpns.dedup();
+        assert_eq!(qpns.len(), 4);
+
+        // All four shards write disjoint slots in parallel through their
+        // own endpoints; the collector's stores see every byte.
+        std::thread::scope(|scope| {
+            for (s, (nic, qp, params)) in shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for i in 0..256u64 {
+                        let va = params.base_va + (s as u64 * 256 + i) * 8;
+                        let psn = qp.next_send_psn();
+                        let pkt = RocePacket::write(
+                            qp.dest_qpn,
+                            psn,
+                            Reth { va, rkey: params.rkey, dma_len: 8 },
+                            Bytes::from(vec![s as u8 + 1; 8]),
+                        );
+                        assert!(matches!(nic.ingress(&pkt), RxOutcome::Executed(_)));
+                    }
+                });
+            }
+        });
+        let kw = svc.keywrite.as_ref().unwrap();
+        for s in 0..4u64 {
+            for i in 0..256u64 {
+                let va = shards[0].2.base_va + (s * 256 + i) * 8;
+                assert_eq!(
+                    kw.region().peek(va, 8).unwrap(),
+                    vec![s as u8 + 1; 8],
+                    "shard {s} write {i} lost"
+                );
+            }
+        }
     }
 
     #[test]

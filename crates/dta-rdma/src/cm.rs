@@ -92,14 +92,42 @@ impl CmManager {
     /// Handle a CM request, returning the reply and (on accept) the
     /// responder QP to install into the collector NIC.
     pub fn handle(&self, event: &CmEvent) -> (CmEvent, Option<QueuePair>) {
+        self.accept(event, None)
+    }
+
+    /// Handle a CM request, minting a **dedicated** responder QPN for this
+    /// connection instead of the service's published one.
+    ///
+    /// A sharded translator opens one connection per (shard, service) pair;
+    /// dedicating a responder QP to each gives every shard its own PSN
+    /// domain (the property that lets shard threads issue RDMA concurrently
+    /// without serializing on a shared sequence-number stream — the same
+    /// reason the paper gives each translator pipe its own queue pairs).
+    pub fn handle_dedicated(&mut self, event: &CmEvent) -> (CmEvent, Option<QueuePair>) {
+        let minted = self.next_qpn;
+        let (reply, qp) = self.accept(event, Some(minted));
+        if qp.is_some() {
+            self.next_qpn += 1;
+        }
+        (reply, qp)
+    }
+
+    /// Shared handshake body: look up the service, build the responder QP
+    /// (at `qpn_override` when given, else the service's published QPN),
+    /// and cross-wire both PSN domains.
+    fn accept(&self, event: &CmEvent, qpn_override: Option<u32>) -> (CmEvent, Option<QueuePair>) {
         match event {
             CmEvent::ConnectRequest { service, qpn, start_psn } => {
                 match self.services.iter().find(|s| s.service == *service) {
                     Some(params) => {
+                        let mut params = *params;
+                        if let Some(minted) = qpn_override {
+                            params.qpn = minted;
+                        }
                         let mut qp = QueuePair::new(params.qpn);
                         qp.to_rtr(*qpn, *start_psn);
                         qp.to_rts(params.start_psn);
-                        (CmEvent::ConnectReply(*params), Some(qp))
+                        (CmEvent::ConnectReply(params), Some(qp))
                     }
                     None => (CmEvent::Reject { service: *service }, None),
                 }
@@ -179,6 +207,29 @@ mod tests {
         assert_eq!(responder_qp.dest_qpn, 0x55);
         // PSN domains aligned.
         assert_eq!(responder_qp.expected_psn(), 1234);
+    }
+
+    #[test]
+    fn dedicated_handshakes_mint_unique_responder_qpns() {
+        // Two shards connecting to the same service must land on distinct
+        // responder QPs (independent PSN domains), and each reply must
+        // advertise the QPN actually minted for that connection.
+        let mut cm = CmManager::new();
+        cm.publish(kv_params());
+        let mut qpns = Vec::new();
+        for shard in 0..4u32 {
+            let requester = CmRequester::new(0x1000 + shard, 0);
+            let (reply, responder) = cm.handle_dedicated(&requester.request(1));
+            let responder = responder.expect("accepted");
+            let (req_qp, params) = requester.complete(&reply).unwrap();
+            assert_eq!(responder.qpn, params.qpn, "reply advertises minted QPN");
+            assert_eq!(req_qp.dest_qpn, responder.qpn);
+            assert_eq!(responder.dest_qpn, 0x1000 + shard);
+            qpns.push(responder.qpn);
+        }
+        qpns.sort_unstable();
+        qpns.dedup();
+        assert_eq!(qpns.len(), 4, "responder QPNs not unique per shard");
     }
 
     #[test]

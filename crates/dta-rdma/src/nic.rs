@@ -66,6 +66,11 @@ impl NicPerfModel {
         NicPerfModel { config }
     }
 
+    /// The config this model was built from.
+    pub fn config(&self) -> NicConfig {
+        self.config
+    }
+
     /// Sustainable message rate for messages of `wire_bytes` each:
     /// `min(msg_rate, line_rate / bits_per_msg)`, times the NIC count.
     pub fn message_rate(&self, wire_bytes: usize) -> f64 {
@@ -170,8 +175,20 @@ pub struct RdmaNic {
 impl RdmaNic {
     /// NIC with the given performance config and empty memory registry.
     pub fn new(config: NicConfig) -> Self {
+        Self::with_registry(config, MemoryRegistry::new())
+    }
+
+    /// NIC over an existing registry — the per-shard endpoint constructor.
+    ///
+    /// A sharded translator gives each worker its own `RdmaNic` built from a
+    /// *clone* of the collector's registry: region handles are copied but
+    /// the striped backing stores are shared, so shard threads issue writes
+    /// fully in parallel (distinct stripes never contend) while QP state,
+    /// segmentation cursors, and counters stay shard-private. This models
+    /// one NIC receive queue / DMA channel per shard hitting common DRAM.
+    pub fn with_registry(config: NicConfig, memory: MemoryRegistry) -> Self {
         RdmaNic {
-            memory: MemoryRegistry::new(),
+            memory,
             qps: Vec::new(),
             in_progress: HashMap::new(),
             completions: VecDeque::new(),

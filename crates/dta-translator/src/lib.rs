@@ -15,14 +15,22 @@
 //!   NACKing reporters ([`ratelimit`]),
 //! * keeps per-QP packet sequence numbers and resynchronizes after NAKs,
 //! * and accounts its Tofino resource footprint ([`resources`], Table 3).
+//!
+//! The single-threaded dataplane lives in [`translator`]; [`shard`] runs
+//! `N` of them as a key-partitioned multi-threaded pipeline (the software
+//! analogue of the Tofino's parallel pipes), with [`spsc`] providing the
+//! bounded ingest→shard report queues.
 
 pub mod append;
 pub mod extensions;
 pub mod node;
 pub mod partition;
+mod pool;
 pub mod postcard_cache;
 pub mod ratelimit;
 pub mod resources;
+pub mod shard;
+pub mod spsc;
 pub mod translator;
 
 pub use append::AppendBatcher;
@@ -32,4 +40,5 @@ pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};
 pub use ratelimit::{RateLimiter, RateLimiterConfig};
 pub use resources::{translator_footprint, TranslatorFeatures};
+pub use shard::{ShardRunReport, ShardedConfig, ShardedRunReport, ShardedTranslator};
 pub use translator::{Translator, TranslatorConfig, TranslatorOutput, TranslatorStats};

@@ -1,4 +1,4 @@
-//! Multi-collector partitioning.
+//! Report partitioning: multi-collector spread and shard dispatch.
 //!
 //! "It is beneficial to enable collection at multiple servers for
 //! scalability or resiliency. DTA can be deployed alongside multiple
@@ -7,43 +7,130 @@
 //!
 //! The partitioner inspects exactly the fields a Tofino parser would have in
 //! headers — the primitive opcode and its key / list id — and picks a
-//! collector deterministically, so every report for the same key always
-//! lands on the same collector (a requirement for queryability).
+//! target deterministically, so every report for the same key always lands
+//! on the same collector *and*, inside the sharded translator, on the same
+//! worker shard (the requirement for both queryability and per-key write
+//! ordering).
+//!
+//! Routing is derived from the key's `checksum32` — the *same* digest the
+//! translator's [`KeyScratch`] computes for slot validation — mixed to full
+//! avalanche before reduction. Deriving both from one digest means the hot
+//! dispatch path never hashes key bytes twice: [`Partitioner::route_cached`]
+//! pulls the checksum out of a scratch (one 16-byte compare for a resident
+//! key) and [`Partitioner::route_checksum`] reduces it, so a repeat-key
+//! report costs zero CRC passes to route.
 
 use dta_core::{DtaReport, PrimitiveHeader};
-use dta_hash::{Crc32, CrcParams};
+use dta_hash::scratch::KeyScratch;
+use dta_hash::Checksummer;
 
-/// Deterministic report-to-collector partitioner.
+/// Deterministic report-to-target partitioner over `targets` collectors or
+/// shards.
+///
+/// The two routing levels — across collectors (§7) and across a
+/// collector's translator shards — consume the *same* key digest, so they
+/// must be domain-separated or the composition degenerates: the reports
+/// reaching collector `c` are exactly those in one contiguous band of the
+/// mixed digest, and an identical reduction over `S` shards would map that
+/// whole band onto ~`S/C` shards, idling the rest. [`Partitioner::new`]
+/// (collector level) and [`Partitioner::for_shards`] (shard level)
+/// therefore mix under different salts.
 #[derive(Debug)]
 pub struct Partitioner {
-    collectors: u32,
-    hash: Crc32,
+    targets: u32,
+    salt: u32,
+    csum: Checksummer,
+}
+
+/// Domain-separation salt for shard-level dispatch (any constant distinct
+/// from the collector level's 0 works; the mix's avalanche does the rest).
+const SHARD_SALT: u32 = 0x5AB5_EED1;
+
+/// Full-avalanche 32-bit mix (murmur3 fmix32). The checksum's low bits are
+/// also stored verbatim in Key-Write slots; mixing decorrelates the shard
+/// index from anything slot contents or slot addressing derive from it.
+#[inline]
+fn mix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
 }
 
 impl Partitioner {
-    /// Partitioner over `collectors` collectors.
+    /// Collector-level partitioner over `targets` collectors.
     ///
     /// # Panics
-    /// Panics if `collectors` is zero.
-    pub fn new(collectors: u32) -> Self {
-        assert!(collectors > 0, "need at least one collector");
-        Partitioner { collectors, hash: Crc32::new(CrcParams::KOOPMAN) }
+    /// Panics if `targets` is zero.
+    pub fn new(targets: u32) -> Self {
+        assert!(targets > 0, "need at least one partition target");
+        Partitioner { targets, salt: 0, csum: Checksummer::new() }
     }
 
-    /// Number of collectors.
-    pub fn collectors(&self) -> u32 {
-        self.collectors
+    /// Shard-level partitioner over `targets` worker shards —
+    /// domain-separated from [`Partitioner::new`] so stacking the two
+    /// levels (collector spread, then shard dispatch) still loads every
+    /// shard.
+    ///
+    /// # Panics
+    /// Panics if `targets` is zero.
+    pub fn for_shards(targets: u32) -> Self {
+        assert!(targets > 0, "need at least one partition target");
+        Partitioner { targets, salt: SHARD_SALT, csum: Checksummer::new() }
     }
 
-    /// Collector index for a report.
+    /// Number of targets (collectors or shards).
+    pub fn targets(&self) -> u32 {
+        self.targets
+    }
+
+    /// Target index for an already-computed key `checksum32` — the re-hash-
+    /// free entry point shard dispatch uses with a scratch-cached checksum.
+    #[inline]
+    pub fn route_checksum(&self, checksum: u32) -> u32 {
+        // Multiply-shift reduction (no division) over the mixed digest.
+        ((mix32(checksum ^ self.salt) as u64 * self.targets as u64) >> 32) as u32
+    }
+
+    /// Target index for an Append list.
+    #[inline]
+    pub fn route_list(&self, list_id: u32) -> u32 {
+        ((mix32(list_id ^ 0xA99D_0C95 ^ self.salt) as u64 * self.targets as u64) >> 32) as u32
+    }
+
+    /// Target index for a report, computing the key checksum from scratch
+    /// (one CRC pass). Dispatch loops should prefer
+    /// [`Partitioner::route_cached`].
     pub fn route(&self, report: &DtaReport) -> u32 {
-        let digest = match &report.primitive {
-            PrimitiveHeader::KeyWrite(h) => self.hash.compute(h.key.as_bytes()),
-            PrimitiveHeader::KeyIncrement(h) => self.hash.compute(h.key.as_bytes()),
-            PrimitiveHeader::Postcarding(h) => self.hash.compute(h.key.as_bytes()),
-            PrimitiveHeader::Append(h) => self.hash.compute(&h.list_id.to_be_bytes()),
+        match &report.primitive {
+            PrimitiveHeader::KeyWrite(h) => {
+                self.route_checksum(self.csum.checksum32(h.key.as_bytes()))
+            }
+            PrimitiveHeader::KeyIncrement(h) => {
+                self.route_checksum(self.csum.checksum32(h.key.as_bytes()))
+            }
+            PrimitiveHeader::Postcarding(h) => {
+                self.route_checksum(self.csum.checksum32(h.key.as_bytes()))
+            }
+            PrimitiveHeader::Append(h) => self.route_list(h.list_id),
+        }
+    }
+
+    /// Target index for a report, reusing `scratch`'s cached checksum for
+    /// keyed primitives: a key that routed recently costs one 16-byte
+    /// compare instead of a CRC pass over the key bytes. The scratch is the
+    /// caller's (the ingest thread owns one, independent of the per-shard
+    /// scratches), so dispatch never contends with translation.
+    pub fn route_cached(&self, scratch: &mut KeyScratch, report: &DtaReport) -> u32 {
+        let key = match &report.primitive {
+            PrimitiveHeader::KeyWrite(h) => &h.key,
+            PrimitiveHeader::KeyIncrement(h) => &h.key,
+            PrimitiveHeader::Postcarding(h) => &h.key,
+            PrimitiveHeader::Append(h) => return self.route_list(h.list_id),
         };
-        digest % self.collectors
+        self.route_checksum(scratch.digests(key.as_bytes(), 0).checksum)
     }
 }
 
@@ -93,9 +180,99 @@ mod tests {
     }
 
     #[test]
+    fn append_lists_spread_across_collectors() {
+        let p = Partitioner::new(4);
+        let mut counts = [0u32; 4];
+        for list in 0..4000u32 {
+            counts[p.route_list(list) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..=1200).contains(&c), "imbalanced lists: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_routing_spreads_within_one_collector_band() {
+        // Stacked deployment: collector-level spread, then shard dispatch
+        // inside one collector. Without domain separation every key that
+        // reaches collector 0 would land on shard 0; with it, all shards
+        // stay loaded.
+        let collectors = Partitioner::new(4);
+        let shards = Partitioner::for_shards(4);
+        let mut shard_counts = [0u32; 4];
+        let mut list_counts = [0u32; 4];
+        let mut kept = 0;
+        for i in 0..16_000u64 {
+            let r = DtaReport::key_write(0, TelemetryKey::from_u64(i), 1, vec![0; 4]);
+            if collectors.route(&r) == 0 {
+                shard_counts[shards.route(&r) as usize] += 1;
+                kept += 1;
+            }
+        }
+        for list in 0..4000u32 {
+            if collectors.route_list(list) == 0 {
+                list_counts[shards.route_list(list) as usize] += 1;
+            }
+        }
+        assert!(kept > 3000, "collector band unexpectedly small: {kept}");
+        for (s, c) in shard_counts.iter().enumerate() {
+            assert!(
+                *c * 4 > kept / 2,
+                "shard {s} starved inside collector 0's band: {shard_counts:?}"
+            );
+        }
+        for (s, c) in list_counts.iter().enumerate() {
+            assert!(*c > 100, "list shard {s} starved: {list_counts:?}");
+        }
+    }
+
+    #[test]
     fn single_collector_always_zero() {
         let p = Partitioner::new(1);
         let r = DtaReport::append(0, 123, vec![0; 4]);
         assert_eq!(p.route(&r), 0);
+    }
+
+    #[test]
+    fn cached_route_matches_uncached_without_rehashing() {
+        // The scratch-cached route must agree with the direct one for every
+        // primitive, and repeated keys must not re-run the CRC engine — the
+        // property that makes shard dispatch hash key bytes at most once
+        // per *new* key, not once per report.
+        let p = Partitioner::new(8);
+        let mut scratch = KeyScratch::new(4096, 1);
+        let reports: Vec<DtaReport> = (0..64u64)
+            .flat_map(|i| {
+                let k = TelemetryKey::from_u64(i);
+                [
+                    DtaReport::key_write(0, k, 2, vec![1; 4]),
+                    DtaReport::key_increment(0, k, 2, 1),
+                    DtaReport::postcard(0, k, 0, 5, 9),
+                    DtaReport::append(0, i as u32 % 16, vec![0; 4]),
+                ]
+            })
+            .collect();
+        for r in &reports {
+            assert_eq!(p.route_cached(&mut scratch, r), p.route(r));
+        }
+        let after_first_pass = scratch.stats;
+        assert_eq!(after_first_pass.misses, 64, "one CRC pass per distinct key");
+        // Second pass over the same stream: all keyed routes hit the cache.
+        for r in &reports {
+            p.route_cached(&mut scratch, r);
+        }
+        assert_eq!(scratch.stats.misses, after_first_pass.misses);
+        assert_eq!(scratch.stats.hits, after_first_pass.hits + 3 * 64);
+    }
+
+    #[test]
+    fn route_checksum_agrees_with_translator_checksum() {
+        // The routing digest IS the translator/collector checksum32 — the
+        // contract that lets dispatch reuse the KeyScratch value.
+        let p = Partitioner::new(16);
+        let k = TelemetryKey::from_u64(77);
+        let direct = p.route(&DtaReport::key_write(0, k, 1, vec![0; 4]));
+        let from_csum = p.route_checksum(dta_hash::checksum32(k.as_bytes()));
+        assert_eq!(direct, from_csum);
     }
 }

@@ -26,79 +26,9 @@ use dta_rdma::verbs::RdmaOp;
 use dta_switch::MulticastEngine;
 
 use crate::append::AppendBatcher;
+use crate::pool::{ImagePool, IMG_POOL_BUF, IMG_POOL_DEPTH};
 use crate::postcard_cache::{CacheEmission, PostcardCache};
 use crate::ratelimit::{RateLimiter, RateLimiterConfig};
-
-/// Maximum slot/chunk image size served by the recycling pool; larger
-/// images fall back to a `BytesMut` build (none of the paper's primitives
-/// exceed it: Key-Write slots are `4 + value` bytes, Postcarding chunks
-/// `next_pow2(B * 4)`).
-const IMG_POOL_BUF: usize = 64;
-
-/// Image pool depth. Buffers recycle once the NIC (or whatever consumed
-/// the packets) drops them; the depth covers the packets in flight across
-/// a couple of batches before the pool falls back to fresh allocations,
-/// while staying small enough that the rotation is cache-resident (a
-/// deeper pool guarantees a cold line per build and loses to the
-/// allocator's LIFO fast path).
-const IMG_POOL_DEPTH: usize = 1024;
-
-/// A recycling pool of shared image buffers (DPDK-mempool style).
-///
-/// `build` hands out a zero-copy [`Bytes`] view of a pooled buffer when
-/// the next buffer in rotation is no longer referenced by any packet;
-/// otherwise it allocates a fresh buffer (graceful degradation when a
-/// consumer retains payloads indefinitely). In the steady state —
-/// translate, execute at the NIC, drop — the report hot path performs no
-/// heap allocation at all.
-struct ImagePool {
-    bufs: Vec<std::sync::Arc<[u8]>>,
-    next: usize,
-    /// Pool recycles (allocation-free images).
-    recycled: u64,
-    /// Fallback fresh allocations (pool buffer still referenced).
-    allocated: u64,
-}
-
-impl ImagePool {
-    fn new(depth: usize) -> Self {
-        ImagePool {
-            bufs: (0..depth)
-                .map(|_| std::sync::Arc::from([0u8; IMG_POOL_BUF].as_slice()))
-                .collect(),
-            next: 0,
-            recycled: 0,
-            allocated: 0,
-        }
-    }
-
-    /// Produce a `len`-byte image, letting `fill` write it. `len` must be
-    /// at most [`IMG_POOL_BUF`].
-    #[inline]
-    fn build(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) -> Bytes {
-        debug_assert!(len <= IMG_POOL_BUF);
-        let at = self.next;
-        self.next = (self.next + 1) % self.bufs.len();
-        let buf = &mut self.bufs[at];
-        if let Some(bytes) = std::sync::Arc::get_mut(buf) {
-            // Sole owner: every packet that referenced this buffer is gone;
-            // reuse the allocation.
-            bytes[..len].fill(0);
-            fill(&mut bytes[..len]);
-            self.recycled += 1;
-            Bytes::from_owner(buf.clone()).slice(..len)
-        } else {
-            // Still referenced downstream: hand out a fresh full-width
-            // buffer and park it in the rotation so it can recycle later.
-            let mut staged = [0u8; IMG_POOL_BUF];
-            fill(&mut staged[..len]);
-            let arc: std::sync::Arc<[u8]> = std::sync::Arc::from(staged.as_slice());
-            self.allocated += 1;
-            self.bufs[at] = arc.clone();
-            Bytes::from_owner(arc).slice(..len)
-        }
-    }
-}
 
 /// Translator sizing and behaviour knobs.
 #[derive(Debug, Clone)]
@@ -158,6 +88,19 @@ pub struct TranslatorStats {
     pub resyncs: u64,
 }
 
+impl TranslatorStats {
+    /// Accumulate `other` into `self` — used to aggregate per-shard
+    /// translator counters into one pipeline-wide view.
+    pub fn merge(&mut self, other: &TranslatorStats) {
+        self.reports_in += other.reports_in;
+        self.rdma_out += other.rdma_out;
+        self.rate_limited += other.rate_limited;
+        self.nacks_sent += other.nacks_sent;
+        self.no_service += other.no_service;
+        self.resyncs += other.resyncs;
+    }
+}
+
 /// The result of translating one DTA report (or a batch of them).
 #[derive(Debug, Default)]
 pub struct TranslatorOutput {
@@ -182,6 +125,12 @@ struct ServiceConn {
 }
 
 /// The DTA translator dataplane.
+///
+/// Every piece of hot-path state — the key-digest scratch, the image pool,
+/// the postcard cache, the append batcher, the per-service QPs — is *owned*
+/// by the instance, never shared: a [`crate::ShardedTranslator`] runs one
+/// `Translator` per worker shard with zero cross-shard traffic (asserted
+/// `Send` below so a shard can own its translator on its own thread).
 pub struct Translator {
     config: TranslatorConfig,
     scratch: KeyScratch,
@@ -199,6 +148,12 @@ pub struct Translator {
     /// Counters.
     pub stats: TranslatorStats,
 }
+
+// A shard owns its translator on a worker thread; nothing inside may be
+// thread-bound. (`Sync` is deliberately NOT asserted: all hot state is
+// `&mut`-owned, which is the whole sharding model.)
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Translator>();
 
 impl Translator {
     /// Translator with no connected services.
