@@ -175,6 +175,32 @@ fn run_loop_sharded(
     finish_entry(name, elapsed, done)
 }
 
+/// Sustained loop over complete scenario runs: each iteration assembles a
+/// K=4 fat tree with a paced reporter fleet, drives it to quiescence on
+/// the simulated clock, and audits the collector — so the ns/report here
+/// prices the *whole* deployment path (framing, fabric hops, translation,
+/// RDMA execution, query audit), not just the translator hot loop. The
+/// scenario is seeded and fault-free, so every run does identical work.
+fn run_loop_scenario(name: &str, window: Duration, spec: &dta_sim::ScenarioSpec) -> PerfEntry {
+    let per_run = {
+        // Warm-up run; also fixes the per-run report count.
+        let outcome = dta_sim::run_scenario(spec);
+        assert_eq!(outcome.report.reports_unsent, 0, "bench spec must drain");
+        outcome.report.sent.total()
+    };
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        let outcome = dta_sim::run_scenario(spec);
+        std::hint::black_box(&outcome);
+        done += per_run;
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    finish_entry(name, start.elapsed(), done)
+}
+
 fn finish_entry(name: &str, elapsed: Duration, done: u64) -> PerfEntry {
     let ns = elapsed.as_nanos() as f64 / done as f64;
     PerfEntry {
@@ -280,6 +306,18 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
             &reports,
             &mut col,
         ));
+    }
+
+    // End-to-end scenarios: the K=4 fat-tree smoke deployment through both
+    // translator modes (see dta-sim). Tracks the full reporter→fabric→
+    // translator→collector path commit-to-commit.
+    if wants("scenario/k4_single") {
+        let spec = dta_sim::ScenarioSpec::smoke(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario/k4_single", window, &spec));
+    }
+    if wants("scenario/k4_sharded4") {
+        let spec = dta_sim::ScenarioSpec::smoke(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario("scenario/k4_sharded4", window, &spec));
     }
 
     results
@@ -451,7 +489,8 @@ mod tests {
             ["key_write/1", "key_write_single/1", "key_write/2", "key_write_single/2",
              "key_write/4", "key_write_single/4", "postcarding/5hop", "append/1",
              "append/16", "key_increment/2", "key_write_sharded/1", "key_write_sharded/2",
-             "key_write_sharded/4", "key_write_sharded/8"]
+             "key_write_sharded/4", "key_write_sharded/8", "scenario/k4_single",
+             "scenario/k4_sharded4"]
         );
         for e in &results {
             assert!(e.reports_per_sec > 0.0, "{} measured nothing", e.name);
@@ -482,5 +521,17 @@ mod tests {
             ["key_write_sharded/1", "key_write_sharded/2", "key_write_sharded/4",
              "key_write_sharded/8"]
         );
+    }
+
+    #[test]
+    fn only_scenario_selects_the_end_to_end_family() {
+        // The CI bench smoke's `--only scenario` step depends on this
+        // selection: both scenario modes, nothing else.
+        let results = translator_suite_filtered(Duration::from_millis(1), Some("scenario"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["scenario/k4_single", "scenario/k4_sharded4"]);
+        for e in &results {
+            assert!(e.reports > 0, "{} measured nothing", e.name);
+        }
     }
 }

@@ -33,6 +33,6 @@ pub use append::{AppendReader, PollBreakdown};
 pub use cms::KeyIncrementStore;
 pub use keywrite::{KeyWriteStore, KwQueryBreakdown, QueryOutcome, QueryPolicy};
 pub use layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
-pub use node::CollectorNode;
+pub use node::{CollectorNode, CollectorNodeStats};
 pub use postcarding::{hop_checksum, PostcardQueryOutcome, PostcardStore, ValueCodec};
 pub use service::{CollectorService, ServiceConfig, SERVICE_APPEND, SERVICE_CMS, SERVICE_KW, SERVICE_POSTCARD};

@@ -12,7 +12,7 @@ use dta_rdma::packet::{RocePacket, ROCE_UDP_PORT};
 use crate::service::CollectorService;
 
 /// Counters for the collector node.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectorNodeStats {
     /// RoCE packets executed.
     pub executed: u64,

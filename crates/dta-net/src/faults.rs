@@ -2,10 +2,13 @@
 //!
 //! DTA's primitives are explicitly best-effort: "the primitives themselves
 //! would still work even in case of severe in-transit loss of reports" (§4).
-//! To test that claim we inject the classic trio of faults — random drops,
-//! byte corruption, and reordering — on simulated links, following the
-//! fault-injection interface of smoltcp's examples (`--drop-chance`,
-//! `--corrupt-chance`, ...).
+//! To test that claim we inject the classic quartet of faults — random
+//! drops, byte corruption, reordering, and duplication — on simulated
+//! links, following the fault-injection interface of smoltcp's examples
+//! (`--drop-chance`, `--corrupt-chance`, ...). Duplication models RoCE-style
+//! retransmission and L2 flooding artifacts: the same frame arrives twice,
+//! and both the translator's report path and the collector NIC's PSN
+//! discipline must tolerate it.
 
 use bytes::{Bytes, BytesMut};
 use rand::rngs::StdRng;
@@ -23,6 +26,9 @@ pub struct FaultConfig {
     /// Probability of delaying a packet behind its successor (pairwise
     /// reorder).
     pub reorder_chance: f64,
+    /// Probability of delivering a packet twice (duplicate delivery; the
+    /// copy is not re-faulted).
+    pub duplicate_chance: f64,
     /// Drop packets larger than this size, if set (MTU-style limit).
     pub size_limit: Option<usize>,
 }
@@ -33,6 +39,7 @@ impl Default for FaultConfig {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
             reorder_chance: 0.0,
+            duplicate_chance: 0.0,
             size_limit: None,
         }
     }
@@ -54,9 +61,32 @@ impl FaultConfig {
         FaultConfig {
             drop_chance: 0.15,
             corrupt_chance: 0.15,
-            reorder_chance: 0.0,
-            size_limit: None,
+            ..Self::default()
         }
+    }
+
+    /// The non-FIFO lossy-channel model the scenario harness's
+    /// fault-equivalence tests run under: loss + reorder + duplication
+    /// (corruption is left off — a flipped bit inside a DTA report yields a
+    /// *different valid report*, which is a workload change, not a channel
+    /// fault).
+    pub fn unreliable(drop: f64, reorder: f64, duplicate: f64) -> Self {
+        FaultConfig {
+            drop_chance: drop,
+            reorder_chance: reorder,
+            duplicate_chance: duplicate,
+            ..Self::default()
+        }
+    }
+
+    /// Whether every fault is disabled (injectors for such configs can be
+    /// skipped entirely, consuming no RNG).
+    pub fn is_none(&self) -> bool {
+        self.drop_chance == 0.0
+            && self.corrupt_chance == 0.0
+            && self.reorder_chance == 0.0
+            && self.duplicate_chance == 0.0
+            && self.size_limit.is_none()
     }
 }
 
@@ -67,8 +97,34 @@ pub enum FaultOutcome {
     Deliver(Packet),
     /// Deliver, but swapped behind the next packet.
     DeliverReordered(Packet),
+    /// Deliver the packet twice, back to back (the duplicate is a verbatim
+    /// copy and is not itself re-faulted).
+    DeliverDuplicated(Packet),
     /// Silently dropped.
     Dropped,
+}
+
+/// Aggregated fault counters (one injector, or a whole network's worth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Packets silently dropped.
+    pub dropped: u64,
+    /// Packets with a flipped payload bit.
+    pub corrupted: u64,
+    /// Packets delayed behind their successor.
+    pub reordered: u64,
+    /// Packets delivered twice.
+    pub duplicated: u64,
+}
+
+impl FaultTotals {
+    /// Accumulate another set of counters into this one.
+    pub fn merge(&mut self, other: &FaultTotals) {
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.reordered += other.reordered;
+        self.duplicated += other.duplicated;
+    }
 }
 
 /// Deterministic (seeded) fault injector.
@@ -82,6 +138,8 @@ pub struct FaultInjector {
     pub corrupted: u64,
     /// Packets reordered.
     pub reordered: u64,
+    /// Packets duplicated.
+    pub duplicated: u64,
 }
 
 impl FaultInjector {
@@ -93,12 +151,23 @@ impl FaultInjector {
             dropped: 0,
             corrupted: 0,
             reordered: 0,
+            duplicated: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// This injector's counters as a [`FaultTotals`].
+    pub fn totals(&self) -> FaultTotals {
+        FaultTotals {
+            dropped: self.dropped,
+            corrupted: self.corrupted,
+            reordered: self.reordered,
+            duplicated: self.duplicated,
+        }
     }
 
     /// Apply faults to one packet.
@@ -123,6 +192,10 @@ impl FaultInjector {
             packet.payload = Bytes::from(buf);
             self.corrupted += 1;
         }
+        if self.config.duplicate_chance > 0.0 && self.rng.gen_bool(self.config.duplicate_chance) {
+            self.duplicated += 1;
+            return FaultOutcome::DeliverDuplicated(packet);
+        }
         if self.config.reorder_chance > 0.0 && self.rng.gen_bool(self.config.reorder_chance) {
             self.reordered += 1;
             return FaultOutcome::DeliverReordered(packet);
@@ -146,7 +219,69 @@ mod tests {
         for _ in 0..1000 {
             assert!(matches!(inj.apply(pkt(64)), FaultOutcome::Deliver(_)));
         }
-        assert_eq!(inj.dropped + inj.corrupted + inj.reordered, 0);
+        assert_eq!(inj.totals(), FaultTotals::default());
+    }
+
+    #[test]
+    fn duplicate_rate_is_statistically_close() {
+        let cfg = FaultConfig { duplicate_chance: 0.25, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 13);
+        let n = 20_000;
+        let mut dup = 0u64;
+        for _ in 0..n {
+            match inj.apply(pkt(64)) {
+                FaultOutcome::DeliverDuplicated(p) => {
+                    assert_eq!(p.payload.len(), 64, "duplicate must carry the packet");
+                    dup += 1;
+                }
+                FaultOutcome::Deliver(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(dup, inj.duplicated);
+        let rate = dup as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed duplicate rate {rate}");
+    }
+
+    #[test]
+    fn duplicate_wins_over_reorder_and_never_both() {
+        // Both enabled: a packet is duplicated or reordered, never both —
+        // the duplicate copy must not be re-faulted.
+        let cfg = FaultConfig {
+            duplicate_chance: 0.5,
+            reorder_chance: 0.5,
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, 17);
+        for _ in 0..2_000 {
+            match inj.apply(pkt(32)) {
+                FaultOutcome::Deliver(_)
+                | FaultOutcome::DeliverReordered(_)
+                | FaultOutcome::DeliverDuplicated(_) => {}
+                FaultOutcome::Dropped => panic!("nothing configured to drop"),
+            }
+        }
+        assert!(inj.duplicated > 0 && inj.reordered > 0);
+        assert_eq!(inj.dropped, 0);
+    }
+
+    #[test]
+    fn unreliable_preset_and_is_none() {
+        assert!(FaultConfig::none().is_none());
+        let cfg = FaultConfig::unreliable(0.1, 0.2, 0.3);
+        assert!(!cfg.is_none());
+        assert_eq!(cfg.drop_chance, 0.1);
+        assert_eq!(cfg.reorder_chance, 0.2);
+        assert_eq!(cfg.duplicate_chance, 0.3);
+        assert_eq!(cfg.corrupt_chance, 0.0);
+        assert!(!FaultConfig { size_limit: Some(64), ..FaultConfig::none() }.is_none());
+    }
+
+    #[test]
+    fn totals_merge_sums_counters() {
+        let mut a = FaultTotals { dropped: 1, corrupted: 2, reordered: 3, duplicated: 4 };
+        a.merge(&FaultTotals { dropped: 10, corrupted: 20, reordered: 30, duplicated: 40 });
+        assert_eq!(a, FaultTotals { dropped: 11, corrupted: 22, reordered: 33, duplicated: 44 });
     }
 
     #[test]

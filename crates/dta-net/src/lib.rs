@@ -23,8 +23,8 @@ pub mod packet;
 pub mod time;
 pub mod topology;
 
-pub use faults::{FaultConfig, FaultInjector};
-pub use link::{Link, LinkConfig, QueueDiscipline};
+pub use faults::{FaultConfig, FaultInjector, FaultTotals};
+pub use link::{Link, LinkConfig, LinkStats, QueueDiscipline};
 pub use network::{Network, NetworkStats};
 pub use node::{Emission, NetNode, NodeId};
 pub use packet::Packet;

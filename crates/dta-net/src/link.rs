@@ -86,6 +86,19 @@ pub struct LinkStats {
     pub pauses: u64,
 }
 
+impl LinkStats {
+    /// Accumulate another link's counters into this one — the single place
+    /// that must grow when a counter is added, so fabric-wide aggregates
+    /// never silently omit a field.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.enqueued += other.enqueued;
+        self.dropped += other.dropped;
+        self.transmitted += other.transmitted;
+        self.bytes_tx += other.bytes_tx;
+        self.pauses += other.pauses;
+    }
+}
+
 /// The dynamic state of a link's egress.
 #[derive(Debug)]
 pub struct Link {

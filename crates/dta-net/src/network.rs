@@ -113,6 +113,30 @@ impl Network {
         self.links.get(&(from, to)).map(|l| l.stats)
     }
 
+    /// Counters of the `from -> to` fault injector, if one is attached.
+    pub fn fault_stats(&self, from: NodeId, to: NodeId) -> Option<crate::faults::FaultTotals> {
+        self.faults.get(&(from, to)).map(|i| i.totals())
+    }
+
+    /// Sum of every attached injector's counters (order-independent, so the
+    /// scenario harness can report them bit-reproducibly).
+    pub fn fault_totals(&self) -> crate::faults::FaultTotals {
+        let mut total = crate::faults::FaultTotals::default();
+        for inj in self.faults.values() {
+            total.merge(&inj.totals());
+        }
+        total
+    }
+
+    /// Sum of every link's counters.
+    pub fn link_totals(&self) -> crate::link::LinkStats {
+        let mut total = crate::link::LinkStats::default();
+        for link in self.links.values() {
+            total.merge(&link.stats);
+        }
+        total
+    }
+
     /// Inject a packet from `origin` at the current time.
     pub fn send_from(&mut self, origin: NodeId, packet: Packet) {
         self.transmit_hop(origin, packet);
@@ -215,6 +239,25 @@ impl Network {
         let packet = match self.faults.get_mut(&(from, next)) {
             Some(inj) => match inj.apply(packet) {
                 FaultOutcome::Deliver(p) => p,
+                FaultOutcome::DeliverDuplicated(p) => {
+                    // Two back-to-back serializations of the same frame; the
+                    // copy consumes link capacity like any packet and is not
+                    // re-faulted.
+                    let Some(link) = self.links.get_mut(&(from, next)) else {
+                        self.stats.dropped += 1;
+                        return;
+                    };
+                    for copy in [p.clone(), p] {
+                        match link.enqueue(self.now, copy.wire_len()) {
+                            EnqueueOutcome::Delivered(t) => {
+                                self.events
+                                    .push(t, Event::Arrive { at_node: next, packet: copy });
+                            }
+                            EnqueueOutcome::Dropped => self.stats.dropped += 1,
+                        }
+                    }
+                    return;
+                }
                 FaultOutcome::DeliverReordered(p) => {
                     // Penalize with one extra MTU serialization worth of
                     // delay so a later packet can overtake it.
@@ -316,6 +359,28 @@ mod tests {
         net.run_to_idle();
         assert_eq!(net.stats.dropped, 1);
         assert_eq!(net.stats.delivered, 0);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_is_counted() {
+        let mut net = line3();
+        net.add_node(NodeId(2), Box::<SinkNode>::default());
+        let cfg = crate::FaultConfig { duplicate_chance: 1.0, ..crate::FaultConfig::none() };
+        net.add_faults(NodeId(0), NodeId(1), FaultInjector::new(cfg, 9));
+        for _ in 0..10 {
+            net.send_from(
+                NodeId(0),
+                Packet::new(NodeId(0), NodeId(2), Bytes::from(vec![0u8; 100])),
+            );
+        }
+        net.run_to_idle();
+        assert_eq!(net.stats.delivered, 20, "every packet must arrive twice");
+        assert_eq!(net.fault_totals().duplicated, 10);
+        assert_eq!(net.fault_stats(NodeId(0), NodeId(1)).unwrap().duplicated, 10);
+        assert_eq!(net.fault_stats(NodeId(1), NodeId(2)), None);
+        // Both copies consumed link capacity on the faulted hop.
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).unwrap().transmitted, 20);
+        assert_eq!(net.link_totals().transmitted, 40);
     }
 
     #[test]

@@ -13,5 +13,5 @@
 pub mod reporter;
 pub mod resources;
 
-pub use reporter::{Reporter, ReporterConfig};
+pub use reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterNode};
 pub use resources::{reporter_footprint, ReporterKind};

@@ -92,6 +92,72 @@ impl NetNode for ReporterNode {
     }
 }
 
+/// A reporter driving a fixed schedule of reports at a bounded rate — the
+/// scenario harness's fleet member.
+///
+/// [`ReporterNode`] dumps its whole outbox on one tick, which models a
+/// one-shot export; a fleet scenario needs *pacing* so thousands of
+/// reporters don't serialize their entire run into a single burst that
+/// tail-drops at the first ToR queue. `PacedReporterNode` emits at most
+/// `reports_per_tick` reports per tick until its schedule is exhausted,
+/// then goes quiet (its ticks become no-ops). All state is handed over at
+/// construction, so a simulation owns the node completely — the engine's
+/// tick events are the only driver, keeping runs deterministic on the
+/// simulated clock.
+pub struct PacedReporterNode {
+    /// The underlying framer.
+    pub reporter: Reporter,
+    schedule: Vec<DtaReport>,
+    cursor: usize,
+    reports_per_tick: usize,
+    /// Packets delivered *to* this node (NACKs and stray user traffic
+    /// terminate here).
+    pub received: u64,
+}
+
+impl PacedReporterNode {
+    /// A fleet reporter that will emit `schedule` in order, at most
+    /// `reports_per_tick` per tick.
+    pub fn new(reporter: Reporter, schedule: Vec<DtaReport>, reports_per_tick: usize) -> Self {
+        PacedReporterNode {
+            reporter,
+            schedule,
+            cursor: 0,
+            reports_per_tick: reports_per_tick.max(1),
+            received: 0,
+        }
+    }
+
+    /// Reports not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+
+    /// Ticks needed to drain a schedule of `len` reports at
+    /// `reports_per_tick` — the scenario harness sizes its emission window
+    /// from this.
+    pub fn ticks_to_drain(len: usize, reports_per_tick: usize) -> u64 {
+        (len as u64).div_ceil(reports_per_tick.max(1) as u64)
+    }
+}
+
+impl NetNode for PacedReporterNode {
+    fn receive(&mut self, _now: SimTime, _packet: Packet) -> Vec<Emission> {
+        self.received += 1;
+        Vec::new()
+    }
+
+    fn tick(&mut self, _now: SimTime) -> Vec<Emission> {
+        let end = (self.cursor + self.reports_per_tick).min(self.schedule.len());
+        let out = self.schedule[self.cursor..end]
+            .iter()
+            .map(|r| Emission::now(self.reporter.frame(r)))
+            .collect();
+        self.cursor = end;
+        out
+    }
+}
+
 /// Convenience: a raw UDP telemetry frame (the legacy export format DTA
 /// replaces) — used by resource/overhead comparisons.
 pub fn legacy_udp_frame(
@@ -143,6 +209,24 @@ mod tests {
         let dta_len = r.frame(&report).wire_len();
         let legacy_len = legacy_udp_frame(&config(), Bytes::from(vec![0u8; 4])).wire_len();
         assert_eq!(dta_len - legacy_len, 8 + 4 /* Append sub-header */);
+    }
+
+    #[test]
+    fn paced_node_emits_at_most_n_per_tick_then_goes_quiet() {
+        let schedule: Vec<DtaReport> =
+            (0..7u32).map(|i| DtaReport::append(i, 1, i.to_be_bytes().to_vec())).collect();
+        let mut node = PacedReporterNode::new(Reporter::new(config()), schedule, 3);
+        assert_eq!(node.pending(), 7);
+        assert_eq!(PacedReporterNode::ticks_to_drain(7, 3), 3);
+        let sizes: Vec<usize> =
+            (0..5).map(|_| node.tick(SimTime::ZERO).len()).collect();
+        assert_eq!(sizes, [3, 3, 1, 0, 0]);
+        assert_eq!(node.pending(), 0);
+        assert_eq!(node.reporter.exported, 7);
+        // Inbound packets (NACKs) terminate and are counted.
+        let pkt = legacy_udp_frame(&config(), Bytes::from_static(b"nack"));
+        assert!(node.receive(SimTime::ZERO, pkt).is_empty());
+        assert_eq!(node.received, 1);
     }
 
     #[test]

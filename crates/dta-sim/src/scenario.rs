@@ -1,0 +1,383 @@
+//! Scenario assembly, execution, and reporting.
+//!
+//! [`run_scenario`] turns a [`ScenarioSpec`] into a concrete deployment —
+//! a k-ary fat tree with a reporter fleet on its hosts, per-link fault
+//! injectors, a translator (single-threaded or sharded) intercepting at
+//! the collector's ToR, and the collector host terminating RoCE — drives
+//! it to completion on the simulated clock, and returns a
+//! [`ScenarioReport`] plus a byte snapshot of collector memory.
+//!
+//! Determinism contract: the simulation engine processes events in
+//! (time, insertion) order, every injector is seeded from the scenario
+//! seed and the link it guards, and the report only contains quantities
+//! that are functions of the spec (thread-scheduling artifacts of the
+//! sharded pipeline, like backpressure yield counts, are deliberately
+//! excluded). Same spec ⇒ same report, same memory, bit for bit — with
+//! one precondition in sharded mode: distinct keys whose store slots
+//! collide race their writes across shard threads, so byte-level
+//! determinism of memory (and the queries derived from it) additionally
+//! requires [`crate::TrafficMix::slot_disjoint_keys`]. Single-threaded
+//! runs are unconditional.
+
+use dta_collector::{
+    CollectorNode, CollectorNodeStats, CollectorService, PostcardQueryOutcome, QueryPolicy,
+};
+use dta_net::{
+    FatTree, FaultInjector, LinkConfig, LinkStats, FaultTotals, Network, NetworkStats, NodeId,
+    SimTime,
+};
+use dta_rdma::cm::CmRequester;
+use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig};
+use dta_translator::node::TranslatorNodeStats;
+use dta_translator::{
+    ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode, TranslatorStats,
+};
+
+use crate::spec::{ScenarioSpec, TranslatorMode};
+use crate::traffic::{generate, PrimitiveCounts, Workload};
+
+/// The collector host's IP in every scenario.
+pub const COLLECTOR_IP: u32 = 0x0A00_0900;
+/// The translator ToR's IP.
+pub const TRANSLATOR_IP: u32 = 0x0A00_0001;
+
+/// Collector query results audited against the workload ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOutcomes {
+    /// Key-Write keys that queried back a value.
+    pub kw_found: u64,
+    /// Key-Write keys whose redundancy slots disagreed.
+    pub kw_ambiguous: u64,
+    /// Key-Write keys with no surviving slot (e.g., every copy lost).
+    pub kw_missing: u64,
+    /// Postcard flows whose path queried back.
+    pub pc_found: u64,
+    /// Postcard flows that did not decode.
+    pub pc_missing: u64,
+    /// Append entries present in collector memory (non-zero payload among
+    /// the first `sent` entries of each list).
+    pub append_entries: u64,
+    /// Sum of Key-Increment estimates over the used keys (a CMS-style
+    /// overestimate of the delivered delta total).
+    pub inc_estimate_total: u64,
+}
+
+/// Everything a scenario run measured. Bit-reproducible for a given spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Report packets framed by the fleet, per primitive.
+    pub sent: PrimitiveCounts,
+    /// Reports still unsent when the run's deadline passed (0 for a
+    /// correctly sized spec).
+    pub reports_unsent: u64,
+    /// Simulation engine counters (delivered / forwarded / dropped /
+    /// intercepted).
+    pub net: NetworkStats,
+    /// Aggregated fault-injector counters across every faulted link.
+    pub faults: FaultTotals,
+    /// Aggregated link counters across the whole fabric.
+    pub links: LinkStats,
+    /// Translator dataplane counters (merged across shards in sharded
+    /// mode).
+    pub translator: TranslatorStats,
+    /// Translator node counters (reports decoded, malformed, forwarded).
+    pub translator_node: TranslatorNodeStats,
+    /// Reports each shard translated (empty in single-threaded mode).
+    pub per_shard_reports_in: Vec<u64>,
+    /// RDMA verbs executed against collector memory (collector NIC in
+    /// single-threaded mode, shard endpoints in sharded mode).
+    pub executed: u64,
+    /// Collector node counters (RoCE over the simulated wire only).
+    pub collector: CollectorNodeStats,
+    /// Post-run query audit.
+    pub queries: QueryOutcomes,
+}
+
+/// A finished run: the report plus the collector's raw region bytes
+/// (rkey-sorted), for memory-equivalence comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Counters and query audit.
+    pub report: ScenarioReport,
+    /// `(rkey, bytes)` of every registered collector region.
+    pub memory: Vec<(u32, Vec<u8>)>,
+}
+
+/// SplitMix64 — derives per-link injector seeds from the scenario seed so
+/// adjacent links never share an RNG stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn link_seed(seed: u64, from: NodeId, to: NodeId) -> u64 {
+    splitmix64(seed ^ ((from.0 as u64) << 32 | to.0 as u64))
+}
+
+/// Build, run, audit. See the module docs for the determinism contract.
+///
+/// # Panics
+/// Panics if the spec fails [`ScenarioSpec::validate`].
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
+    spec.validate().unwrap_or_else(|e| panic!("invalid scenario spec: {e}"));
+    let workload = generate(spec);
+
+    // --- Fabric -----------------------------------------------------------
+    let ft = FatTree::new(spec.fat_tree_k);
+    let collector_host = ft.host(0, 0, 0);
+    let tor = ft.edge(0, 0);
+    let num_switches = ft.num_switches();
+    let mut net = Network::new(ft.topology.shortest_path_routing());
+    for (a, b) in ft.topology.edges() {
+        net.add_duplex_link(a, b, LinkConfig::dc_100g());
+    }
+    // The intra-rack RoCE hop is PFC-lossless (§4/§7): congestion must
+    // never silently drop RDMA traffic the way a lossy report link may.
+    net.add_duplex_link(tor, collector_host, LinkConfig::dc_100g_lossless());
+
+    // --- Reporter fleet ---------------------------------------------------
+    // Deterministic (pod, edge, host) placement, skipping the collector.
+    let half = spec.fat_tree_k / 2;
+    let mut placements = Vec::new(); // (host, its edge switch)
+    'outer: for pod in 0..spec.fat_tree_k {
+        for e in 0..half {
+            for h in 0..half {
+                let host = ft.host(pod, e, h);
+                if host == collector_host {
+                    continue;
+                }
+                placements.push((host, ft.edge(pod, e)));
+                if placements.len() == spec.reporters as usize {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // --- Faults -----------------------------------------------------------
+    if !spec.faults.report_uplinks.is_none() {
+        for &(host, edge) in &placements {
+            net.add_faults(
+                host,
+                edge,
+                FaultInjector::new(spec.faults.report_uplinks, link_seed(spec.seed, host, edge)),
+            );
+        }
+    }
+    if !spec.faults.fabric.is_none() {
+        for (a, b) in ft.topology.edges() {
+            if a.0 < num_switches && b.0 < num_switches {
+                for (from, to) in [(a, b), (b, a)] {
+                    net.add_faults(
+                        from,
+                        to,
+                        FaultInjector::new(spec.faults.fabric, link_seed(spec.seed, from, to)),
+                    );
+                }
+            }
+        }
+    }
+    if !spec.faults.rdma_hop.is_none() {
+        net.add_faults(
+            tor,
+            collector_host,
+            FaultInjector::new(spec.faults.rdma_hop, link_seed(spec.seed, tor, collector_host)),
+        );
+    }
+
+    // --- Collector + translator ------------------------------------------
+    let mut svc = CollectorService::new(spec.service.clone());
+    let sharded_tor = match spec.mode {
+        TranslatorMode::Sharded { shards } => {
+            let node = ShardedTranslatorNode::connect(
+                ShardedConfig { shards, translator: spec.translator.clone(), ..ShardedConfig::default() },
+                &mut svc,
+            );
+            net.add_interceptor(tor, Box::new(node));
+            true
+        }
+        TranslatorMode::SingleThreaded => {
+            let mut translator = Translator::new(spec.translator.clone());
+            for (i, service) in [
+                dta_collector::SERVICE_KW,
+                dta_collector::SERVICE_POSTCARD,
+                dta_collector::SERVICE_APPEND,
+                dta_collector::SERVICE_CMS,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let req = CmRequester::new(0x700 + i as u32, 0);
+                let reply = svc.handle_cm(&req.request(service));
+                let Ok((qp, params)) = req.complete(&reply) else {
+                    continue; // primitive disabled at the collector
+                };
+                match service {
+                    dta_collector::SERVICE_KW => translator.connect_key_write(qp, params),
+                    dta_collector::SERVICE_POSTCARD => translator.connect_postcarding(qp, params),
+                    dta_collector::SERVICE_APPEND => translator.connect_append(qp, params),
+                    dta_collector::SERVICE_CMS => translator.connect_key_increment(qp, params),
+                    _ => unreachable!(),
+                }
+            }
+            net.add_interceptor(
+                tor,
+                Box::new(TranslatorNode::new(
+                    translator,
+                    tor,
+                    TRANSLATOR_IP,
+                    collector_host,
+                    COLLECTOR_IP,
+                )),
+            );
+            false
+        }
+    };
+    net.add_node(
+        collector_host,
+        Box::new(CollectorNode::new(svc, collector_host, COLLECTOR_IP)),
+    );
+
+    // --- Fleet nodes and pacing ------------------------------------------
+    let mut max_ticks = 0u64;
+    for (i, &(host, _)) in placements.iter().enumerate() {
+        let stream = workload.streams[i].clone();
+        max_ticks =
+            max_ticks.max(PacedReporterNode::ticks_to_drain(stream.len(), spec.reports_per_tick));
+        let reporter = Reporter::new(ReporterConfig {
+            my_id: host,
+            my_ip: 0x0A02_0000 + host.0,
+            collector_id: collector_host,
+            collector_ip: COLLECTOR_IP,
+            src_port: 5000,
+        });
+        net.add_node(host, Box::new(PacedReporterNode::new(reporter, stream, spec.reports_per_tick)));
+        net.add_tick(host, spec.tick_ns);
+    }
+
+    // --- Run on the simulated clock ---------------------------------------
+    let emit_end = spec.tick_ns * (max_ticks + 1);
+    let flush_at = emit_end + spec.drain_ns;
+    if !sharded_tor {
+        // One translator flush inside the run (postcard cache rows, partial
+        // append batches): the first tick of this series fires at
+        // `flush_at`, the second lands past the deadline. The sharded
+        // pipeline instead flushes at shutdown, below.
+        net.add_tick(tor, flush_at);
+    }
+    let deadline = flush_at + spec.drain_ns;
+    net.run_until(SimTime::from_nanos(deadline));
+
+    // --- Extract ----------------------------------------------------------
+    let net_stats = net.stats;
+    let fault_totals = net.fault_totals();
+    let link_totals = net.link_totals();
+
+    let mut reports_unsent = 0u64;
+    for &(host, _) in &placements {
+        let node: Box<dyn std::any::Any> = net.remove_node(host).expect("reporter node");
+        let node = node.downcast::<PacedReporterNode>().expect("reporter type");
+        reports_unsent += node.pending() as u64;
+    }
+
+    let tor_node: Box<dyn std::any::Any> = net.remove_node(tor).expect("translator node");
+    let (translator_stats, translator_node_stats, per_shard, sharded_executed) = if sharded_tor {
+        let mut node = tor_node.downcast::<ShardedTranslatorNode>().expect("sharded node");
+        let node_stats = node.stats;
+        let run = node.finish().expect("pipeline not yet finished");
+        let per_shard = run.shards.iter().map(|s| s.translator.reports_in).collect();
+        (run.translator, node_stats, per_shard, Some(run.executed))
+    } else {
+        let node = tor_node.downcast::<TranslatorNode>().expect("translator type");
+        (node.translator.stats, node.stats, Vec::new(), None)
+    };
+
+    let collector: Box<dyn std::any::Any> =
+        net.remove_node(collector_host).expect("collector node");
+    let mut collector = collector.downcast::<CollectorNode>().expect("collector type");
+    let executed = sharded_executed.unwrap_or(collector.stats.executed);
+
+    let queries = audit(&mut collector.service, spec, &workload);
+    let mut memory: Vec<(u32, Vec<u8>)> = collector
+        .service
+        .nic
+        .memory
+        .regions()
+        .map(|r| (r.rkey, r.peek(r.base_va, r.len()).expect("region readable")))
+        .collect();
+    memory.sort_by_key(|(rkey, _)| *rkey);
+
+    ScenarioOutcome {
+        report: ScenarioReport {
+            sent: workload.counts,
+            reports_unsent,
+            net: net_stats,
+            faults: fault_totals,
+            links: link_totals,
+            translator: translator_stats,
+            translator_node: translator_node_stats,
+            per_shard_reports_in: per_shard,
+            executed,
+            collector: collector.stats,
+            queries,
+        },
+        memory,
+    }
+}
+
+/// Query the collector stores against the workload ledger.
+fn audit(svc: &mut CollectorService, spec: &ScenarioSpec, workload: &Workload) -> QueryOutcomes {
+    let mut q = QueryOutcomes::default();
+    if let Some(kw) = svc.keywrite.as_ref() {
+        for key in &workload.kw_used {
+            match kw.query(key, spec.traffic.kw_redundancy as usize, QueryPolicy::Plurality) {
+                dta_collector::QueryOutcome::Found(_) => q.kw_found += 1,
+                dta_collector::QueryOutcome::Ambiguous => q.kw_ambiguous += 1,
+                dta_collector::QueryOutcome::NotFound => q.kw_missing += 1,
+            }
+        }
+    }
+    if let Some(pc) = svc.postcarding.as_ref() {
+        for key in &workload.pc_flows {
+            match pc.query(key, spec.translator.postcard_redundancy.max(1)) {
+                PostcardQueryOutcome::Found(_) => q.pc_found += 1,
+                _ => q.pc_missing += 1,
+            }
+        }
+    }
+    if let Some(reader) = svc.append.as_mut() {
+        for (list, &sent) in workload.append_per_list.iter().enumerate() {
+            if list as u32 >= spec.service.append_lists {
+                break;
+            }
+            let drain = sent.min(spec.service.append_entries);
+            for _ in 0..drain {
+                if reader.poll(list as u32).iter().any(|b| *b != 0) {
+                    q.append_entries += 1;
+                }
+            }
+        }
+    }
+    if let Some(cms) = svc.key_increment.as_ref() {
+        for key in &workload.inc_used {
+            q.inc_estimate_total += cms.query(key, spec.traffic.inc_redundancy as usize);
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_separates_adjacent_links() {
+        let a = link_seed(1, NodeId(0), NodeId(1));
+        let b = link_seed(1, NodeId(1), NodeId(0));
+        let c = link_seed(2, NodeId(0), NodeId(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,290 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] names everything a deployment-scale run depends on —
+//! fabric shape, fleet size, traffic blend, fault plan, translator mode,
+//! RNG seed — and nothing else. Two runs of the same spec produce the same
+//! [`crate::ScenarioReport`] and the same collector memory, bit for bit:
+//! the only randomness is the seeded generator threaded through workload
+//! synthesis and per-link fault injectors, and the only clock is the
+//! simulated one.
+
+use dta_collector::ServiceConfig;
+use dta_net::FaultConfig;
+use dta_translator::TranslatorConfig;
+
+/// Which translator pipeline fronts the collector's ToR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslatorMode {
+    /// The single-threaded [`dta_translator::TranslatorNode`]: reports
+    /// translate inline and the resulting RoCE packets traverse the
+    /// simulated ToR→collector link (lossless, PFC).
+    SingleThreaded,
+    /// The multi-threaded [`dta_translator::ShardedTranslatorNode`]: the
+    /// PR 2 pipeline (SPSC rings, per-shard translators, dedicated NIC
+    /// endpoints) executes RDMA directly into the collector's striped
+    /// memory — the intra-rack RoCE hop modeled at the memory level.
+    Sharded {
+        /// Worker shard count (≥ 1).
+        shards: usize,
+    },
+}
+
+/// Per-link-class fault configuration.
+///
+/// Classes rather than individual links: a scenario names the *policy*
+/// ("reports cross an unreliable fabric"), and the harness derives one
+/// deterministic injector per directed link from the scenario seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Applied to each reporter host's uplink (host → edge switch).
+    pub report_uplinks: FaultConfig,
+    /// Applied to every switch↔switch fabric link, both directions
+    /// (edge↔aggregation, aggregation↔core).
+    pub fabric: FaultConfig,
+    /// Applied to the ToR → collector-host RoCE hop. Only meaningful under
+    /// [`TranslatorMode::SingleThreaded`] (the sharded pipeline's RDMA hop
+    /// is intra-rack and does not cross a simulated link).
+    pub rdma_hop: FaultConfig,
+}
+
+impl FaultPlan {
+    /// A fault-free fabric.
+    pub fn none() -> Self {
+        FaultPlan {
+            report_uplinks: FaultConfig::none(),
+            fabric: FaultConfig::none(),
+            rdma_hop: FaultConfig::none(),
+        }
+    }
+
+    /// The non-FIFO unreliable-channel model on the whole report path
+    /// (uplinks + fabric): loss, pairwise reorder, duplicate delivery. The
+    /// RoCE hop stays clean.
+    pub fn unreliable_report_path(drop: f64, reorder: f64, duplicate: f64) -> Self {
+        let cfg = FaultConfig::unreliable(drop, reorder, duplicate);
+        FaultPlan { report_uplinks: cfg, fabric: cfg, rdma_hop: FaultConfig::none() }
+    }
+}
+
+/// The reporter fleet's traffic blend.
+///
+/// Weights are relative (they need not sum to anything particular); each
+/// op draws its primitive from the weighted distribution. A Postcarding op
+/// expands into a full `postcard_hops`-hop flow emitted contiguously by one
+/// reporter, so one op may frame several report packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficMix {
+    /// Key-Write weight.
+    pub key_write: u32,
+    /// Append weight.
+    pub append: u32,
+    /// Key-Increment weight.
+    pub key_increment: u32,
+    /// Postcarding weight.
+    pub postcarding: u32,
+    /// Key-Write redundancy `N`.
+    pub kw_redundancy: u8,
+    /// Key-Increment redundancy `N`.
+    pub inc_redundancy: u8,
+    /// Key-Write key-pool size (keys are reused across ops: rewrites
+    /// exercise last-writer-wins).
+    pub kw_keys: usize,
+    /// Key-Increment key-pool size.
+    pub inc_keys: usize,
+    /// Append lists used (must not exceed the collector's configured list
+    /// count).
+    pub append_lists: u32,
+    /// Constrain generated key pools so that no two keys share a store
+    /// slot (Key-Write redundancy slots, Postcarding chunks) or a
+    /// postcard-cache row. This removes the one behaviour sharding
+    /// intentionally does not preserve — cross-key last-writer-wins races
+    /// on colliding slots — making single-vs-sharded runs byte-comparable.
+    /// Fault-equivalence tests set it; throughput scenarios need not.
+    pub slot_disjoint_keys: bool,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        TrafficMix {
+            key_write: 40,
+            append: 25,
+            key_increment: 20,
+            postcarding: 15,
+            kw_redundancy: 2,
+            inc_redundancy: 2,
+            kw_keys: 256,
+            inc_keys: 64,
+            append_lists: 8,
+            slot_disjoint_keys: false,
+        }
+    }
+}
+
+impl TrafficMix {
+    /// Sum of the primitive weights.
+    pub fn total_weight(&self) -> u64 {
+        self.key_write as u64
+            + self.append as u64
+            + self.key_increment as u64
+            + self.postcarding as u64
+    }
+}
+
+/// A complete end-to-end deployment description.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Fat-tree port count `k` (even, ≥ 2). The collector lives on host
+    /// (pod 0, edge 0, host 0); its edge switch is the translator ToR.
+    pub fat_tree_k: u32,
+    /// Reporter fleet size — one reporter per host, filled in deterministic
+    /// (pod, edge, host) order, skipping the collector host.
+    pub reporters: u32,
+    /// Ops each reporter performs (a Postcarding op frames several report
+    /// packets).
+    pub ops_per_reporter: u32,
+    /// Traffic blend.
+    pub traffic: TrafficMix,
+    /// Per-link-class fault configuration.
+    pub faults: FaultPlan,
+    /// Translator pipeline at the ToR.
+    pub mode: TranslatorMode,
+    /// Translator sizing (shared by both modes; the sharded mode clones it
+    /// per shard).
+    pub translator: TranslatorConfig,
+    /// Collector sizing.
+    pub service: ServiceConfig,
+    /// Master seed: workload synthesis and every link's fault injector
+    /// derive from it.
+    pub seed: u64,
+    /// Reporter pacing period in simulated nanoseconds.
+    pub tick_ns: u64,
+    /// Reports each reporter emits per tick.
+    pub reports_per_tick: usize,
+    /// Settle margin (ns) between the last scheduled emission and the
+    /// translator flush, and again between the flush and the end of the
+    /// run — must exceed the worst-case multi-hop delivery delay.
+    pub drain_ns: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            fat_tree_k: 4,
+            reporters: 8,
+            ops_per_reporter: 32,
+            traffic: TrafficMix::default(),
+            faults: FaultPlan::none(),
+            mode: TranslatorMode::SingleThreaded,
+            translator: TranslatorConfig::default(),
+            service: ServiceConfig::default(),
+            seed: 1,
+            tick_ns: 4_000,
+            reports_per_tick: 8,
+            drain_ns: 300_000,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Check internal consistency; returns a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fat_tree_k < 2 || !self.fat_tree_k.is_multiple_of(2) {
+            return Err(format!("fat_tree_k must be even and >= 2, got {}", self.fat_tree_k));
+        }
+        let hosts = self.fat_tree_k * (self.fat_tree_k / 2) * (self.fat_tree_k / 2);
+        if self.reporters == 0 || self.reporters > hosts - 1 {
+            return Err(format!(
+                "reporters must be in 1..={} for k={} (one host is the collector), got {}",
+                hosts - 1,
+                self.fat_tree_k,
+                self.reporters
+            ));
+        }
+        if self.traffic.total_weight() == 0 {
+            return Err("traffic mix has zero total weight".into());
+        }
+        if self.traffic.kw_redundancy == 0 || self.traffic.inc_redundancy == 0 {
+            return Err("redundancy must be >= 1".into());
+        }
+        if self.traffic.key_write > 0 && self.traffic.kw_keys == 0 {
+            return Err("key_write weight set but kw_keys is 0".into());
+        }
+        if self.traffic.key_increment > 0 && self.traffic.inc_keys == 0 {
+            return Err("key_increment weight set but inc_keys is 0".into());
+        }
+        if self.traffic.append > 0 {
+            if self.traffic.append_lists == 0 {
+                return Err("append weight set but append_lists is 0".into());
+            }
+            if self.service.append_lists > 0
+                && self.traffic.append_lists > self.service.append_lists
+            {
+                return Err(format!(
+                    "traffic uses {} append lists but the collector has {}",
+                    self.traffic.append_lists, self.service.append_lists
+                ));
+            }
+        }
+        if let TranslatorMode::Sharded { shards } = self.mode {
+            if shards == 0 {
+                return Err("sharded mode needs at least one shard".into());
+            }
+        }
+        if self.tick_ns == 0 || self.reports_per_tick == 0 {
+            return Err("pacing must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Small smoke-test preset: K=4 fat tree, mixed traffic, no faults —
+    /// also the workload the `scenario` bench phase in
+    /// `BENCH_translator.json` measures. Pools are slot-disjoint so the
+    /// preset is bit-reproducible in *both* translator modes (see
+    /// [`TrafficMix::slot_disjoint_keys`]).
+    pub fn smoke(mode: TranslatorMode) -> Self {
+        ScenarioSpec {
+            mode,
+            traffic: TrafficMix { slot_disjoint_keys: true, ..TrafficMix::default() },
+            ..ScenarioSpec::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        assert_eq!(ScenarioSpec::default().validate(), Ok(()));
+        assert_eq!(ScenarioSpec::smoke(TranslatorMode::Sharded { shards: 4 }).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut s = ScenarioSpec { fat_tree_k: 3, ..ScenarioSpec::default() };
+        assert!(s.validate().is_err());
+        s.fat_tree_k = 4;
+        s.reporters = 16; // 16 hosts, one is the collector
+        assert!(s.validate().is_err());
+        s.reporters = 15;
+        assert_eq!(s.validate(), Ok(()));
+        s.traffic = TrafficMix { key_write: 0, append: 0, key_increment: 0, postcarding: 0, ..s.traffic };
+        assert!(s.validate().is_err());
+        let s = ScenarioSpec { mode: TranslatorMode::Sharded { shards: 0 }, ..ScenarioSpec::default() };
+        assert!(s.validate().is_err());
+        let mut s = ScenarioSpec::default();
+        s.traffic.append_lists = s.service.append_lists + 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_presets() {
+        assert!(FaultPlan::none().fabric.is_none());
+        let p = FaultPlan::unreliable_report_path(0.1, 0.05, 0.02);
+        assert_eq!(p.fabric.drop_chance, 0.1);
+        assert_eq!(p.report_uplinks.duplicate_chance, 0.02);
+        assert!(p.rdma_hop.is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! Deterministic workload synthesis for scenario runs.
+//!
+//! Everything here draws from one seeded RNG stream, so a
+//! [`crate::ScenarioSpec`] maps to exactly one workload: per-reporter
+//! report schedules plus the ledger (which keys, lists, and flows were
+//! used, and how much was sent where) the post-run query phase audits
+//! against.
+
+use std::collections::HashSet;
+
+use dta_collector::layout::{KwLayout, PostcardLayout};
+use dta_core::{DtaReport, TelemetryKey};
+use dta_hash::family::slot_of;
+use dta_hash::{Crc32, CrcParams, HashFamily};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::ScenarioSpec;
+
+/// Report packets framed, by primitive (a Postcarding *op* contributes
+/// `path_len` packets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimitiveCounts {
+    /// Key-Write reports.
+    pub key_write: u64,
+    /// Append reports.
+    pub append: u64,
+    /// Key-Increment reports.
+    pub key_increment: u64,
+    /// Postcarding reports (hops, not flows).
+    pub postcard: u64,
+}
+
+impl PrimitiveCounts {
+    /// Total report packets.
+    pub fn total(&self) -> u64 {
+        self.key_write + self.append + self.key_increment + self.postcard
+    }
+}
+
+/// A synthesized workload: the schedules plus the audit ledger.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// One report schedule per reporter, in fleet order.
+    pub streams: Vec<Vec<DtaReport>>,
+    /// Distinct Key-Write keys actually written (pool order).
+    pub kw_used: Vec<TelemetryKey>,
+    /// Key-Increment keys actually incremented (pool order).
+    pub inc_used: Vec<TelemetryKey>,
+    /// Postcard flow keys emitted (one full path each, emission order).
+    pub pc_flows: Vec<TelemetryKey>,
+    /// Append entries emitted per list id.
+    pub append_per_list: Vec<u64>,
+    /// Sum of all Key-Increment deltas emitted.
+    pub inc_total: u64,
+    /// Report packets framed, by primitive.
+    pub counts: PrimitiveCounts,
+}
+
+/// A deterministic, optionally collision-filtered pool of keys at a fixed
+/// id base. With filtering on, no two keys returned share any of their
+/// `family` store slots (over `slots`) nor a postcard-cache row (over
+/// `cache_rows`, when nonzero) — the precondition for byte-comparing
+/// single-threaded and sharded runs.
+struct KeyPool {
+    next_id: u64,
+    family: HashFamily,
+    redundancy: usize,
+    slots: u64,
+    cache_rows: usize,
+    crc: Crc32,
+    used_slots: HashSet<u64>,
+    used_rows: HashSet<usize>,
+    filter: bool,
+}
+
+impl KeyPool {
+    fn new(base: u64, redundancy: usize, slots: u64, cache_rows: usize, filter: bool) -> Self {
+        KeyPool {
+            next_id: base,
+            family: HashFamily::new(redundancy.max(1)),
+            redundancy: redundancy.max(1),
+            slots,
+            cache_rows,
+            crc: Crc32::new(CrcParams::IEEE),
+            used_slots: HashSet::new(),
+            used_rows: HashSet::new(),
+            filter,
+        }
+    }
+
+    fn next(&mut self) -> TelemetryKey {
+        // When the filter is on, candidate keys are rejected until one
+        // avoids every used slot/row; near pool exhaustion that rejection
+        // rate approaches 1, and past exhaustion it *is* 1 — fail loudly
+        // instead of spinning forever. Even a store 99% full needs ~100
+        // candidates per key in expectation, far under this bound.
+        let limit = 64 * (self.slots + self.cache_rows as u64) + 4096;
+        let mut rejected = 0u64;
+        loop {
+            assert!(
+                rejected < limit,
+                "slot-disjoint key pool exhausted after {} candidates \
+                 ({} slots / {} cache rows already used): shrink the key \
+                 pools or grow the store",
+                rejected,
+                self.used_slots.len(),
+                self.used_rows.len(),
+            );
+            rejected += 1;
+            let k = TelemetryKey::from_u64(self.next_id);
+            self.next_id += 1;
+            if !self.filter {
+                return k;
+            }
+            let key_slots: Vec<u64> = (0..self.redundancy)
+                .map(|i| slot_of(self.family.hash(i, k.as_bytes()), self.slots))
+                .collect();
+            if key_slots.iter().any(|s| self.used_slots.contains(s)) {
+                continue;
+            }
+            // The postcard cache indexes rows by IEEE CRC32 of the key —
+            // mirror dta-translator's PostcardCache::row_index so filtered
+            // flows never evict each other.
+            let row = (self.cache_rows > 0)
+                .then(|| self.crc.compute(k.as_bytes()) as usize % self.cache_rows);
+            if let Some(row) = row {
+                if self.used_rows.contains(&row) {
+                    continue;
+                }
+                self.used_rows.insert(row);
+            }
+            self.used_slots.extend(key_slots);
+            return k;
+        }
+    }
+
+    /// Pre-draw a pool of `n` keys.
+    fn take(&mut self, n: usize) -> Vec<TelemetryKey> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+/// Non-zero payload of `width` bytes carrying `counter` (little-endian
+/// after a fixed sentinel byte, so even entry 0 is distinguishable from
+/// never-written store memory).
+fn payload(counter: u64, width: usize) -> Vec<u8> {
+    let mut v = vec![0u8; width.max(1)];
+    v[0] = 0xA5;
+    for (i, b) in v.iter_mut().skip(1).enumerate() {
+        *b = (counter >> (8 * (i % 8))) as u8;
+    }
+    v
+}
+
+/// Synthesize the workload for `spec`. Pure function of the spec (seeded
+/// RNG only).
+pub fn generate(spec: &ScenarioSpec) -> Workload {
+    let mix = &spec.traffic;
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE0_A810_57EA_D511);
+
+    let kw_layout = KwLayout::with_capacity(0, spec.service.kw_bytes, spec.service.kw_value_bytes);
+    let pc_layout = PostcardLayout::with_capacity(
+        0,
+        spec.service.postcard_bytes,
+        spec.service.postcard_hops,
+        spec.service.postcard_bits,
+    );
+    let filter = mix.slot_disjoint_keys;
+    let mut kw_pool = KeyPool::new(0, mix.kw_redundancy as usize, kw_layout.slots, 0, filter);
+    let kw_keys = kw_pool.take(mix.kw_keys.max(1));
+    // Flow keys must also be row-disjoint in the translator's postcard
+    // cache (see KeyPool); chunk count comes from the collector layout.
+    let mut pc_pool = KeyPool::new(
+        1 << 40,
+        spec.translator.postcard_redundancy,
+        pc_layout.chunks,
+        if filter { spec.translator.postcard_cache_slots } else { 0 },
+        filter,
+    );
+    // Increments commute, so their pool never needs filtering.
+    let mut inc_pool = KeyPool::new(0xC0FF_EE00_0000, mix.inc_redundancy as usize, 1, 0, false);
+    let inc_keys = inc_pool.take(mix.inc_keys.max(1));
+
+    let path_len = spec.translator.postcard_hops;
+    let weights = [mix.key_write, mix.append, mix.key_increment, mix.postcarding];
+    let total_weight: u64 = mix.total_weight();
+
+    let mut streams = Vec::with_capacity(spec.reporters as usize);
+    let mut kw_hit = vec![false; kw_keys.len()];
+    let mut inc_hit = vec![false; inc_keys.len()];
+    let mut pc_flows = Vec::new();
+    let mut append_per_list = vec![0u64; mix.append_lists.max(1) as usize];
+    let mut inc_total = 0u64;
+    let mut counts = PrimitiveCounts::default();
+    let mut seq = 0u32;
+    let mut value_counter = 0u64;
+
+    for _reporter in 0..spec.reporters {
+        let mut stream = Vec::with_capacity(spec.ops_per_reporter as usize);
+        for _op in 0..spec.ops_per_reporter {
+            let mut roll = rng.gen_range(0..total_weight);
+            let mut primitive = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if roll < *w as u64 {
+                    primitive = i;
+                    break;
+                }
+                roll -= *w as u64;
+            }
+            match primitive {
+                0 => {
+                    let idx = rng.gen_range(0..kw_keys.len());
+                    kw_hit[idx] = true;
+                    value_counter += 1;
+                    stream.push(DtaReport::key_write(
+                        seq,
+                        kw_keys[idx],
+                        mix.kw_redundancy,
+                        payload(value_counter, spec.service.kw_value_bytes as usize),
+                    ));
+                    seq += 1;
+                    counts.key_write += 1;
+                }
+                1 => {
+                    let list = rng.gen_range(0..mix.append_lists);
+                    append_per_list[list as usize] += 1;
+                    value_counter += 1;
+                    stream.push(DtaReport::append(
+                        seq,
+                        list,
+                        payload(value_counter, spec.service.append_entry_bytes as usize),
+                    ));
+                    seq += 1;
+                    counts.append += 1;
+                }
+                2 => {
+                    let idx = rng.gen_range(0..inc_keys.len());
+                    inc_hit[idx] = true;
+                    let delta = rng.gen_range(1..=100u64);
+                    inc_total += delta;
+                    stream.push(DtaReport::key_increment(
+                        seq,
+                        inc_keys[idx],
+                        mix.inc_redundancy,
+                        delta,
+                    ));
+                    seq += 1;
+                    counts.key_increment += 1;
+                }
+                _ => {
+                    // One op = one full flow, emitted contiguously by this
+                    // reporter.
+                    let key = pc_pool.next();
+                    pc_flows.push(key);
+                    for hop in 0..path_len {
+                        let value = rng.gen_range(0..spec.translator.postcard_values);
+                        stream.push(DtaReport::postcard(seq, key, hop, path_len, value));
+                        seq += 1;
+                        counts.postcard += 1;
+                    }
+                }
+            }
+        }
+        streams.push(stream);
+    }
+
+    let kw_used = kw_keys
+        .iter()
+        .zip(&kw_hit)
+        .filter_map(|(k, hit)| hit.then_some(*k))
+        .collect();
+    let inc_used = inc_keys
+        .iter()
+        .zip(&inc_hit)
+        .filter_map(|(k, hit)| hit.then_some(*k))
+        .collect();
+    Workload { streams, kw_used, inc_used, pc_flows, append_per_list, inc_total, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TrafficMix;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ScenarioSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.inc_total, b.inc_total);
+        let other = generate(&ScenarioSpec { seed: spec.seed + 1, ..spec });
+        assert_ne!(a.streams, other.streams, "seed must matter");
+    }
+
+    #[test]
+    fn counts_match_streams() {
+        let spec = ScenarioSpec::default();
+        let w = generate(&spec);
+        assert_eq!(w.streams.len(), spec.reporters as usize);
+        let framed: u64 = w.streams.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(framed, w.counts.total());
+        assert_eq!(
+            w.append_per_list.iter().sum::<u64>(),
+            w.counts.append,
+        );
+        assert_eq!(
+            w.counts.postcard,
+            w.pc_flows.len() as u64 * spec.translator.postcard_hops as u64
+        );
+        assert!(w.counts.key_write > 0 && w.counts.key_increment > 0);
+        assert!(!w.kw_used.is_empty() && !w.inc_used.is_empty());
+    }
+
+    #[test]
+    fn disjoint_pools_share_no_slots_or_rows() {
+        let spec = ScenarioSpec {
+            traffic: TrafficMix { slot_disjoint_keys: true, ..TrafficMix::default() },
+            ..ScenarioSpec::default()
+        };
+        let w = generate(&spec);
+        // Key-Write: no two used keys may share any redundancy slot.
+        let layout =
+            KwLayout::with_capacity(0, spec.service.kw_bytes, spec.service.kw_value_bytes);
+        let family = HashFamily::new(spec.traffic.kw_redundancy as usize);
+        let mut seen = HashSet::new();
+        for k in &w.kw_used {
+            for i in 0..spec.traffic.kw_redundancy as usize {
+                assert!(
+                    seen.insert(slot_of(family.hash(i, k.as_bytes()), layout.slots)),
+                    "kw slot collision in filtered pool"
+                );
+            }
+        }
+        // Postcards: chunks and cache rows pairwise distinct.
+        let pc_layout = PostcardLayout::with_capacity(
+            0,
+            spec.service.postcard_bytes,
+            spec.service.postcard_hops,
+            spec.service.postcard_bits,
+        );
+        let pc_family = HashFamily::new(spec.translator.postcard_redundancy.max(1));
+        let crc = Crc32::new(CrcParams::IEEE);
+        let mut chunks = HashSet::new();
+        let mut rows = HashSet::new();
+        for k in &w.pc_flows {
+            assert!(chunks.insert(slot_of(pc_family.hash(0, k.as_bytes()), pc_layout.chunks)));
+            assert!(rows
+                .insert(crc.compute(k.as_bytes()) as usize % spec.translator.postcard_cache_slots));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-disjoint key pool exhausted")]
+    fn infeasible_disjoint_pool_fails_loudly() {
+        // 512 KW slots cannot host 512 keys x 2 disjoint redundancy slots:
+        // generation must panic with a diagnostic, not hang.
+        let mut spec = ScenarioSpec {
+            traffic: TrafficMix {
+                kw_keys: 512,
+                slot_disjoint_keys: true,
+                ..TrafficMix::default()
+            },
+            ..ScenarioSpec::default()
+        };
+        spec.service.kw_bytes = 4096;
+        let _ = generate(&spec);
+    }
+
+    #[test]
+    fn payloads_are_nonzero() {
+        assert_eq!(payload(0, 4)[0], 0xA5);
+        assert_ne!(payload(0, 1), vec![0]);
+        assert_ne!(payload(7, 4), payload(8, 4));
+    }
+}

@@ -35,7 +35,7 @@ pub mod translator;
 
 pub use append::AppendBatcher;
 pub use extensions::{LatencyMatch, LatencySumQuery};
-pub use node::TranslatorNode;
+pub use node::{ShardedTranslatorNode, TranslatorNode};
 pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};
 pub use ratelimit::{RateLimiter, RateLimiterConfig};

@@ -7,11 +7,13 @@
 //! forwarded untouched ("basic user-traffic forwarding", §5.2).
 
 use bytes::{BufMut, Bytes, BytesMut};
+use dta_collector::service::CollectorService;
 use dta_core::framing::UdpPacket;
 use dta_core::{DtaReport, DTA_UDP_PORT};
 use dta_net::{Emission, NetNode, NodeId, Packet, SimTime};
 use dta_rdma::packet::{RocePacket, ROCE_UDP_PORT};
 
+use crate::shard::{ShardedConfig, ShardedRunReport, ShardedTranslator};
 use crate::translator::Translator;
 
 /// UDP source port for NACKs returned to reporters.
@@ -37,7 +39,7 @@ pub fn decode_nack(payload: &[u8]) -> Option<u32> {
 }
 
 /// Per-node counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TranslatorNodeStats {
     /// DTA reports decoded.
     pub dta_in: u64,
@@ -151,14 +153,190 @@ impl NetNode for TranslatorNode {
     }
 }
 
+/// The sharded translator pipeline wrapped as an intercepting [`NetNode`].
+///
+/// The single-threaded [`TranslatorNode`] converts each report into RoCE
+/// packets that traverse the simulated ToR→collector link. The sharded node
+/// models the same deployment one level deeper: the translator and the
+/// collector NIC share the rack, and the PR 2 pipeline
+/// ([`crate::ShardedTranslator`]) carries reports from ingest through
+/// per-shard translators and dedicated NIC endpoints *directly into the
+/// collector's striped memory* — the RDMA hop is intra-rack and modeled at
+/// the memory level, so network faults apply to the report path (where the
+/// paper's best-effort claim lives), not to the lossless RoCE hop.
+///
+/// Differences from the single-threaded node, by design:
+///
+/// * no RoCE packets are emitted onto the network (shard endpoints execute
+///   and consume responses in-process, feeding NAKs straight back to their
+///   translator);
+/// * no reporter NACKs are emitted — the rate-limit decision happens on a
+///   worker thread after the ingest thread has already returned to the
+///   engine (`nacks_sent` still counts in the merged shard stats);
+/// * the pipeline must be shut down explicitly:
+///   [`ShardedTranslatorNode::finish`] barriers on the queues, flushes
+///   translator-held state, joins the workers, and returns the aggregated
+///   [`ShardedRunReport`].
+pub struct ShardedTranslatorNode {
+    sharded: Option<ShardedTranslator>,
+    /// Counters (`roce_responses` stays 0: responses never cross the
+    /// simulated network in this deployment).
+    pub stats: TranslatorNodeStats,
+}
+
+impl ShardedTranslatorNode {
+    /// Build the sharded pipeline against `collector` and wrap it as a node.
+    ///
+    /// Call *before* moving the `CollectorService` into its own node: the
+    /// shard NIC endpoints clone the collector's region registry, so writes
+    /// issued by shard workers land in exactly the memory the collector's
+    /// stores query.
+    pub fn connect(config: ShardedConfig, collector: &mut CollectorService) -> Self {
+        ShardedTranslatorNode {
+            sharded: Some(ShardedTranslator::connect(config, collector)),
+            stats: TranslatorNodeStats::default(),
+        }
+    }
+
+    /// Number of worker shards (0 after [`ShardedTranslatorNode::finish`]).
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |s| s.shards())
+    }
+
+    /// Drain the queues, flush translator-held state (postcard cache rows,
+    /// partial append batches) through the shard NIC endpoints, join the
+    /// workers, and return the aggregated counters. Returns `None` if
+    /// already finished.
+    pub fn finish(&mut self) -> Option<ShardedRunReport> {
+        let sharded = self.sharded.take()?;
+        sharded.wait_idle();
+        Some(sharded.flush_and_join())
+    }
+}
+
+impl NetNode for ShardedTranslatorNode {
+    fn receive(&mut self, now: SimTime, packet: Packet) -> Vec<Emission> {
+        let Some(sharded) = self.sharded.as_mut() else {
+            return Vec::new(); // finished: sink
+        };
+        let Ok(udp) = UdpPacket::decode(packet.payload.clone()) else {
+            self.stats.malformed += 1;
+            return Vec::new();
+        };
+        match udp.udp.dst_port {
+            DTA_UDP_PORT => {
+                let Ok(report) = DtaReport::decode(udp.payload.clone()) else {
+                    self.stats.malformed += 1;
+                    return Vec::new();
+                };
+                self.stats.dta_in += 1;
+                // Routes on the ingest thread, enqueues to the owning
+                // shard's SPSC ring (yielding on a full ring), and returns;
+                // translation + RDMA execution happen on the worker threads.
+                sharded.ingest(now.as_nanos(), report);
+                Vec::new()
+            }
+            ROCE_UDP_PORT => {
+                // Shard endpoints handle their responses in-process; a RoCE
+                // packet arriving over the network is a wiring error.
+                self.stats.malformed += 1;
+                Vec::new()
+            }
+            _ => {
+                self.stats.forwarded += 1;
+                vec![Emission::now(packet)]
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dta_collector::service::ServiceConfig;
+    use dta_collector::{CollectorNode, QueryOutcome, QueryPolicy};
+    use dta_core::TelemetryKey;
+    use dta_net::{LinkConfig, Network, Topology};
 
     #[test]
     fn nack_roundtrip() {
         assert_eq!(decode_nack(&encode_nack(0xDEAD_BEEF)), Some(0xDEAD_BEEF));
         assert_eq!(decode_nack(b"bogus!!!"), None);
         assert_eq!(decode_nack(b"DNAK"), None); // too short
+    }
+
+    /// Reports over the simulated network → sharded ingest → worker shards →
+    /// shard NICs → collector memory: the PR 2 pipeline driven from the node
+    /// layer.
+    #[test]
+    fn sharded_node_translates_network_reports_into_collector_memory() {
+        let mut topo = Topology::new(3);
+        topo.connect(NodeId(0), NodeId(1));
+        topo.connect(NodeId(1), NodeId(2));
+        let mut net = Network::new(topo.shortest_path_routing());
+        net.add_duplex_link(NodeId(0), NodeId(1), LinkConfig::dc_100g());
+        net.add_duplex_link(NodeId(1), NodeId(2), LinkConfig::dc_100g());
+
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        let node = ShardedTranslatorNode::connect(ShardedConfig::with_shards(2), &mut svc);
+        assert_eq!(node.shards(), 2);
+        net.add_interceptor(NodeId(1), Box::new(node));
+        net.add_node(NodeId(2), Box::new(CollectorNode::new(svc, NodeId(2), 0x0A00_0900)));
+
+        for i in 0..100u64 {
+            let report =
+                DtaReport::key_write(i as u32, TelemetryKey::from_u64(i), 2, vec![i as u8; 4]);
+            let udp = UdpPacket::frame(
+                0x0A00_0002,
+                4000,
+                0x0A00_0900,
+                DTA_UDP_PORT,
+                report.encode().unwrap(),
+            );
+            net.send_from(NodeId(0), Packet::new(NodeId(0), NodeId(2), udp.encode()));
+        }
+        net.run_to_idle();
+
+        let tor: Box<dyn std::any::Any> = net.remove_node(NodeId(1)).unwrap();
+        let mut tor = tor.downcast::<ShardedTranslatorNode>().unwrap();
+        assert_eq!(tor.stats.dta_in, 100);
+        let run = tor.finish().expect("first finish");
+        assert!(tor.finish().is_none(), "second finish must be a no-op");
+        assert_eq!(run.translator.reports_in, 100);
+        assert_eq!(run.executed, 200, "N=2 -> 2 RDMA writes per report");
+        assert!(run.shards.iter().all(|s| s.translator.reports_in > 0), "both shards loaded");
+
+        let col: Box<dyn std::any::Any> = net.remove_node(NodeId(2)).unwrap();
+        let col = col.downcast::<CollectorNode>().unwrap();
+        // No RoCE traffic crossed the network: shard endpoints wrote memory
+        // directly.
+        assert_eq!(col.stats.executed, 0);
+        let kw = col.service.keywrite.as_ref().unwrap();
+        for i in 0..100u64 {
+            assert_eq!(
+                kw.query(&TelemetryKey::from_u64(i), 2, QueryPolicy::Plurality),
+                QueryOutcome::Found(vec![i as u8; 4]),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_node_forwards_user_traffic_and_rejects_garbage() {
+        let mut svc = CollectorService::new(ServiceConfig::default());
+        let mut node = ShardedTranslatorNode::connect(ShardedConfig::with_shards(1), &mut svc);
+        // User traffic (non-DTA UDP port) forwards untouched.
+        let user = UdpPacket::frame(1, 1234, 9, 80, Bytes::from_static(b"http"));
+        let out = node.receive(SimTime::ZERO, Packet::new(NodeId(0), NodeId(9), user.encode()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(node.stats.forwarded, 1);
+        // Garbage is malformed, not a crash.
+        let out = node.receive(
+            SimTime::ZERO,
+            Packet::new(NodeId(0), NodeId(9), Bytes::from_static(b"???")),
+        );
+        assert!(out.is_empty());
+        assert_eq!(node.stats.malformed, 1);
+        node.finish();
     }
 }

@@ -227,6 +227,67 @@ mod tests {
     }
 
     #[test]
+    fn two_level_routing_never_collapses_for_adversarial_key_sets() {
+        // Regression for the shard/collector domain-separation gap. Two
+        // adversarial constructions, each of which defeats a *naive*
+        // two-level scheme (same reduction at both levels, or modulo over
+        // the raw checksum):
+        //
+        // 1. For every collector c, the exact key set routed to c — under a
+        //    shared reduction these all land on ~1 shard.
+        // 2. Keys filtered so `checksum32 % shards` is one constant — under
+        //    an unmixed/unsalted modulo reduction these collapse by
+        //    construction.
+        //
+        // In both cases the salted + mixed shard level must keep every
+        // shard loaded.
+        const COLLECTORS: u32 = 4;
+        const SHARDS: u32 = 4;
+        let collectors = Partitioner::new(COLLECTORS);
+        let shards = Partitioner::for_shards(SHARDS);
+        let csum = dta_hash::Checksummer::new();
+
+        for collector in 0..COLLECTORS {
+            let mut counts = [0u32; SHARDS as usize];
+            let mut kept = 0u32;
+            for i in 0..32_000u64 {
+                let r = DtaReport::key_write(0, TelemetryKey::from_u64(i), 1, vec![0; 4]);
+                if collectors.route(&r) == collector {
+                    counts[shards.route(&r) as usize] += 1;
+                    kept += 1;
+                }
+            }
+            for (s, c) in counts.iter().enumerate() {
+                assert!(
+                    *c * SHARDS * 2 > kept,
+                    "collector {collector}'s band starves shard {s}: {counts:?} of {kept}"
+                );
+            }
+        }
+
+        for residue in 0..SHARDS {
+            let mut counts = [0u32; SHARDS as usize];
+            let mut kept = 0u32;
+            let mut i = 0u64;
+            while kept < 4_000 {
+                let k = TelemetryKey::from_u64(i);
+                i += 1;
+                if csum.checksum32(k.as_bytes()) % SHARDS != residue {
+                    continue;
+                }
+                kept += 1;
+                counts[shards.route_checksum(csum.checksum32(k.as_bytes())) as usize] += 1;
+            }
+            for (s, c) in counts.iter().enumerate() {
+                assert!(
+                    *c * SHARDS * 2 > kept,
+                    "checksum-residue-{residue} keys starve shard {s}: {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn single_collector_always_zero() {
         let p = Partitioner::new(1);
         let r = DtaReport::append(0, 123, vec![0; 4]);

@@ -227,6 +227,54 @@ mod tests {
     }
 
     #[test]
+    fn slow_consumer_backpressures_without_loss_and_bounded_memory() {
+        // A deliberately slow consumer against a tiny ring: the producer
+        // must hit explicit backpressure (failed pushes), the ring must
+        // never hold more than its capacity (bounded memory — the invariant
+        // the sharded ingest loop's `shards × queue_depth` bound rests on),
+        // and once the consumer drains, every item must have arrived intact
+        // and in order.
+        const N: u64 = 50_000;
+        const CAP: usize = 8;
+        let (mut tx, mut rx) = channel::<u64>(CAP);
+        assert_eq!(tx.capacity(), CAP);
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            let mut batch = Vec::with_capacity(4);
+            let mut max_seen = 0usize;
+            while expected < N {
+                // Slow drain: tiny batches with a yield between them.
+                batch.clear();
+                let n = rx.pop_batch(&mut batch, 3);
+                max_seen = max_seen.max(n);
+                for v in &batch {
+                    assert_eq!(*v, expected, "lost or reordered under backpressure");
+                    expected += 1;
+                }
+                std::thread::yield_now();
+            }
+            (expected, max_seen)
+        });
+        let mut backpressure = 0u64;
+        let mut v = 0u64;
+        while v < N {
+            match tx.push(v) {
+                Ok(()) => v += 1,
+                Err(returned) => {
+                    // The ring hands the item back instead of dropping it.
+                    assert_eq!(returned, v);
+                    backpressure += 1;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let (drained, max_batch) = consumer.join().unwrap();
+        assert_eq!(drained, N, "items lost once drained");
+        assert!(backpressure > 0, "a slow consumer must exert backpressure");
+        assert!(max_batch <= CAP, "ring exceeded its capacity bound");
+    }
+
+    #[test]
     fn queued_items_drop_exactly_once() {
         use std::sync::atomic::AtomicU32;
         static DROPS: AtomicU32 = AtomicU32::new(0);

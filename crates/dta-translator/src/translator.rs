@@ -72,7 +72,7 @@ impl Default for TranslatorConfig {
 }
 
 /// Counters for the translation paths.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TranslatorStats {
     /// DTA reports processed.
     pub reports_in: u64,

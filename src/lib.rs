@@ -20,6 +20,9 @@
 //! * [`reporter`] — the switch-side DTA exporter.
 //! * [`translator`] — the DTA→RDMA translator (the paper's contribution).
 //! * [`collector`] — the collector's write-only stores and query engines.
+//! * [`sim`] — the end-to-end scenario harness (reporter fleets → faulty
+//!   fat-tree fabric → translator ToR → collector, from one declarative
+//!   spec).
 //! * [`baselines`] — CPU-collector baselines (MultiLog, Cuckoo, BTrDB,
 //!   INTCollector).
 //! * [`analysis`] — closed-form error bounds and experiment tooling.
@@ -62,6 +65,7 @@ pub use dta_hash as hash;
 pub use dta_net as net;
 pub use dta_rdma as rdma;
 pub use dta_reporter as reporter;
+pub use dta_sim as sim;
 pub use dta_switch as switch;
 pub use dta_telemetry as telemetry;
 pub use dta_translator as translator;

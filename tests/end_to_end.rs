@@ -143,6 +143,78 @@ fn report_loss_degrades_gracefully() {
 }
 
 #[test]
+fn duplicated_key_write_reports_are_idempotent_at_the_collector() {
+    // Duplicate delivery on the report hop: the translator translates the
+    // same Key-Write twice, producing two RDMA writes of the same image to
+    // the same slots — last-writer-wins makes the duplicate a no-op. This
+    // is the RoCE-retransmit-shaped fault the primitives must absorb.
+    let (mut net, mut reporter) =
+        line_setup(ServiceConfig::default(), TranslatorConfig::default(), &[SERVICE_KW]);
+    net.add_faults(
+        NodeId(0),
+        NodeId(1),
+        FaultInjector::new(
+            FaultConfig { duplicate_chance: 1.0, ..FaultConfig::none() },
+            21,
+        ),
+    );
+    let n = 50u64;
+    for i in 0..n {
+        let r = DtaReport::key_write(i as u32, TelemetryKey::from_u64(i), 2, vec![i as u8; 4]);
+        net.send_from(NodeId(0), reporter.frame(&r));
+    }
+    net.run_to_idle();
+    let translator = take_translator(&mut net);
+    assert_eq!(translator.translator.stats.reports_in, 2 * n, "every report seen twice");
+    let collector = take_collector(&mut net);
+    // 2 writes per copy, 2 copies per report — and every key still reads
+    // back exactly its own value.
+    assert_eq!(collector.stats.executed, 4 * n);
+    let store = collector.service.keywrite.as_ref().unwrap();
+    for i in 0..n {
+        assert_eq!(
+            store.query(&TelemetryKey::from_u64(i), 2, QueryPolicy::Plurality),
+            QueryOutcome::Found(vec![i as u8; 4]),
+            "key {i} corrupted by duplicate delivery"
+        );
+    }
+}
+
+#[test]
+fn duplicated_roce_packets_are_dropped_by_psn_discipline() {
+    // Duplicate delivery on the RDMA hop: the copy arrives with an
+    // already-consumed PSN and the collector NIC silently drops it —
+    // memory is written exactly once per report.
+    let (mut net, mut reporter) =
+        line_setup(ServiceConfig::default(), TranslatorConfig::default(), &[SERVICE_KW]);
+    net.add_faults(
+        NodeId(1),
+        NodeId(2),
+        FaultInjector::new(
+            FaultConfig { duplicate_chance: 1.0, ..FaultConfig::none() },
+            22,
+        ),
+    );
+    let n = 50u64;
+    for i in 0..n {
+        let r = DtaReport::key_write(i as u32, TelemetryKey::from_u64(i), 2, vec![7; 4]);
+        net.send_from(NodeId(0), reporter.frame(&r));
+        net.run_to_idle();
+    }
+    let collector = take_collector(&mut net);
+    assert_eq!(collector.stats.executed, 2 * n, "each write executes once");
+    assert_eq!(collector.stats.dropped, 2 * n, "each duplicate PSN-drops");
+    let store = collector.service.keywrite.as_ref().unwrap();
+    for i in 0..n {
+        assert_eq!(
+            store.query(&TelemetryKey::from_u64(i), 2, QueryPolicy::Plurality),
+            QueryOutcome::Found(vec![7; 4]),
+            "key {i}"
+        );
+    }
+}
+
+#[test]
 fn corrupted_roce_packets_are_rejected_by_icrc() {
     let (mut net, mut reporter) =
         line_setup(ServiceConfig::default(), TranslatorConfig::default(), &[SERVICE_KW]);
