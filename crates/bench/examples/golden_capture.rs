@@ -1,0 +1,33 @@
+//! One-shot capture of scenario goldens (report debug string + FNV-1a of
+//! collector memory) used to pin engine-rewrite equivalence tests — paste
+//! the output into `dta-sim/tests/engine_golden.rs` after a *deliberate*
+//! behaviour change. The fingerprint is `dta_sim::memory_fingerprint`, the
+//! same function the test recomputes.
+fn main() {
+    for (name, spec) in [
+        ("k4_single_clean", {
+            let mut s = dta_sim::ScenarioSpec::smoke(dta_sim::TranslatorMode::SingleThreaded);
+            s.seed = 0xD7A0_0001;
+            s
+        }),
+        ("k4_single_faulted", {
+            let mut s = dta_sim::ScenarioSpec::smoke(dta_sim::TranslatorMode::SingleThreaded);
+            s.faults = dta_sim::FaultPlan::unreliable_report_path(0.1, 0.1, 0.1);
+            s.reporters = 8;
+            s.ops_per_reporter = 16;
+            s.seed = 0xD7A0_0002;
+            s
+        }),
+        ("k4_sharded_clean", {
+            let mut s = dta_sim::ScenarioSpec::smoke(dta_sim::TranslatorMode::Sharded { shards: 4 });
+            s.seed = 0xD7A0_0003;
+            s
+        }),
+    ] {
+        let out = dta_sim::run_scenario(&spec);
+        let mem_hash = dta_sim::memory_fingerprint(&out.memory);
+        println!("== {name}");
+        println!("report_debug = {:?}", format!("{:?}", out.report));
+        println!("memory_fnv = {mem_hash:#018x}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Probe: the fixed (per-run, workload-independent) costs of a scenario —
+//! collector store allocation, routing build, memory snapshot extraction.
+use std::time::Instant;
+
+fn main() {
+    let runs = 200;
+
+    let t = Instant::now();
+    for _ in 0..runs {
+        let svc = dta_collector::CollectorService::new(dta_collector::ServiceConfig::default());
+        std::hint::black_box(&svc);
+    }
+    println!("CollectorService::new: {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+
+    let svc = dta_collector::CollectorService::new(dta_collector::ServiceConfig::default());
+    let t = Instant::now();
+    for _ in 0..runs {
+        let mut memory: Vec<(u32, dta_rdma::mr::SnapshotBuf)> = svc
+            .nic
+            .memory
+            .regions()
+            .map(|r| (r.rkey, r.snapshot()))
+            .collect();
+        memory.sort_by_key(|(rkey, _)| *rkey);
+        std::hint::black_box(&memory);
+    }
+    println!("memory snapshot: {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+    let total: usize = svc.nic.memory.regions().map(|r| r.len()).sum();
+    println!("total region bytes: {}", total);
+
+    let t = Instant::now();
+    for _ in 0..runs {
+        let r = dta_rdma::mr::MemoryRegion::new(0, 1 << 20, 1, dta_rdma::mr::MrAccess::WRITE);
+        std::hint::black_box(&r);
+    }
+    println!("MemoryRegion::new(1MB): {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(dta_collector::ValueCodec::switch_ids(1 << 12, 32));
+    }
+    println!("ValueCodec::switch_ids(4096): {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(dta_translator::Translator::new(dta_translator::TranslatorConfig::default()));
+    }
+    println!("Translator::new: {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+
+    let ft = dta_net::FatTree::new(4);
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(ft.topology.shortest_path_routing());
+    }
+    println!("k4 routing build: {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+
+    let ft8 = dta_net::FatTree::new(8);
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(ft8.topology.shortest_path_routing());
+    }
+    println!("k8 routing build: {:.1} us", t.elapsed().as_nanos() as f64 / runs as f64 / 1e3);
+}

@@ -8,6 +8,11 @@
 //! repro --json           # sustained translator throughput ->
 //!                        #   BENCH_translator.json (phase: current)
 //! repro --json --label optimized   # record under a custom phase label
+//! repro --check --baseline BENCH_translator.json
+//!                        # perf-regression gate: re-run the quick suite
+//!                        # and fail (exit 1) if any benchmark regressed
+//!                        # >25% vs its committed value, after dividing
+//!                        # out the host-speed factor (median ratio)
 //! ```
 
 use dta_bench::{all_experiments, run_experiment, ExperimentId};
@@ -30,6 +35,54 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str());
+
+    if args.iter().any(|a| a == "--check") {
+        let baseline = args
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+            .unwrap_or("BENCH_translator.json");
+        let tolerance = args
+            .iter()
+            .position(|a| a == "--tolerance")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.25);
+        let repeat = args
+            .iter()
+            .position(|a| a == "--repeat")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3);
+        let (outcomes, ok) = dta_bench::perf::check_against_baseline(
+            baseline,
+            std::time::Duration::from_millis(100),
+            only,
+            repeat,
+            tolerance,
+        );
+        println!(
+            "perf gate vs {baseline} (tolerance {:.0}%, host-normalized):",
+            tolerance * 100.0
+        );
+        for o in &outcomes {
+            println!(
+                "  {:<12} {:<26} fresh {:>9.1} ns  baseline {:>9.1} ns  normalized x{:.2}",
+                if o.regressed { "REGRESSED" } else { "ok" },
+                o.name,
+                o.fresh_ns,
+                o.baseline_ns,
+                o.normalized_ratio
+            );
+        }
+        if !ok {
+            eprintln!("perf gate FAILED");
+            std::process::exit(1);
+        }
+        println!("perf gate passed ({} benchmarks)", outcomes.len());
+        return;
+    }
 
     if json {
         let window = std::time::Duration::from_millis(if quick { 100 } else { 500 });

@@ -320,7 +320,134 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
         results.push(run_loop_scenario("scenario/k4_sharded4", window, &spec));
     }
 
+    // Datacenter scale: K=8 fat tree, 1008 paced reporters (8 lanes per
+    // host). One run is ~13k reports over 80 switches — the workload the
+    // PR 4 engine rewrite (dense arenas + timing wheel) exists for.
+    if wants("scenario_large/k8_single") {
+        let spec = dta_sim::ScenarioSpec::large(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario_large/k8_single", window, &spec));
+    }
+    if wants("scenario_large/k8_sharded4") {
+        let spec = dta_sim::ScenarioSpec::large(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario("scenario_large/k8_sharded4", window, &spec));
+    }
+
     results
+}
+
+/// One benchmark's verdict from [`check_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Freshly measured ns/report.
+    pub fresh_ns: f64,
+    /// Committed baseline ns/report (from the most recent phase containing
+    /// the benchmark).
+    pub baseline_ns: f64,
+    /// `fresh / baseline`, normalized by the run's median ratio so a
+    /// uniformly slower/faster host does not flag every benchmark.
+    pub normalized_ratio: f64,
+    /// Whether the normalized ratio exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The CI perf-regression gate: re-measure the suite (optionally filtered
+/// by `only`) with quick windows and compare each benchmark against the
+/// most recent committed phase in `baseline_path` that contains it.
+///
+/// Raw cross-host ratios are useless (CI runners are not the recording
+/// host), so each benchmark's fresh/baseline ratio is divided by the
+/// **median ratio across all benchmarks** — the host-speed factor — and a
+/// benchmark fails only if it regressed more than `tolerance` (e.g. 0.25)
+/// *relative to the rest of the suite*. A change that slows one phase 25%
+/// while the others hold still trips the gate on any host.
+///
+/// Returns `(outcomes, ok)`; `ok` is false if anything regressed (or the
+/// baseline file was unreadable/empty).
+pub fn check_against_baseline(
+    baseline_path: &str,
+    window: Duration,
+    only: Option<&str>,
+    repeat: usize,
+    tolerance: f64,
+) -> (Vec<CheckOutcome>, bool) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("perf gate: cannot read baseline {baseline_path}");
+        return (Vec::new(), false);
+    };
+    let phases = parse_phases(&text);
+    // Most recent committed value per benchmark = last phase wins.
+    let baseline_of = |name: &str| -> Option<f64> {
+        phases
+            .iter()
+            .rev()
+            .find_map(|(_, entries)| entries.iter().find(|e| e.name == name))
+            .map(|e| e.ns_per_report)
+            .filter(|ns| *ns > 0.0)
+    };
+
+    let repeat = repeat.max(1);
+    let mut runs: Vec<Vec<PerfEntry>> =
+        (0..repeat).map(|_| translator_suite_filtered(window, only)).collect();
+    let fresh: Vec<PerfEntry> = (0..runs[0].len())
+        .map(|i| {
+            let mut samples: Vec<PerfEntry> = runs.iter_mut().map(|r| r[i].clone()).collect();
+            samples.sort_by(|a, b| a.ns_per_report.total_cmp(&b.ns_per_report));
+            samples.swap_remove(samples.len() / 2)
+        })
+        .collect();
+
+    let mut ratios: Vec<(usize, f64, f64)> = Vec::new(); // (fresh idx, baseline, ratio)
+    for (i, e) in fresh.iter().enumerate() {
+        if let Some(base) = baseline_of(&e.name) {
+            ratios.push((i, base, e.ns_per_report / base));
+        }
+    }
+    // One benchmark cannot be separated from the host-speed factor at all
+    // (its normalized ratio is identically 1); refuse rather than pass
+    // vacuously.
+    if ratios.len() < 2 {
+        eprintln!(
+            "perf gate: need at least two benchmarks overlapping the baseline to \
+             separate host speed from regressions (got {}) — widen --only",
+            ratios.len()
+        );
+        return (Vec::new(), false);
+    }
+
+    // Host-speed factor per benchmark: the *leave-one-out* median of the
+    // others' ratios. A plain shared median would let the median
+    // benchmark itself — and, with two benchmarks, any regression —
+    // normalize to exactly 1.0 and sail through.
+    let loo_median = |skip: usize| -> f64 {
+        let mut others: Vec<f64> = ratios
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != skip)
+            .map(|(_, &(_, _, r))| r)
+            .collect();
+        others.sort_by(f64::total_cmp);
+        others[others.len() / 2]
+    };
+
+    let mut ok = true;
+    let outcomes = (0..ratios.len())
+        .map(|k| {
+            let (i, baseline_ns, ratio) = ratios[k];
+            let normalized = ratio / loo_median(k);
+            let regressed = normalized > 1.0 + tolerance;
+            ok &= !regressed;
+            CheckOutcome {
+                name: fresh[i].name.clone(),
+                fresh_ns: fresh[i].ns_per_report,
+                baseline_ns,
+                normalized_ratio: normalized,
+                regressed,
+            }
+        })
+        .collect();
+    (outcomes, ok)
 }
 
 // ---------------------------------------------------------------------------
@@ -490,7 +617,8 @@ mod tests {
              "key_write/4", "key_write_single/4", "postcarding/5hop", "append/1",
              "append/16", "key_increment/2", "key_write_sharded/1", "key_write_sharded/2",
              "key_write_sharded/4", "key_write_sharded/8", "scenario/k4_single",
-             "scenario/k4_sharded4"]
+             "scenario/k4_sharded4", "scenario_large/k8_single",
+             "scenario_large/k8_sharded4"]
         );
         for e in &results {
             assert!(e.reports_per_sec > 0.0, "{} measured nothing", e.name);
@@ -526,12 +654,80 @@ mod tests {
     #[test]
     fn only_scenario_selects_the_end_to_end_family() {
         // The CI bench smoke's `--only scenario` step depends on this
-        // selection: both scenario modes, nothing else.
+        // anchored selection: both K=4 scenario modes — and NOT the
+        // k8 scenario_large family, which is its own smoke step.
         let results = translator_suite_filtered(Duration::from_millis(1), Some("scenario"));
         let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["scenario/k4_single", "scenario/k4_sharded4"]);
         for e in &results {
             assert!(e.reports > 0, "{} measured nothing", e.name);
         }
+    }
+
+    #[test]
+    fn perf_gate_normalizes_host_speed_and_flags_regressions() {
+        // Synthetic baseline: key_write/2 committed at an absurdly *slow*
+        // value and key_write/4 committed absurdly fast. On any host the
+        // fresh/baseline ratios then diverge hugely in opposite
+        // directions; the median-normalization makes key_write/4 (slow
+        // relative to the suite) regress while key_write/2 sails.
+        let dir = std::env::temp_dir().join(format!("dta-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let phases = vec![(
+            "committed".to_string(),
+            vec![
+                entry("key_write/1", 300.0),
+                entry("key_write/2", 1e9), // fresh will look ~0: no regression
+                entry("key_write/4", 1.0), // fresh will look huge: regression
+            ],
+        )];
+        std::fs::write(&path, render_json(&phases)).unwrap();
+        let (outcomes, ok) = check_against_baseline(
+            path.to_str().unwrap(),
+            Duration::from_millis(5),
+            Some("key_write"),
+            1,
+            0.25,
+        );
+        assert!(!ok, "the planted regression must fail the gate");
+        let by_name = |n: &str| outcomes.iter().find(|o| o.name == n).unwrap();
+        assert!(by_name("key_write/4").regressed);
+        assert!(!by_name("key_write/2").regressed);
+        // A two-benchmark selection still catches a one-sided regression
+        // (leave-one-out normalization: each is judged against the other).
+        let two = vec![(
+            "committed".to_string(),
+            vec![entry("key_write/2", 1e9), entry("key_write/4", 1.0)],
+        )];
+        std::fs::write(&path, render_json(&two)).unwrap();
+        let (outcomes, ok) = check_against_baseline(
+            path.to_str().unwrap(),
+            Duration::from_millis(5),
+            Some("key_write"),
+            1,
+            0.25,
+        );
+        assert!(!ok);
+        assert!(outcomes.iter().find(|o| o.name == "key_write/4").unwrap().regressed);
+        // A single overlapping benchmark cannot be normalized: fail closed.
+        let (_, ok) = check_against_baseline(
+            path.to_str().unwrap(),
+            Duration::from_millis(1),
+            Some("key_write/2"),
+            1,
+            0.25,
+        );
+        assert!(!ok, "one-benchmark selections must refuse, not vacuously pass");
+        // Unreadable baseline fails closed.
+        let (_, ok) = check_against_baseline(
+            dir.join("missing.json").to_str().unwrap(),
+            Duration::from_millis(1),
+            Some("key_write/2"),
+            1,
+            0.25,
+        );
+        assert!(!ok);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

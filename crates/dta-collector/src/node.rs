@@ -45,36 +45,30 @@ impl CollectorNode {
 }
 
 impl NetNode for CollectorNode {
-    fn receive(&mut self, _now: SimTime, packet: Packet) -> Vec<Emission> {
+    fn receive(&mut self, _now: SimTime, packet: Packet, out: &mut Vec<Emission>) {
         let Ok(udp) = UdpPacket::decode(packet.payload.clone()) else {
             self.stats.dropped += 1;
-            return Vec::new();
+            return;
         };
         if udp.udp.dst_port != ROCE_UDP_PORT {
             self.stats.dropped += 1;
-            return Vec::new();
+            return;
         }
         let Ok(roce) = RocePacket::decode(udp.payload.clone()) else {
             self.stats.dropped += 1;
-            return Vec::new();
+            return;
         };
         match self.service.nic_ingress(&roce) {
             RxOutcome::Executed(Some(ack)) => {
                 self.stats.executed += 1;
-                vec![self.respond(packet.src, udp.ip.src, &ack)]
+                out.push(self.respond(packet.src, udp.ip.src, &ack));
             }
-            RxOutcome::Executed(None) => {
-                self.stats.executed += 1;
-                Vec::new()
-            }
+            RxOutcome::Executed(None) => self.stats.executed += 1,
             RxOutcome::Nak(nak) => {
                 self.stats.naks += 1;
-                vec![self.respond(packet.src, udp.ip.src, &nak)]
+                out.push(self.respond(packet.src, udp.ip.src, &nak));
             }
-            RxOutcome::DuplicateDropped | RxOutcome::Error(_) => {
-                self.stats.dropped += 1;
-                Vec::new()
-            }
+            RxOutcome::DuplicateDropped | RxOutcome::Error(_) => self.stats.dropped += 1,
         }
     }
 }
@@ -107,7 +101,8 @@ mod tests {
             Bytes::from_static(&[1, 2, 3, 4]),
         );
         let udp = UdpPacket::frame(0x0A00_0001, ROCE_UDP_PORT, 0x0A00_0009, ROCE_UDP_PORT, roce.encode());
-        let out = node.receive(SimTime::ZERO, Packet::rdma(NodeId(1), NodeId(9), udp.encode()));
+        let mut out = Vec::new();
+        node.receive(SimTime::ZERO, Packet::rdma(NodeId(1), NodeId(9), udp.encode()), &mut out);
         assert_eq!(node.stats.executed, 1);
         assert_eq!(out.len(), 1, "ACK returned");
         // The ACK is addressed back to the sender node.
@@ -119,7 +114,8 @@ mod tests {
         let svc = CollectorService::new(ServiceConfig::default());
         let mut node = CollectorNode::new(svc, NodeId(9), 9);
         let udp = UdpPacket::frame(1, 1234, 9, 80, Bytes::from_static(b"http"));
-        let out = node.receive(SimTime::ZERO, Packet::new(NodeId(1), NodeId(9), udp.encode()));
+        let mut out = Vec::new();
+        node.receive(SimTime::ZERO, Packet::new(NodeId(1), NodeId(9), udp.encode()), &mut out);
         assert!(out.is_empty());
         assert_eq!(node.stats.dropped, 1);
     }

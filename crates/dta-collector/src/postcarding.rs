@@ -20,11 +20,25 @@ use crate::layout::PostcardLayout;
 pub struct ValueCodec {
     bits: u32,
     engine: Crc32,
-    decode: HashMap<u32, Option<u32>>,
+    /// Shared: the table is a pure function of the value universe and
+    /// `bits`, and [`ValueCodec::switch_ids`] memoizes it process-wide
+    /// (populating thousands of entries per collector/translator
+    /// construction cost real microseconds per scenario run).
+    decode: std::sync::Arc<HashMap<u32, Option<u32>>>,
 }
 
 /// Byte tag distinguishing the blank value ⊔ from real values under `g`.
 const BLANK_TAG: &[u8] = b"\xFFDTA-BLANK";
+
+/// Process-wide decode-table cache for [`ValueCodec::switch_ids`].
+#[allow(clippy::type_complexity)]
+fn switch_id_cache(
+) -> &'static std::sync::Mutex<Vec<((u32, u32), std::sync::Arc<HashMap<u32, Option<u32>>>)>> {
+    static CACHE: std::sync::OnceLock<
+        std::sync::Mutex<Vec<((u32, u32), std::sync::Arc<HashMap<u32, Option<u32>>>)>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
 
 impl ValueCodec {
     /// Codec over the value universe `values` (e.g., all switch IDs) with
@@ -32,22 +46,36 @@ impl ValueCodec {
     pub fn new(values: impl IntoIterator<Item = u32>, bits: u32) -> Self {
         assert!((1..=32).contains(&bits));
         let engine = Crc32::new(CrcParams::CASTAGNOLI);
-        let mut codec = ValueCodec { bits, engine, decode: HashMap::new() };
+        let mut codec =
+            ValueCodec { bits, engine, decode: std::sync::Arc::new(HashMap::new()) };
+        let mut decode = HashMap::new();
         let blank = codec.encode(None);
-        codec.decode.insert(blank, None);
+        decode.insert(blank, None);
         for v in values {
             let g = codec.encode(Some(v));
             // First writer wins on g-collisions; with b=32 and |V| <= 2^18
             // the collision probability is ~2^-14 per pair and the analysis
             // accounts for it as a wrong-output term.
-            codec.decode.entry(g).or_insert(Some(v));
+            decode.entry(g).or_insert(Some(v));
         }
+        codec.decode = std::sync::Arc::new(decode);
         codec
     }
 
     /// Codec for a contiguous id space `0..n` (data-center switch IDs).
+    /// The decode table is memoized per `(n, bits)` process-wide.
     pub fn switch_ids(n: u32, bits: u32) -> Self {
-        Self::new(0..n, bits)
+        let mut cache = switch_id_cache().lock().expect("codec cache poisoned");
+        if let Some((_, decode)) = cache.iter().find(|((cn, cb), _)| (*cn, *cb) == (n, bits)) {
+            return ValueCodec {
+                bits,
+                engine: Crc32::new(CrcParams::CASTAGNOLI),
+                decode: std::sync::Arc::clone(decode),
+            };
+        }
+        let codec = Self::new(0..n, bits);
+        cache.push(((n, bits), std::sync::Arc::clone(&codec.decode)));
+        codec
     }
 
     /// Slot width in bits.

@@ -137,21 +137,49 @@ fn reflect8(mut v: u8) -> u8 {
 
 /// A table-driven 32-bit CRC engine.
 ///
-/// Construction builds eight 256-entry lookup tables once. `table[0]` drives
-/// the byte-at-a-time reference walk ([`Crc32::compute_bytewise`]); all
-/// eight drive the slice-by-8 walk ([`Crc32::compute`]), which consumes the
-/// input eight bytes per step and is ~4-6x faster on the 16-byte telemetry
-/// keys and packet-sized ICRC inputs of the hot path.
+/// Construction builds eight 256-entry lookup tables once *per parameter
+/// set, process-wide*: the tables are pure functions of [`CrcParams`], so
+/// they live behind a global cache and every subsequent engine for the
+/// same parameters is an `Arc` clone (scenario runs construct dozens of
+/// engines; rebuilding 8KB of tables each time cost real microseconds).
+/// `table[0]` drives the byte-at-a-time reference walk
+/// ([`Crc32::compute_bytewise`]); all eight drive the slice-by-8 walk
+/// ([`Crc32::compute`]), which consumes the input eight bytes per step and
+/// is ~4-6x faster on the 16-byte telemetry keys and packet-sized ICRC
+/// inputs of the hot path.
 #[derive(Debug, Clone)]
 pub struct Crc32 {
     params: CrcParams,
-    table: Box<[[u32; 256]; 8]>,
+    table: CrcTables,
+}
+
+/// The eight slice-by-8 lookup tables of one parameter set.
+type CrcTables = std::sync::Arc<[[u32; 256]; 8]>;
+
+/// Process-wide table cache. A linear scan suffices: programs use a
+/// handful of parameter sets (IEEE, Castagnoli, the index polynomials).
+fn table_cache() -> &'static std::sync::Mutex<Vec<(CrcParams, CrcTables)>> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<Vec<(CrcParams, CrcTables)>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(Vec::new()))
 }
 
 impl Crc32 {
-    /// Build an engine for the given parameter set.
+    /// Build (or fetch the cached tables of) an engine for the given
+    /// parameter set.
     pub fn new(params: CrcParams) -> Self {
-        let mut table = Box::new([[0u32; 256]; 8]);
+        let mut cache = table_cache().lock().expect("crc table cache poisoned");
+        if let Some((_, table)) = cache.iter().find(|(p, _)| *p == params) {
+            return Crc32 { params, table: std::sync::Arc::clone(table) };
+        }
+        let table = std::sync::Arc::new(Self::build_table(params));
+        cache.push((params, std::sync::Arc::clone(&table)));
+        Crc32 { params, table }
+    }
+
+    #[allow(clippy::needless_range_loop)] // index `i` addresses two tables at once
+    fn build_table(params: CrcParams) -> [[u32; 256]; 8] {
+        let mut table = [[0u32; 256]; 8];
         // table[0]: the classic single-byte table (in reflected form when
         // reflect_in is set).
         for i in 0..256usize {
@@ -184,7 +212,7 @@ impl Crc32 {
                 };
             }
         }
-        Crc32 { params, table }
+        table
     }
 
     /// The parameter set this engine was built with.

@@ -38,6 +38,9 @@ struct Entry {
     valid: bool,
 }
 
+/// The empty entry every slot starts as — deliberately the all-zero bit
+/// pattern (`valid: false`), which is what lets [`KeyScratch::new`] take
+/// its table from one zeroed allocation.
 const EMPTY: Entry = Entry {
     key: [0; KEY_BYTES],
     digests: KeyDigests { checksum: 0, slots: [0; MAX_REDUNDANCY], computed: 0 },
@@ -70,9 +73,25 @@ pub struct KeyScratch {
     /// MRU way per set (bit-per-set would do; a byte keeps the code plain).
     mru: Vec<u8>,
     set_mask: usize,
+    /// Journal of entry indexes ever installed, so drop can recycle the
+    /// table after zeroing only what was written (the table is ~1MB; a
+    /// full wipe per translator construction is real time at fleet scale).
+    touched: Vec<u32>,
+    touched_overflow: bool,
     /// Hit/miss counters.
     pub stats: ScratchStats,
 }
+
+/// Recycling pool for scratch tables (keyed by entry count).
+#[allow(clippy::type_complexity)]
+fn scratch_pool() -> &'static std::sync::Mutex<Vec<(Vec<Entry>, Vec<u8>)>> {
+    static POOL: std::sync::OnceLock<std::sync::Mutex<Vec<(Vec<Entry>, Vec<u8>)>>> =
+        std::sync::OnceLock::new();
+    POOL.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Pooled scratch-table cap (buffers, not bytes).
+const SCRATCH_POOL_MAX: usize = 32;
 
 impl KeyScratch {
     /// Scratch with `entries` slots (rounded up to a power of two, min 32,
@@ -80,14 +99,35 @@ impl KeyScratch {
     pub fn new(entries: usize, family_n: usize) -> Self {
         let n = entries.next_power_of_two().max(32);
         let sets = n / 2;
+        let pooled = scratch_pool().lock().ok().and_then(|mut pool| {
+            pool.iter()
+                .position(|(e, _)| e.len() == n)
+                .map(|i| pool.swap_remove(i))
+        });
+        let (entries, mru) = pooled.unwrap_or_else(|| {
+            // `EMPTY` is the all-zero bit pattern (`valid: false`), so the
+            // table comes from one zeroed allocation instead of an
+            // element-wise ~1MB fill per translator construction.
+            (
+                unsafe { Box::<[Entry]>::new_zeroed_slice(n).assume_init() }.into_vec(),
+                vec![0u8; sets],
+            )
+        });
         KeyScratch {
             family: HashFamily::new(family_n),
             csum: Crc32::new(CHECKSUM_PARAMS),
-            entries: vec![EMPTY; n],
-            mru: vec![0u8; sets],
+            entries,
+            mru,
             set_mask: sets - 1,
+            touched: Vec::new(),
+            touched_overflow: false,
             stats: ScratchStats::default(),
         }
+    }
+
+    /// Journal bound: past this, zero-on-drop degrades to a full wipe.
+    fn journal_cap(&self) -> usize {
+        (self.entries.len() / 8).max(64)
     }
 
     /// Default sizing: 16K entries (≈1MB, register-file scale), full-width
@@ -168,6 +208,14 @@ impl KeyScratch {
             d.slots[i] = self.family.hash(i, key);
         }
         let victim = 1 - self.mru[set] as usize;
+        if !self.entries[base + victim].valid {
+            // First install in this slot: journal it for zero-on-drop.
+            if self.touched_overflow || self.touched.len() >= self.journal_cap() {
+                self.touched_overflow = true;
+            } else {
+                self.touched.push((base + victim) as u32);
+            }
+        }
         self.entries[base + victim] = Entry { key: *key, digests: d, valid: true };
         self.mru[set] = victim as u8;
         d
@@ -185,6 +233,27 @@ impl KeyScratch {
             0.0
         } else {
             self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Drop for KeyScratch {
+    fn drop(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        if self.touched_overflow {
+            self.entries.fill(EMPTY);
+        } else {
+            for &idx in &self.touched {
+                self.entries[idx as usize] = EMPTY;
+            }
+        }
+        self.mru.fill(0);
+        if let Ok(mut pool) = scratch_pool().lock() {
+            if pool.len() < SCRATCH_POOL_MAX {
+                pool.push((std::mem::take(&mut self.entries), std::mem::take(&mut self.mru)));
+            }
         }
     }
 }

@@ -28,5 +28,5 @@ pub use link::{Link, LinkConfig, LinkStats, QueueDiscipline};
 pub use network::{Network, NetworkStats};
 pub use node::{Emission, NetNode, NodeId};
 pub use packet::Packet;
-pub use time::{EventQueue, SimTime, GBPS_100, GBPS_25, GBPS_400};
+pub use time::{EventQueue, HeapEventQueue, SimTime, GBPS_100, GBPS_25, GBPS_400};
 pub use topology::{FatTree, Routing, Topology};

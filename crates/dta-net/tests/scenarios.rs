@@ -18,16 +18,15 @@ struct TickSource {
 }
 
 impl NetNode for TickSource {
-    fn receive(&mut self, _now: SimTime, _packet: Packet) -> Vec<Emission> {
-        Vec::new()
-    }
-    fn tick(&mut self, _now: SimTime) -> Vec<Emission> {
+    fn receive(&mut self, _now: SimTime, _packet: Packet, _out: &mut Vec<Emission>) {}
+    fn tick(&mut self, _now: SimTime, out: &mut Vec<Emission>) -> bool {
         self.sent += 1;
-        vec![Emission::now(Packet::new(
+        out.push(Emission::now(Packet::new(
             self.me,
             self.dst,
             Bytes::from(vec![0u8; self.size]),
-        ))]
+        )));
+        true
     }
 }
 

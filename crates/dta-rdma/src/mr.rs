@@ -19,7 +19,7 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Stripe width in bytes. Power of two so stripe index and offset are a
 /// shift and a mask. 4KB keeps a slot access inside one stripe except when
@@ -88,12 +88,15 @@ pub struct MrStats {
     pub local_reads: AtomicU64,
 }
 
-/// One lock-striped segment of a region: its bytes plus the counters the
-/// stripe lock already serializes (cheaper than region-global atomics).
-struct Stripe {
-    buf: Box<[u8]>,
+/// The counters a stripe lock serializes alongside its bytes (cheaper
+/// than region-global atomics).
+#[derive(Default)]
+struct StripeMeta {
     writes: u64,
     bytes_written: u64,
+    /// Whether any write-locked access ever happened (RDMA WRITE, atomic,
+    /// or reset). Clean stripes are still all-zero, so snapshots skip them.
+    dirty: bool,
 }
 
 /// A minimal spin rwlock specialized for stripe access: slot-sized
@@ -104,23 +107,18 @@ struct Stripe {
 /// contain no panicking calls).
 struct StripeLock {
     state: AtomicU32,
-    data: UnsafeCell<Stripe>,
+    meta: UnsafeCell<StripeMeta>,
 }
 
 const WRITER: u32 = u32::MAX;
 
-// Safety: access to `data` is serialized by `state` (exclusive writer or
-// shared readers), exactly like a std RwLock.
-unsafe impl Sync for StripeLock {}
-unsafe impl Send for StripeLock {}
-
 impl StripeLock {
-    fn new(stripe: Stripe) -> Self {
-        StripeLock { state: AtomicU32::new(0), data: UnsafeCell::new(stripe) }
+    fn new() -> Self {
+        StripeLock { state: AtomicU32::new(0), meta: UnsafeCell::new(StripeMeta::default()) }
     }
 
     #[inline]
-    fn with_write<R>(&self, f: impl FnOnce(&mut Stripe) -> R) -> R {
+    fn acquire_write(&self) {
         let mut spins = 0u32;
         while self
             .state
@@ -134,14 +132,15 @@ impl StripeLock {
                 std::hint::spin_loop();
             }
         }
-        // Safety: we hold the exclusive write lock.
-        let r = f(unsafe { &mut *self.data.get() });
-        self.state.store(0, Ordering::Release);
-        r
     }
 
     #[inline]
-    fn with_read<R>(&self, f: impl FnOnce(&Stripe) -> R) -> R {
+    fn release_write(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    #[inline]
+    fn acquire_read(&self) {
         let mut spins = 0u32;
         loop {
             let s = self.state.load(Ordering::Relaxed);
@@ -160,34 +159,147 @@ impl StripeLock {
                 std::hint::spin_loop();
             }
         }
-        // Safety: we hold a shared read lock (writers are excluded).
-        let r = f(unsafe { &*self.data.get() });
+    }
+
+    #[inline]
+    fn release_read(&self) {
         self.state.fetch_sub(1, Ordering::Release);
-        r
     }
 }
 
 /// The striped backing store shared by all clones of a region.
+///
+/// The bytes live in **one** shared zeroed allocation (so registering a
+/// multi-MB region is one `alloc_zeroed` — per-stripe 4KB boxes memset
+/// eagerly and cost ~0.6ms per default-sized collector); stripe `i` covers
+/// `[i * STRIPE_BYTES, (i+1) * STRIPE_BYTES) ∩ [0, len)` and that range is
+/// only dereferenced while `locks[i]` is held.
 struct Stripes {
     len: usize,
-    stripes: Vec<StripeLock>,
+    /// `UnsafeCell<u8>` has the same in-memory representation as `u8`;
+    /// wrapping each byte keeps the shared-allocation interior mutability
+    /// sound without ever forming overlapping `&mut [u8]`.
+    data: Box<[UnsafeCell<u8>]>,
+    locks: Vec<StripeLock>,
 }
+
+// Safety: every byte of `data` is assigned to exactly one stripe, and all
+// access to a stripe's bytes and meta happens under its rwlock — the same
+// discipline as a Vec of RwLock<[u8; STRIPE_BYTES]>.
+unsafe impl Sync for Stripes {}
+unsafe impl Send for Stripes {}
+
+impl Drop for Stripes {
+    fn drop(&mut self) {
+        self.recycle();
+    }
+}
+
+/// Process-wide recycling pool of zeroed stripe backings, keyed by length.
+///
+/// Region registration patterns repeat (every simulated collector sizes
+/// its stores the same way), and glibc's adaptive mmap threshold turns a
+/// repeated multi-MB `alloc_zeroed` into an explicit memset. Recycled
+/// buffers are re-zeroed **dirty stripes only** on return, so a mostly
+/// clean region costs almost nothing to recycle. The pool is bounded;
+/// overflow buffers just drop.
+fn stripe_pool() -> &'static Mutex<Vec<PooledBytes>> {
+    static POOL: std::sync::OnceLock<Mutex<Vec<PooledBytes>>> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// One recyclable zeroed backing allocation.
+type PooledBytes = Box<[UnsafeCell<u8>]>;
+
+/// Upper bound on pooled buffers (a workstation-scale cap, not a tuning
+/// knob: 32 default-sized collectors' worth).
+const STRIPE_POOL_MAX: usize = 128;
 
 impl Stripes {
     fn new(len: usize) -> Self {
         let n = len.div_ceil(STRIPE_BYTES);
-        let mut stripes = Vec::with_capacity(n);
-        let mut left = len;
-        for _ in 0..n {
-            let sz = left.min(STRIPE_BYTES);
-            stripes.push(StripeLock::new(Stripe {
-                buf: vec![0u8; sz].into_boxed_slice(),
-                writes: 0,
-                bytes_written: 0,
-            }));
-            left -= sz;
+        let pooled = stripe_pool()
+            .lock()
+            .ok()
+            .and_then(|mut pool| {
+                pool.iter()
+                    .position(|b| b.len() == len)
+                    .map(|i| pool.swap_remove(i))
+            });
+        let data = pooled.unwrap_or_else(|| {
+            let mut v = std::mem::ManuallyDrop::new(vec![0u8; len]);
+            // Safety: UnsafeCell<u8> is repr(transparent) over u8 (same
+            // size and alignment); `vec![0u8; len]` allocates capacity ==
+            // len, so no reallocation hides behind into_boxed_slice.
+            unsafe {
+                Vec::from_raw_parts(v.as_mut_ptr() as *mut UnsafeCell<u8>, v.len(), v.capacity())
+            }
+            .into_boxed_slice()
+        });
+        Stripes { len, data, locks: (0..n).map(|_| StripeLock::new()).collect() }
+    }
+
+    /// Byte range of stripe `i`.
+    #[inline]
+    fn range(&self, i: usize) -> (usize, usize) {
+        let start = i * STRIPE_BYTES;
+        (start, self.len.min(start + STRIPE_BYTES))
+    }
+
+    #[inline]
+    fn with_write<R>(&self, i: usize, f: impl FnOnce(&mut [u8], &mut StripeMeta) -> R) -> R {
+        let lock = &self.locks[i];
+        lock.acquire_write();
+        let (s, e) = self.range(i);
+        // Safety: the write lock gives exclusive access to this stripe's
+        // bytes and meta; the slice covers only this stripe's range.
+        let r = unsafe {
+            let buf =
+                std::slice::from_raw_parts_mut(self.data[s..e].as_ptr() as *mut u8, e - s);
+            let meta = &mut *lock.meta.get();
+            meta.dirty = true;
+            f(buf, meta)
+        };
+        lock.release_write();
+        r
+    }
+
+    /// Return the backing to the pool, zeroed. Only dirty stripes are
+    /// wiped (clean ones are zero by invariant).
+    fn recycle(&mut self) {
+        if self.data.is_empty() {
+            return;
         }
-        Stripes { len, stripes }
+        for i in 0..self.locks.len() {
+            // Safety: `&mut self` in drop — no other access possible.
+            if unsafe { &*self.locks[i].meta.get() }.dirty {
+                let (s, e) = self.range(i);
+                unsafe {
+                    std::slice::from_raw_parts_mut(self.data[s..e].as_ptr() as *mut u8, e - s)
+                        .fill(0);
+                }
+            }
+        }
+        let data = std::mem::take(&mut self.data);
+        if let Ok(mut pool) = stripe_pool().lock() {
+            if pool.len() < STRIPE_POOL_MAX {
+                pool.push(data);
+            }
+        }
+    }
+
+    #[inline]
+    fn with_read<R>(&self, i: usize, f: impl FnOnce(&[u8], &StripeMeta) -> R) -> R {
+        let lock = &self.locks[i];
+        lock.acquire_read();
+        let (s, e) = self.range(i);
+        // Safety: the shared lock excludes writers for this stripe.
+        let r = unsafe {
+            let buf = std::slice::from_raw_parts(self.data[s..e].as_ptr() as *const u8, e - s);
+            f(buf, &*lock.meta.get())
+        };
+        lock.release_read();
+        r
     }
 }
 
@@ -215,7 +327,7 @@ impl core::fmt::Debug for MemoryRegion {
             .field("base_va", &self.base_va)
             .field("rkey", &self.rkey)
             .field("len", &self.len())
-            .field("stripes", &self.mem.stripes.len())
+            .field("stripes", &self.mem.locks.len())
             .finish()
     }
 }
@@ -268,10 +380,10 @@ impl MemoryRegion {
             // Fast path: slot-sized writes stay inside one stripe. All
             // accounting happens under the stripe lock already held — the
             // write path touches no region-global atomics.
-            self.mem.stripes[stripe].with_write(|s| {
-                s.buf[within..within + data.len()].copy_from_slice(data);
-                s.writes += 1;
-                s.bytes_written += data.len() as u64;
+            self.mem.with_write(stripe, |buf, m| {
+                buf[within..within + data.len()].copy_from_slice(data);
+                m.writes += 1;
+                m.bytes_written += data.len() as u64;
             });
         } else {
             self.write_spanning(off, data);
@@ -289,12 +401,12 @@ impl MemoryRegion {
             let stripe = off >> STRIPE_SHIFT;
             let within = off & (STRIPE_BYTES - 1);
             let take = src.len().min(STRIPE_BYTES - within);
-            self.mem.stripes[stripe].with_write(|s| {
-                s.buf[within..within + take].copy_from_slice(&src[..take]);
+            self.mem.with_write(stripe, |buf, m| {
+                buf[within..within + take].copy_from_slice(&src[..take]);
                 if first {
-                    s.writes += 1;
+                    m.writes += 1;
                 }
-                s.bytes_written += take as u64;
+                m.bytes_written += take as u64;
             });
             first = false;
             src = &src[take..];
@@ -305,13 +417,13 @@ impl MemoryRegion {
     /// RDMA WRITE operations executed (summed from the per-stripe
     /// counters).
     pub fn writes(&self) -> u64 {
-        self.mem.stripes.iter().map(|s| s.with_read(|st| st.writes)).sum()
+        (0..self.mem.locks.len()).map(|i| self.mem.with_read(i, |_, m| m.writes)).sum()
     }
 
     /// Total bytes written into the region (summed from the per-stripe
     /// counters).
     pub fn bytes_written(&self) -> u64 {
-        self.mem.stripes.iter().map(|s| s.with_read(|st| st.bytes_written)).sum()
+        (0..self.mem.locks.len()).map(|i| self.mem.with_read(i, |_, m| m.bytes_written)).sum()
     }
 
     /// Total memory instructions executed against this region (one per
@@ -339,8 +451,8 @@ impl MemoryRegion {
         }
         let stripe = off >> STRIPE_SHIFT;
         let within = off & (STRIPE_BYTES - 1);
-        let old = self.mem.stripes[stripe].with_write(|s| {
-            let word = &mut s.buf[within..within + 8];
+        let old = self.mem.with_write(stripe, |buf, _| {
+            let word = &mut buf[within..within + 8];
             let old = u64::from_be_bytes(word.as_ref().try_into().unwrap());
             word.copy_from_slice(&old.wrapping_add(add).to_be_bytes());
             old
@@ -375,8 +487,8 @@ impl MemoryRegion {
             let stripe = off >> STRIPE_SHIFT;
             let within = off & (STRIPE_BYTES - 1);
             let take = out.len().min(STRIPE_BYTES - within);
-            self.mem.stripes[stripe]
-                .with_read(|s| out[..take].copy_from_slice(&s.buf[within..within + take]));
+            self.mem
+                .with_read(stripe, |buf, _| out[..take].copy_from_slice(&buf[within..within + take]));
             out = &mut out[take..];
             off += take;
         }
@@ -401,7 +513,7 @@ impl MemoryRegion {
         let stripe = off >> STRIPE_SHIFT;
         let within = off & (STRIPE_BYTES - 1);
         if within + len <= STRIPE_BYTES {
-            Ok(self.mem.stripes[stripe].with_read(|s| f(&s.buf[within..within + len])))
+            Ok(self.mem.with_read(stripe, |buf, _| f(&buf[within..within + len])))
         } else if len <= 64 {
             let mut buf = [0u8; 64];
             self.copy_out(va, &mut buf[..len])?;
@@ -432,11 +544,144 @@ impl MemoryRegion {
 
     /// Zero the whole region (e.g., periodic Key-Increment counter reset).
     pub fn reset(&self) {
-        for stripe in &self.mem.stripes {
-            stripe.with_write(|s| s.buf.fill(0));
+        for i in 0..self.mem.locks.len() {
+            self.mem.with_write(i, |buf, _| buf.fill(0));
+        }
+    }
+
+    /// Copy the whole region out into a [`SnapshotBuf`]: dirty stripes
+    /// memcpy under their read locks; clean stripes are never read *or*
+    /// written, because the destination comes from the same zeroed-buffer
+    /// pool the stripes themselves recycle through. The cost is
+    /// proportional to the bytes the run dirtied, not the region size —
+    /// and the buffer returns to the pool when the snapshot drops. This is
+    /// what the scenario harness snapshots collector memory with.
+    pub fn snapshot(&self) -> SnapshotBuf {
+        let mut out = SnapshotBuf::zeroed(self.len());
+        for i in 0..self.mem.locks.len() {
+            let (s, _) = self.mem.range(i);
+            self.mem.with_read(i, |buf, m| {
+                if m.dirty {
+                    out.write_range(s, buf);
+                }
+            });
+        }
+        out
+    }
+}
+
+/// An owned byte image of a region, produced by [`MemoryRegion::snapshot`].
+///
+/// Backed by the same process-wide zeroed-buffer pool the stripe stores
+/// recycle through: acquisition is pool-pop (no allocation, no memset for
+/// the clean majority of a region), and drop re-zeros only the ranges that
+/// were written before returning the buffer. Dereferences to `&[u8]`.
+pub struct SnapshotBuf {
+    data: Box<[UnsafeCell<u8>]>,
+    len: usize,
+    /// `(start, end)` byte ranges written (re-zeroed on drop).
+    written: Vec<(u32, u32)>,
+}
+
+impl SnapshotBuf {
+    /// An all-zero image of `len` bytes (pooled when possible).
+    fn zeroed(len: usize) -> Self {
+        let pooled = stripe_pool().lock().ok().and_then(|mut pool| {
+            pool.iter()
+                .position(|b| b.len() == len)
+                .map(|i| pool.swap_remove(i))
+        });
+        let data = pooled.unwrap_or_else(|| {
+            let mut v = std::mem::ManuallyDrop::new(vec![0u8; len]);
+            // Safety: UnsafeCell<u8> is repr(transparent) over u8; the
+            // vec! allocation has capacity == len.
+            unsafe {
+                Vec::from_raw_parts(v.as_mut_ptr() as *mut UnsafeCell<u8>, v.len(), v.capacity())
+            }
+            .into_boxed_slice()
+        });
+        SnapshotBuf { data, len, written: Vec::new() }
+    }
+
+    /// Copy `src` into the image at byte offset `start`.
+    fn write_range(&mut self, start: usize, src: &[u8]) {
+        let end = start + src.len();
+        debug_assert!(end <= self.len);
+        // Safety: the buffer is exclusively owned; the range is in bounds.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.data[start..end].as_ptr() as *mut u8, src.len())
+                .copy_from_slice(src);
+        }
+        self.written.push((start as u32, end as u32));
+    }
+
+    /// The full image bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // Safety: exclusive ownership; shared reads of plain bytes.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr() as *const u8, self.len) }
+    }
+}
+
+impl std::ops::Deref for SnapshotBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for SnapshotBuf {
+    fn drop(&mut self) {
+        for &(s, e) in &self.written {
+            // Safety: exclusive ownership in drop.
+            unsafe {
+                std::slice::from_raw_parts_mut(
+                    self.data[s as usize..e as usize].as_ptr() as *mut u8,
+                    (e - s) as usize,
+                )
+                .fill(0);
+            }
+        }
+        let data = std::mem::take(&mut self.data);
+        if data.is_empty() {
+            return;
+        }
+        if let Ok(mut pool) = stripe_pool().lock() {
+            if pool.len() < STRIPE_POOL_MAX {
+                pool.push(data);
+            }
         }
     }
 }
+
+impl Clone for SnapshotBuf {
+    fn clone(&self) -> Self {
+        let mut out = SnapshotBuf::zeroed(self.len);
+        for &(s, e) in &self.written {
+            out.write_range(s as usize, &self.as_bytes()[s as usize..e as usize]);
+        }
+        out
+    }
+}
+
+impl PartialEq for SnapshotBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+impl Eq for SnapshotBuf {}
+
+impl core::fmt::Debug for SnapshotBuf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SnapshotBuf")
+            .field("len", &self.len)
+            .field("written_ranges", &self.written.len())
+            .finish()
+    }
+}
+
+// Safety: plain bytes behind exclusive ownership.
+unsafe impl Send for SnapshotBuf {}
+unsafe impl Sync for SnapshotBuf {}
 
 /// The per-NIC table of registered regions, keyed by rkey.
 ///

@@ -13,5 +13,7 @@
 pub mod reporter;
 pub mod resources;
 
-pub use reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterNode};
+pub use reporter::{
+    PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode, ReporterNode,
+};
 pub use resources::{reporter_footprint, ReporterKind};

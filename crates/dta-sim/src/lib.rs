@@ -39,7 +39,8 @@ pub mod spec;
 pub mod traffic;
 
 pub use scenario::{
-    run_scenario, QueryOutcomes, ScenarioOutcome, ScenarioReport, COLLECTOR_IP, TRANSLATOR_IP,
+    memory_fingerprint, run_scenario, QueryOutcomes, ScenarioOutcome, ScenarioReport,
+    COLLECTOR_IP, TRANSLATOR_IP,
 };
-pub use spec::{FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode};
+pub use spec::{FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode, MAX_LANES_PER_HOST};
 pub use traffic::{generate, PrimitiveCounts, Workload};

@@ -27,7 +27,8 @@ use dta_net::{
     SimTime,
 };
 use dta_rdma::cm::CmRequester;
-use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig};
+use dta_rdma::mr::SnapshotBuf;
+use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode};
 use dta_translator::node::TranslatorNodeStats;
 use dta_translator::{
     ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode, TranslatorStats,
@@ -99,8 +100,34 @@ pub struct ScenarioReport {
 pub struct ScenarioOutcome {
     /// Counters and query audit.
     pub report: ScenarioReport,
-    /// `(rkey, bytes)` of every registered collector region.
-    pub memory: Vec<(u32, Vec<u8>)>,
+    /// `(rkey, bytes)` of every registered collector region. The byte
+    /// images live in pooled [`SnapshotBuf`]s (deref to `&[u8]`).
+    pub memory: Vec<(u32, SnapshotBuf)>,
+}
+
+/// FNV-1a fingerprint of a [`ScenarioOutcome::memory`] snapshot, mixing
+/// each region's rkey ahead of its bytes. The engine-golden tests and the
+/// `golden_capture` bench example share this one definition, so a
+/// re-captured golden always matches what the test recomputes.
+pub fn memory_fingerprint(memory: &[(u32, SnapshotBuf)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let fnv1a = |bytes: &[u8]| {
+        let mut h = OFFSET;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    };
+    let mut hash = OFFSET;
+    for (rkey, bytes) in memory {
+        hash ^= *rkey as u64;
+        hash = hash.wrapping_mul(PRIME);
+        hash ^= fnv1a(bytes);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 /// SplitMix64 — derives per-link injector seeds from the scenario seed so
@@ -116,13 +143,31 @@ fn link_seed(seed: u64, from: NodeId, to: NodeId) -> u64 {
     splitmix64(seed ^ ((from.0 as u64) << 32 | to.0 as u64))
 }
 
+thread_local! {
+    /// Cumulative per-phase wall time of every [`run_scenario`] call on
+    /// this thread, in nanoseconds: generate, fabric build, collector +
+    /// translator build, fleet placement, engine loop, extraction, audit,
+    /// snapshot. A profiling hook for the bench examples — the eight
+    /// `Instant::now` calls per run are noise next to the run itself.
+    pub static PHASE_NS: std::cell::RefCell<[u128; 8]> = const { std::cell::RefCell::new([0; 8]) };
+}
+
+/// Charge the time since `*t` to phase `i` and reset the mark.
+fn mark(i: usize, t: &mut std::time::Instant) {
+    let now = std::time::Instant::now();
+    PHASE_NS.with(|p| p.borrow_mut()[i] += (now - *t).as_nanos());
+    *t = now;
+}
+
 /// Build, run, audit. See the module docs for the determinism contract.
 ///
 /// # Panics
 /// Panics if the spec fails [`ScenarioSpec::validate`].
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     spec.validate().unwrap_or_else(|e| panic!("invalid scenario spec: {e}"));
+    let mut __t = std::time::Instant::now();
     let workload = generate(spec);
+    mark(0, &mut __t);
 
     // --- Fabric -----------------------------------------------------------
     let ft = FatTree::new(spec.fat_tree_k);
@@ -138,7 +183,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     net.add_duplex_link(tor, collector_host, LinkConfig::dc_100g_lossless());
 
     // --- Reporter fleet ---------------------------------------------------
-    // Deterministic (pod, edge, host) placement, skipping the collector.
+    // Deterministic (pod, edge, host) placement, skipping the collector:
+    // reporter `r` lands on host `r % hosts_used` as lane `r / hosts_used`
+    // (so a fleet no larger than the host count gets one lane per host,
+    // exactly the pre-lane layout).
     let half = spec.fat_tree_k / 2;
     let mut placements = Vec::new(); // (host, its edge switch)
     'outer: for pod in 0..spec.fat_tree_k {
@@ -155,6 +203,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             }
         }
     }
+    let hosts_used = placements.len();
 
     // --- Faults -----------------------------------------------------------
     if !spec.faults.report_uplinks.is_none() {
@@ -187,6 +236,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         );
     }
 
+    mark(1, &mut __t);
     // --- Collector + translator ------------------------------------------
     let mut svc = CollectorService::new(spec.service.clone());
     let sharded_tor = match spec.mode {
@@ -240,20 +290,30 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         Box::new(CollectorNode::new(svc, collector_host, COLLECTOR_IP)),
     );
 
+    mark(2, &mut __t);
     // --- Fleet nodes and pacing ------------------------------------------
     let mut max_ticks = 0u64;
-    for (i, &(host, _)) in placements.iter().enumerate() {
-        let stream = workload.streams[i].clone();
+    let mut fleet_nodes: Vec<ReporterFleetNode> =
+        (0..hosts_used).map(|_| ReporterFleetNode::new(spec.reports_per_tick)).collect();
+    for (r, stream) in workload.streams.iter().enumerate() {
+        let (host, _) = placements[r % hosts_used];
+        let lane = (r / hosts_used) as u32;
         max_ticks =
             max_ticks.max(PacedReporterNode::ticks_to_drain(stream.len(), spec.reports_per_tick));
         let reporter = Reporter::new(ReporterConfig {
             my_id: host,
-            my_ip: 0x0A02_0000 + host.0,
+            // Lane 0 keeps the historical per-host IP; co-located lanes
+            // get a distinct second octet so every reporter has its own
+            // source address.
+            my_ip: 0x0A02_0000 + (lane << 16) + host.0,
             collector_id: collector_host,
             collector_ip: COLLECTOR_IP,
             src_port: 5000,
         });
-        net.add_node(host, Box::new(PacedReporterNode::new(reporter, stream, spec.reports_per_tick)));
+        fleet_nodes[r % hosts_used].add_lane(reporter, stream.clone());
+    }
+    for (node, &(host, _)) in fleet_nodes.into_iter().zip(&placements) {
+        net.add_node(host, Box::new(node));
         net.add_tick(host, spec.tick_ns);
     }
 
@@ -268,7 +328,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         net.add_tick(tor, flush_at);
     }
     let deadline = flush_at + spec.drain_ns;
+    mark(3, &mut __t);
     net.run_until(SimTime::from_nanos(deadline));
+    mark(4, &mut __t);
 
     // --- Extract ----------------------------------------------------------
     let net_stats = net.stats;
@@ -278,7 +340,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     let mut reports_unsent = 0u64;
     for &(host, _) in &placements {
         let node: Box<dyn std::any::Any> = net.remove_node(host).expect("reporter node");
-        let node = node.downcast::<PacedReporterNode>().expect("reporter type");
+        let node = node.downcast::<ReporterFleetNode>().expect("reporter type");
         reports_unsent += node.pending() as u64;
     }
 
@@ -299,15 +361,18 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     let mut collector = collector.downcast::<CollectorNode>().expect("collector type");
     let executed = sharded_executed.unwrap_or(collector.stats.executed);
 
+    mark(5, &mut __t);
     let queries = audit(&mut collector.service, spec, &workload);
-    let mut memory: Vec<(u32, Vec<u8>)> = collector
+    mark(6, &mut __t);
+    let mut memory: Vec<(u32, SnapshotBuf)> = collector
         .service
         .nic
         .memory
         .regions()
-        .map(|r| (r.rkey, r.peek(r.base_va, r.len()).expect("region readable")))
+        .map(|r| (r.rkey, r.snapshot()))
         .collect();
     memory.sort_by_key(|(rkey, _)| *rkey);
+    mark(7, &mut __t);
 
     ScenarioOutcome {
         report: ScenarioReport {

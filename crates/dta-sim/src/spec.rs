@@ -130,14 +130,22 @@ impl TrafficMix {
     }
 }
 
+/// Most reporters one host will co-host as fleet lanes.
+pub const MAX_LANES_PER_HOST: u32 = 64;
+
 /// A complete end-to-end deployment description.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// Fat-tree port count `k` (even, ≥ 2). The collector lives on host
     /// (pod 0, edge 0, host 0); its edge switch is the translator ToR.
     pub fat_tree_k: u32,
-    /// Reporter fleet size — one reporter per host, filled in deterministic
-    /// (pod, edge, host) order, skipping the collector host.
+    /// Reporter fleet size. Reporters are placed round-robin over the
+    /// non-collector hosts in deterministic (pod, edge, host) order; a
+    /// fleet larger than the host count co-locates reporters as extra
+    /// *lanes* of the per-host [`dta_reporter::ReporterFleetNode`] (each
+    /// lane a full reporter with its own source IP, paced independently) —
+    /// this is how a K=8 fabric of 127 usable hosts carries a
+    /// 1000+-reporter fleet.
     pub reporters: u32,
     /// Ops each reporter performs (a Postcarding op frames several report
     /// packets).
@@ -193,12 +201,17 @@ impl ScenarioSpec {
             return Err(format!("fat_tree_k must be even and >= 2, got {}", self.fat_tree_k));
         }
         let hosts = self.fat_tree_k * (self.fat_tree_k / 2) * (self.fat_tree_k / 2);
-        if self.reporters == 0 || self.reporters > hosts - 1 {
+        let usable = hosts - 1; // one host is the collector
+        if self.reporters == 0 {
+            return Err("fleet needs at least one reporter".into());
+        }
+        // Lanes are capped so a single host tick cannot burst an
+        // unbounded packet train (and a typo'd fleet size fails loudly).
+        let lanes = self.reporters.div_ceil(usable);
+        if lanes > MAX_LANES_PER_HOST {
             return Err(format!(
-                "reporters must be in 1..={} for k={} (one host is the collector), got {}",
-                hosts - 1,
-                self.fat_tree_k,
-                self.reporters
+                "{} reporters over {} usable hosts is {} lanes/host (max {})",
+                self.reporters, usable, lanes, MAX_LANES_PER_HOST
             ));
         }
         if self.traffic.total_weight() == 0 {
@@ -249,6 +262,24 @@ impl ScenarioSpec {
             ..ScenarioSpec::default()
         }
     }
+
+    /// Datacenter-scale preset: a K=8 fat tree (80 switches, 128 hosts)
+    /// carrying a 1008-reporter fleet — 8 lanes on each of the 127
+    /// non-collector hosts — with the default mixed traffic blend. This is
+    /// the `scenario_large` bench phase and the CI K=8 smoke workload.
+    /// Slot-disjoint pools keep it bit-reproducible in both translator
+    /// modes; `ops_per_reporter` is small because the fleet, not the
+    /// per-reporter depth, is what this scenario scales.
+    pub fn large(mode: TranslatorMode) -> Self {
+        ScenarioSpec {
+            fat_tree_k: 8,
+            reporters: 1008,
+            ops_per_reporter: 4,
+            mode,
+            traffic: TrafficMix { slot_disjoint_keys: true, ..TrafficMix::default() },
+            ..ScenarioSpec::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +297,13 @@ mod tests {
         let mut s = ScenarioSpec { fat_tree_k: 3, ..ScenarioSpec::default() };
         assert!(s.validate().is_err());
         s.fat_tree_k = 4;
-        s.reporters = 16; // 16 hosts, one is the collector
+        s.reporters = 0;
+        assert!(s.validate().is_err());
+        // 16 hosts, one is the collector: 16 reporters co-locate as a
+        // second lane on one host; past the lane cap the spec is rejected.
+        s.reporters = 16;
+        assert_eq!(s.validate(), Ok(()));
+        s.reporters = 15 * MAX_LANES_PER_HOST + 1;
         assert!(s.validate().is_err());
         s.reporters = 15;
         assert_eq!(s.validate(), Ok(()));

@@ -1,0 +1,53 @@
+//! Engine-rewrite equivalence goldens.
+//!
+//! These fingerprints were captured from the pre-arena (HashMap +
+//! BinaryHeap) `dta-net` engine on the seed commit of PR 4, *before* the
+//! dense-arena / timing-wheel rewrite. The rewrite must be behaviour-
+//! preserving bit for bit: same event order (the wheel pops in the exact
+//! `(time, seq)` order the heap did), same fault RNG draws, same stats.
+//! A drift in any counter, query outcome, or collector byte fails here.
+//!
+//! If a *deliberate* behaviour change ever invalidates these, re-capture
+//! with `cargo run --release -p dta-bench --example golden_capture` and
+//! say so in the commit message.
+
+use dta_sim::{memory_fingerprint, run_scenario, FaultPlan, ScenarioSpec, TranslatorMode};
+
+#[test]
+fn k4_single_clean_matches_pre_rewrite_engine() {
+    let spec = ScenarioSpec { seed: 0xD7A0_0001, ..ScenarioSpec::smoke(TranslatorMode::SingleThreaded) };
+    let out = run_scenario(&spec);
+    assert_eq!(
+        format!("{:?}", out.report),
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 96, append: 74, key_increment: 46, postcard: 200 }, reports_unsent: 0, net: NetworkStats { delivered: 336, forwarded: 1232, dropped: 0, intercepted: 416 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1984, dropped: 0, transmitted: 1984, bytes_tx: 143758, pauses: 0 }, translator: TranslatorStats { reports_in: 416, rdma_out: 332, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 416, malformed: 0, forwarded: 0, roce_responses: 4 }, per_shard_reports_in: [], executed: 332, collector: CollectorNodeStats { executed: 332, naks: 0, dropped: 0 }, queries: QueryOutcomes { kw_found: 78, kw_ambiguous: 0, kw_missing: 0, pc_found: 40, pc_missing: 0, append_entries: 74, inc_estimate_total: 2562 } }",
+    );
+    assert_eq!(memory_fingerprint(&out.memory), 0x62df9f446c793788);
+}
+
+#[test]
+fn k4_single_faulted_matches_pre_rewrite_engine() {
+    let spec = ScenarioSpec {
+        faults: FaultPlan::unreliable_report_path(0.1, 0.1, 0.1),
+        reporters: 8,
+        ops_per_reporter: 16,
+        seed: 0xD7A0_0002,
+        ..ScenarioSpec::smoke(TranslatorMode::SingleThreaded)
+    };
+    let out = run_scenario(&spec);
+    assert_eq!(
+        format!("{:?}", out.report),
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 52, append: 29, key_increment: 30, postcard: 85 }, reports_unsent: 0, net: NetworkStats { delivered: 191, forwarded: 639, dropped: 91, intercepted: 203 }, faults: FaultTotals { dropped: 91, corrupted: 0, reordered: 56, duplicated: 98 }, links: LinkStats { enqueued: 1033, dropped: 0, transmitted: 1033, bytes_tx: 75532, pauses: 0 }, translator: TranslatorStats { reports_in: 203, rdma_out: 190, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 203, malformed: 0, forwarded: 0, roce_responses: 1 }, per_shard_reports_in: [], executed: 190, collector: CollectorNodeStats { executed: 190, naks: 0, dropped: 0 }, queries: QueryOutcomes { kw_found: 35, kw_ambiguous: 0, kw_missing: 12, pc_found: 3, pc_missing: 14, append_entries: 28, inc_estimate_total: 1262 } }",
+    );
+    assert_eq!(memory_fingerprint(&out.memory), 0x09ae0fbf4d99061b);
+}
+
+#[test]
+fn k4_sharded_clean_matches_pre_rewrite_engine() {
+    let spec = ScenarioSpec { seed: 0xD7A0_0003, ..ScenarioSpec::smoke(TranslatorMode::Sharded { shards: 4 }) };
+    let out = run_scenario(&spec);
+    assert_eq!(
+        format!("{:?}", out.report),
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 100, append: 50, key_increment: 56, postcard: 250 }, reports_unsent: 0, net: NetworkStats { delivered: 0, forwarded: 1336, dropped: 0, intercepted: 456 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1792, dropped: 0, transmitted: 1792, bytes_tx: 126502, pauses: 0 }, translator: TranslatorStats { reports_in: 456, rdma_out: 370, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 456, malformed: 0, forwarded: 0, roce_responses: 0 }, per_shard_reports_in: [118, 133, 114, 91], executed: 370, collector: CollectorNodeStats { executed: 0, naks: 0, dropped: 0 }, queries: QueryOutcomes { kw_found: 83, kw_ambiguous: 0, kw_missing: 0, pc_found: 50, pc_missing: 0, append_entries: 50, inc_estimate_total: 2667 } }",
+    );
+    assert_eq!(memory_fingerprint(&out.memory), 0x8fe9eef3464d3564);
+}

@@ -118,6 +118,72 @@ fn sharded_k4_convergence_matches_send_counts() {
     assert!(r.executed > 0);
 }
 
+/// K=8, 1008 paced reporters (8 lanes on each of 127 hosts), single mode:
+/// the fleet drains, every report crosses the fabric, and the collector
+/// answers for all of it. `large_` tests are the CI K=8 smoke step.
+#[test]
+fn large_k8_single_converges() {
+    let spec = ScenarioSpec { seed: 0x1A26_0001, ..ScenarioSpec::large(TranslatorMode::SingleThreaded) };
+    let outcome = run_scenario(&spec);
+    let r = &outcome.report;
+    assert_eq!(r.reports_unsent, 0, "emission window must cover the schedule");
+    assert_eq!(r.net.dropped, 0, "clean fabric must not drop");
+    assert_eq!(r.translator_node.dta_in, r.sent.total());
+    assert_eq!(r.translator.reports_in, r.sent.total());
+    assert!(r.sent.total() > 5_000, "a 1008-reporter fleet must emit at scale");
+    assert_eq!(r.queries.kw_missing, 0);
+    assert_eq!(r.queries.kw_ambiguous, 0);
+    assert_eq!(r.queries.pc_missing, 0, "every full flow must decode");
+    assert!(r.queries.append_entries > 0);
+    assert!(r.executed > 0);
+}
+
+/// Same fleet through the sharded pipeline; also pins bit-reproducibility
+/// at scale (two runs, identical report + collector bytes).
+#[test]
+fn large_k8_sharded_is_bit_reproducible() {
+    let spec = ScenarioSpec {
+        mode: TranslatorMode::Sharded { shards: 4 },
+        seed: 0x1A26_0002,
+        ..ScenarioSpec::large(TranslatorMode::SingleThreaded)
+    };
+    let a = run_scenario(&spec);
+    assert_eq!(a.report.reports_unsent, 0);
+    assert_eq!(a.report.translator.reports_in, a.report.sent.total());
+    assert_eq!(a.report.per_shard_reports_in.len(), 4);
+    assert!(
+        a.report.per_shard_reports_in.iter().all(|&n| n > 0),
+        "all shards must take load: {:?}",
+        a.report.per_shard_reports_in
+    );
+    assert_eq!(a.report.queries.kw_missing, 0);
+    let b = run_scenario(&spec);
+    assert_eq!(a.report, b.report, "K=8 sharded report must be a pure function of the spec");
+    assert_eq!(a.memory, b.memory, "K=8 collector memory must be bit-identical");
+}
+
+/// A lossy, reordering, duplicating report path at K=8 scale: loss shows
+/// up in the fault totals and the surviving reports still audit cleanly.
+#[test]
+fn large_k8_faulted_report_path_accounts_for_loss() {
+    let spec = ScenarioSpec {
+        faults: FaultPlan::unreliable_report_path(0.05, 0.05, 0.05),
+        seed: 0x1A26_0003,
+        ..ScenarioSpec::large(TranslatorMode::SingleThreaded)
+    };
+    let outcome = run_scenario(&spec);
+    let r = &outcome.report;
+    assert_eq!(r.reports_unsent, 0);
+    assert!(r.faults.dropped > 0, "a 5% lossy path must lose something at this scale");
+    assert!(r.faults.duplicated > 0);
+    assert!(r.translator.reports_in > 0);
+    assert!(
+        r.translator.reports_in as i64 - r.sent.total() as i64
+            != 0,
+        "loss and duplication must not exactly cancel at 13k reports (seed-pinned)"
+    );
+}
+
 proptest! {
     /// The acceptance property: identical fault schedules (loss + reorder
     /// + duplication on the report path of a K=4 fat tree) leave the

@@ -21,6 +21,33 @@ impl<T: Copy + Default> RegisterArray<T> {
         RegisterArray { cells: vec![T::default(); size], accesses: 0 }
     }
 
+    /// Array of `size` cells from one zeroed allocation (`alloc_zeroed`
+    /// maps untouched zero pages, where the element-wise fill of
+    /// [`RegisterArray::new`] writes every byte — real milliseconds for
+    /// SRAM-scale arrays rebuilt per scenario run).
+    ///
+    /// # Safety
+    /// `T` must be valid (and equal to `T::default()`) as the all-zero bit
+    /// pattern.
+    pub unsafe fn new_zeroed(size: usize) -> Self {
+        let cells = unsafe { Box::<[T]>::new_zeroed_slice(size).assume_init() }.into_vec();
+        RegisterArray { cells, accesses: 0 }
+    }
+
+    /// Rebuild an array around recycled cell storage (e.g., a
+    /// default-filled buffer recovered by [`RegisterArray::take_cells`]).
+    /// The access counter starts at zero; the caller vouches that `cells`
+    /// holds the intended initial contents.
+    pub fn from_cells(cells: Vec<T>) -> Self {
+        RegisterArray { cells, accesses: 0 }
+    }
+
+    /// Take the cell storage out (for recycling pools), leaving the array
+    /// empty.
+    pub fn take_cells(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.cells)
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()

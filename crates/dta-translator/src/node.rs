@@ -59,6 +59,9 @@ pub struct TranslatorNode {
     my_ip: u32,
     collector_id: NodeId,
     collector_ip: u32,
+    /// Recycled translation output (one RoCE packet vector per node, not
+    /// per report).
+    scratch: crate::translator::TranslatorOutput,
     /// Counters.
     pub stats: TranslatorNodeStats,
 }
@@ -79,6 +82,7 @@ impl TranslatorNode {
             my_ip,
             collector_id,
             collector_ip,
+            scratch: crate::translator::TranslatorOutput::default(),
             stats: TranslatorNodeStats::default(),
         }
     }
@@ -96,24 +100,25 @@ impl TranslatorNode {
 }
 
 impl NetNode for TranslatorNode {
-    fn receive(&mut self, now: SimTime, packet: Packet) -> Vec<Emission> {
+    fn receive(&mut self, now: SimTime, packet: Packet, out: &mut Vec<Emission>) {
         let Ok(udp) = UdpPacket::decode(packet.payload.clone()) else {
             self.stats.malformed += 1;
-            return Vec::new();
+            return;
         };
         match udp.udp.dst_port {
             DTA_UDP_PORT => {
                 let Ok(report) = DtaReport::decode(udp.payload.clone()) else {
                     self.stats.malformed += 1;
-                    return Vec::new();
+                    return;
                 };
                 self.stats.dta_in += 1;
                 let reporter_ip = udp.ip.src;
                 let reporter_node = packet.src;
-                let out = self.translator.process(now.as_nanos(), &report);
-                let mut emissions: Vec<Emission> =
-                    out.packets.iter().map(|p| self.roce_to_emission(p)).collect();
-                if out.nack {
+                let mut translated = std::mem::take(&mut self.scratch);
+                self.translator
+                    .process_batch(now.as_nanos(), std::slice::from_ref(&report), &mut translated);
+                out.extend(translated.packets.iter().map(|p| self.roce_to_emission(p)));
+                if translated.nack {
                     let nack = UdpPacket::frame(
                         self.my_ip,
                         DTA_NACK_PORT,
@@ -121,13 +126,9 @@ impl NetNode for TranslatorNode {
                         udp.udp.src_port,
                         encode_nack(report.header.seq),
                     );
-                    emissions.push(Emission::now(Packet::new(
-                        self.my_id,
-                        reporter_node,
-                        nack.encode(),
-                    )));
+                    out.push(Emission::now(Packet::new(self.my_id, reporter_node, nack.encode())));
                 }
-                emissions
+                self.scratch = translated;
             }
             ROCE_UDP_PORT => {
                 // A response from the collector (ACK/NAK).
@@ -137,19 +138,19 @@ impl NetNode for TranslatorNode {
                 } else {
                     self.stats.malformed += 1;
                 }
-                Vec::new()
             }
             _ => {
                 // User traffic: forward toward its destination untouched.
                 self.stats.forwarded += 1;
-                vec![Emission::now(packet)]
+                out.push(Emission::now(packet));
             }
         }
     }
 
-    fn tick(&mut self, now: SimTime) -> Vec<Emission> {
-        let out = self.translator.flush(now.as_nanos());
-        out.packets.iter().map(|p| self.roce_to_emission(p)).collect()
+    fn tick(&mut self, now: SimTime, out: &mut Vec<Emission>) -> bool {
+        let flushed = self.translator.flush(now.as_nanos());
+        out.extend(flushed.packets.iter().map(|p| self.roce_to_emission(p)));
+        true // flushes recur for as long as the harness schedules them
     }
 }
 
@@ -215,36 +216,34 @@ impl ShardedTranslatorNode {
 }
 
 impl NetNode for ShardedTranslatorNode {
-    fn receive(&mut self, now: SimTime, packet: Packet) -> Vec<Emission> {
+    fn receive(&mut self, now: SimTime, packet: Packet, out: &mut Vec<Emission>) {
         let Some(sharded) = self.sharded.as_mut() else {
-            return Vec::new(); // finished: sink
+            return; // finished: sink
         };
         let Ok(udp) = UdpPacket::decode(packet.payload.clone()) else {
             self.stats.malformed += 1;
-            return Vec::new();
+            return;
         };
         match udp.udp.dst_port {
             DTA_UDP_PORT => {
                 let Ok(report) = DtaReport::decode(udp.payload.clone()) else {
                     self.stats.malformed += 1;
-                    return Vec::new();
+                    return;
                 };
                 self.stats.dta_in += 1;
                 // Routes on the ingest thread, enqueues to the owning
                 // shard's SPSC ring (yielding on a full ring), and returns;
                 // translation + RDMA execution happen on the worker threads.
                 sharded.ingest(now.as_nanos(), report);
-                Vec::new()
             }
             ROCE_UDP_PORT => {
                 // Shard endpoints handle their responses in-process; a RoCE
                 // packet arriving over the network is a wiring error.
                 self.stats.malformed += 1;
-                Vec::new()
             }
             _ => {
                 self.stats.forwarded += 1;
-                vec![Emission::now(packet)]
+                out.push(Emission::now(packet));
             }
         }
     }
@@ -327,13 +326,16 @@ mod tests {
         let mut node = ShardedTranslatorNode::connect(ShardedConfig::with_shards(1), &mut svc);
         // User traffic (non-DTA UDP port) forwards untouched.
         let user = UdpPacket::frame(1, 1234, 9, 80, Bytes::from_static(b"http"));
-        let out = node.receive(SimTime::ZERO, Packet::new(NodeId(0), NodeId(9), user.encode()));
+        let mut out = Vec::new();
+        node.receive(SimTime::ZERO, Packet::new(NodeId(0), NodeId(9), user.encode()), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(node.stats.forwarded, 1);
         // Garbage is malformed, not a crash.
-        let out = node.receive(
+        out.clear();
+        node.receive(
             SimTime::ZERO,
             Packet::new(NodeId(0), NodeId(9), Bytes::from_static(b"???")),
+            &mut out,
         );
         assert!(out.is_empty());
         assert_eq!(node.stats.malformed, 1);

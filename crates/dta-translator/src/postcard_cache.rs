@@ -62,11 +62,32 @@ pub struct CacheStats {
 pub struct PostcardCache {
     rows: RegisterArray<Row>,
     occupied: Vec<bool>,
+    /// Journal of row indexes that ever became occupied, so drop can
+    /// return the row storage to the recycling pool after zeroing only the
+    /// rows a run actually touched. `u32::MAX` capacity sentinel: when the
+    /// journal overflows [`PostcardCache::journal_cap`], it is abandoned
+    /// and drop falls back to a full wipe.
+    touched: Vec<u32>,
+    touched_overflow: bool,
     index: Crc32,
     hops: u8,
     /// Counters.
     pub stats: CacheStats,
 }
+
+/// Recycling pool for row/occupancy storage (keyed by row count). A
+/// scenario run builds translator caches measured in MBs; repeated
+/// zeroed allocations of that size degrade to explicit memsets once
+/// glibc's adaptive mmap threshold rises.
+#[allow(clippy::type_complexity)]
+fn row_pool() -> &'static std::sync::Mutex<Vec<(Vec<Row>, Vec<bool>)>> {
+    static POOL: std::sync::OnceLock<std::sync::Mutex<Vec<(Vec<Row>, Vec<bool>)>>> =
+        std::sync::OnceLock::new();
+    POOL.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Pooled cache-storage cap (buffers, not bytes).
+const ROW_POOL_MAX: usize = 32;
 
 impl PostcardCache {
     /// Cache with `slots` rows for paths of up to `hops` hops.
@@ -76,13 +97,31 @@ impl PostcardCache {
     pub fn new(slots: usize, hops: u8) -> Self {
         assert!(slots > 0, "cache must have at least one row");
         assert!((hops as usize) <= MAX_HOPS, "hop bound {hops} exceeds {MAX_HOPS}");
+        let pooled = row_pool().lock().ok().and_then(|mut pool| {
+            pool.iter()
+                .position(|(cells, _)| cells.len() == slots)
+                .map(|i| pool.swap_remove(i))
+        });
+        let (rows, occupied) = match pooled {
+            Some((cells, occupied)) => (RegisterArray::from_cells(cells), occupied),
+            // Safety: `Row`'s default is the all-zero pattern (zero key,
+            // zero words, nothing present).
+            None => (unsafe { RegisterArray::new_zeroed(slots) }, vec![false; slots]),
+        };
         PostcardCache {
-            rows: RegisterArray::new(slots),
-            occupied: vec![false; slots],
+            rows,
+            occupied,
+            touched: Vec::new(),
+            touched_overflow: false,
             index: Crc32::new(CrcParams::IEEE),
             hops,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Journal bound: past this, zero-on-drop degrades to a full wipe.
+    fn journal_cap(&self) -> usize {
+        (self.rows.len() / 8).max(64)
     }
 
     /// Number of rows.
@@ -128,6 +167,11 @@ impl PostcardCache {
         if !self.occupied[idx] {
             row = Row { key: *key, ..Row::default() };
             self.occupied[idx] = true;
+            if self.touched_overflow || self.touched.len() >= self.journal_cap() {
+                self.touched_overflow = true;
+            } else {
+                self.touched.push(idx as u32);
+            }
         }
 
         row.words[hop as usize] = word;
@@ -177,6 +221,31 @@ impl PostcardCache {
     /// SRAM bytes the cache occupies.
     pub fn sram_bytes(&self) -> usize {
         self.rows.sram_bytes()
+    }
+}
+
+impl Drop for PostcardCache {
+    fn drop(&mut self) {
+        // Re-zero only the rows this cache ever occupied (rows written
+        // back to `Row::default()` are zero already; re-zeroing them is an
+        // idempotent handful of bytes), then recycle the storage.
+        let mut cells = self.rows.take_cells();
+        if cells.is_empty() {
+            return;
+        }
+        if self.touched_overflow {
+            cells.fill(Row::default());
+        } else {
+            for &idx in &self.touched {
+                cells[idx as usize] = Row::default();
+            }
+        }
+        self.occupied.fill(false);
+        if let Ok(mut pool) = row_pool().lock() {
+            if pool.len() < ROW_POOL_MAX {
+                pool.push((cells, std::mem::take(&mut self.occupied)));
+            }
+        }
     }
 }
 
