@@ -320,6 +320,27 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
         results.push(run_loop_scenario("scenario/k4_sharded4", window, &spec));
     }
 
+    // Congestion loop: the K=4 deployment under a translator rate limit
+    // that drops ~a third of the offered load, with NACK-driven reporter
+    // retransmission closing the loop (see ScenarioSpec::congested). The
+    // ns/report prices the whole recovery cycle — drop, NACK hop back
+    // across the fabric, paced retransmit, re-translation — on top of the
+    // normal path; in sharded mode it additionally covers the per-tick
+    // queue barrier the deterministic NACK drain requires.
+    if wants("scenario_congested/k4_congested_single") {
+        let spec = dta_sim::ScenarioSpec::congested(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario_congested/k4_congested_single", window, &spec));
+    }
+    if wants("scenario_congested/k4_congested_sharded4") {
+        let spec =
+            dta_sim::ScenarioSpec::congested(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario(
+            "scenario_congested/k4_congested_sharded4",
+            window,
+            &spec,
+        ));
+    }
+
     // Datacenter scale: K=8 fat tree, 1008 paced reporters (8 lanes per
     // host). One run is ~13k reports over 80 switches — the workload the
     // PR 4 engine rewrite (dense arenas + timing wheel) exists for.
@@ -617,7 +638,8 @@ mod tests {
              "key_write/4", "key_write_single/4", "postcarding/5hop", "append/1",
              "append/16", "key_increment/2", "key_write_sharded/1", "key_write_sharded/2",
              "key_write_sharded/4", "key_write_sharded/8", "scenario/k4_single",
-             "scenario/k4_sharded4", "scenario_large/k8_single",
+             "scenario/k4_sharded4", "scenario_congested/k4_congested_single",
+             "scenario_congested/k4_congested_sharded4", "scenario_large/k8_single",
              "scenario_large/k8_sharded4"]
         );
         for e in &results {
@@ -655,10 +677,25 @@ mod tests {
     fn only_scenario_selects_the_end_to_end_family() {
         // The CI bench smoke's `--only scenario` step depends on this
         // anchored selection: both K=4 scenario modes — and NOT the
-        // k8 scenario_large family, which is its own smoke step.
+        // scenario_congested / scenario_large families, which are their
+        // own smoke steps.
         let results = translator_suite_filtered(Duration::from_millis(1), Some("scenario"));
         let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["scenario/k4_single", "scenario/k4_sharded4"]);
+        for e in &results {
+            assert!(e.reports > 0, "{} measured nothing", e.name);
+        }
+    }
+
+    #[test]
+    fn only_scenario_congested_selects_the_congestion_family() {
+        let results =
+            translator_suite_filtered(Duration::from_millis(1), Some("scenario_congested"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["scenario_congested/k4_congested_single", "scenario_congested/k4_congested_sharded4"]
+        );
         for e in &results {
             assert!(e.reports > 0, "{} measured nothing", e.name);
         }

@@ -22,11 +22,13 @@ pub mod flow;
 pub mod framing;
 pub mod header;
 pub mod key;
+pub mod nack;
 pub mod primitive;
 pub mod report;
 
 pub use flow::FlowTuple;
 pub use header::{DtaFlags, DtaHeader, DtaOpcode, DTA_UDP_PORT, DTA_VERSION};
+pub use nack::{decode_nack, encode_nack, DTA_NACK_PORT, NACK_MAGIC};
 pub use key::TelemetryKey;
 pub use primitive::{
     AppendHeader, KeyIncrementHeader, KeyWriteHeader, PostcardingHeader, PrimitiveHeader,

@@ -1,0 +1,49 @@
+//! The DTA NACK wire format (§5.2).
+//!
+//! "Rate limiting can be configured to generate a NACK sent back to the
+//! reporter in case of a dropped report during these congestion events."
+//!
+//! A NACK is a tiny UDP datagram from the translator back to the reporter
+//! that originated the dropped report: a 4-byte magic followed by the
+//! dropped report's sequence number. It lives in `dta-core` because both
+//! ends of the loop speak it — the translator encodes (`dta-translator`),
+//! the reporter decodes and retransmits (`dta-reporter`) — and neither
+//! should depend on the other for a shared wire format.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// UDP source port for NACKs returned to reporters.
+pub const DTA_NACK_PORT: u16 = 40081;
+
+/// Magic prefix of a NACK payload.
+pub const NACK_MAGIC: &[u8; 4] = b"DNAK";
+
+/// Encode a NACK payload for report sequence `seq`.
+pub fn encode_nack(seq: u32) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_slice(NACK_MAGIC);
+    b.put_u32(seq);
+    b.freeze()
+}
+
+/// Decode a NACK payload, returning the dropped report's sequence number.
+pub fn decode_nack(payload: &[u8]) -> Option<u32> {
+    if payload.len() == 8 && &payload[..4] == NACK_MAGIC {
+        Some(u32::from_be_bytes(payload[4..8].try_into().unwrap()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nack_roundtrip() {
+        assert_eq!(decode_nack(&encode_nack(0xDEAD_BEEF)), Some(0xDEAD_BEEF));
+        assert_eq!(decode_nack(b"bogus!!!"), None);
+        assert_eq!(decode_nack(b"DNAK"), None); // too short
+        assert_eq!(decode_nack(b"DNAKxxxxy"), None); // too long
+    }
+}

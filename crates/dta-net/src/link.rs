@@ -29,7 +29,7 @@ pub enum QueueDiscipline {
 }
 
 /// Static link parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkConfig {
     /// Bandwidth in bits per second.
     pub bandwidth_bps: u64,

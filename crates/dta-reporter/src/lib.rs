@@ -15,5 +15,6 @@ pub mod resources;
 
 pub use reporter::{
     PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode, ReporterNode,
+    RetransmitPolicy, RetxStats,
 };
 pub use resources::{reporter_footprint, ReporterKind};

@@ -1,7 +1,12 @@
-//! Reporter packet crafting.
+//! Reporter packet crafting, and the reporter end of the congestion loop
+//! (§5.2): decoding translator NACKs and deterministically retransmitting
+//! the dropped report from a bounded in-flight window.
+
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 use dta_core::framing::UdpPacket;
+use dta_core::nack::decode_nack;
 use dta_core::{DtaReport, DTA_UDP_PORT};
 use dta_net::{Emission, NetNode, NodeId, Packet, SimTime};
 
@@ -54,6 +59,135 @@ impl Reporter {
     pub fn frame_all(&mut self, reports: &[DtaReport]) -> Vec<Packet> {
         reports.iter().map(|r| self.frame(r)).collect()
     }
+
+    /// The reporter's addressing.
+    pub fn config(&self) -> &ReporterConfig {
+        &self.config
+    }
+}
+
+/// Reporter-side NACK-driven retransmit policy (the loop-closing half of
+/// §5.2's "NACK sent back to the reporter in case of a dropped report").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// In-flight window: how many recently framed reports stay buffered
+    /// for retransmission. DTA has no ACKs, so entries leave the window
+    /// only by eviction — a NACK for an evicted seq counts as
+    /// `nacks_unmatched` and the report is lost (best-effort, by design).
+    pub window: usize,
+    /// Retransmissions allowed per report; a NACK arriving after the
+    /// budget is spent counts as `retries_exhausted`.
+    pub max_retries: u32,
+    /// Node-internal delay before a NACKed report re-enters the wire.
+    /// Pacing the retransmit burst gives the translator's token bucket
+    /// time to refill; it is modeled as an [`Emission::after`] delay on
+    /// the simulated clock, so retransmit timing is deterministic.
+    pub pace_ns: u64,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy { window: 1024, max_retries: 8, pace_ns: 20_000 }
+    }
+}
+
+/// Counters of the reporter end of the congestion loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetxStats {
+    /// Inbound packets that decoded as DTA NACKs.
+    pub nacks_received: u64,
+    /// Inbound packets that were anything else (stray user traffic).
+    pub stray_received: u64,
+    /// Reports re-emitted in response to a NACK.
+    pub retransmitted: u64,
+    /// NACKs for reports whose retry budget was already spent.
+    pub retries_exhausted: u64,
+    /// NACKs whose seq was not in the in-flight window (evicted or never
+    /// ours).
+    pub nacks_unmatched: u64,
+}
+
+impl RetxStats {
+    /// Accumulate `other` into `self` (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &RetxStats) {
+        self.nacks_received += other.nacks_received;
+        self.stray_received += other.stray_received;
+        self.retransmitted += other.retransmitted;
+        self.retries_exhausted += other.retries_exhausted;
+        self.nacks_unmatched += other.nacks_unmatched;
+    }
+
+    /// Every NACK is answered one way: retransmitted, budget-exhausted,
+    /// or unmatched. The congestion tests assert this ledger closes.
+    pub fn ledger_closes(&self) -> bool {
+        self.nacks_received
+            == self.retransmitted + self.retries_exhausted + self.nacks_unmatched
+    }
+}
+
+/// One buffered in-flight report.
+struct WindowEntry {
+    seq: u32,
+    retries: u32,
+    report: DtaReport,
+}
+
+/// The bounded in-flight window shared by [`PacedReporterNode`] and each
+/// [`ReporterFleetNode`] lane.
+struct RetxWindow {
+    policy: RetransmitPolicy,
+    entries: VecDeque<WindowEntry>,
+}
+
+impl RetxWindow {
+    fn new(policy: RetransmitPolicy) -> Self {
+        RetxWindow { policy, entries: VecDeque::with_capacity(policy.window.max(1)) }
+    }
+
+    /// Remember a just-framed report (evicting the oldest at capacity —
+    /// a loop, not a single pop, so a window shrunk by a later
+    /// `set_retransmit` really trims down to the new bound).
+    fn record(&mut self, report: &DtaReport) {
+        while self.entries.len() >= self.policy.window.max(1) {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(WindowEntry {
+            seq: report.header.seq,
+            retries: 0,
+            report: report.clone(),
+        });
+    }
+
+    /// Answer a NACK for `seq`: the report to retransmit, or `None` with
+    /// the reason counted in `stats`. Searches newest-first so a seq that
+    /// somehow recurs resolves to its latest incarnation.
+    fn on_nack(&mut self, seq: u32, stats: &mut RetxStats) -> Option<DtaReport> {
+        let Some(entry) = self.entries.iter_mut().rev().find(|e| e.seq == seq) else {
+            stats.nacks_unmatched += 1;
+            return None;
+        };
+        if entry.retries >= self.policy.max_retries {
+            stats.retries_exhausted += 1;
+            return None;
+        }
+        entry.retries += 1;
+        stats.retransmitted += 1;
+        Some(entry.report.clone())
+    }
+}
+
+/// Classify one delivered packet: `Some((dst_ip, seq))` for a DTA NACK
+/// (the destination IP selects the fleet lane it answers), else stray.
+/// The translator always emits NACKs from [`dta_core::DTA_NACK_PORT`];
+/// checking it keeps stray user traffic whose payload happens to start
+/// `DNAK` from triggering a spurious retransmission.
+fn decode_inbound(packet: &Packet) -> Option<(u32, u32)> {
+    let udp = UdpPacket::decode(packet.payload.clone()).ok()?;
+    if udp.udp.src_port != dta_core::DTA_NACK_PORT {
+        return None;
+    }
+    let seq = decode_nack(&udp.payload)?;
+    Some((udp.ip.dst, seq))
 }
 
 /// A reporter wrapped as a network node that forwards nothing (leaf switch
@@ -107,8 +241,13 @@ pub struct PacedReporterNode {
     schedule: Vec<DtaReport>,
     cursor: usize,
     reports_per_tick: usize,
-    /// Packets delivered *to* this node (NACKs and stray user traffic
-    /// terminate here).
+    /// In-flight window, when retransmission is enabled.
+    retx: Option<RetxWindow>,
+    /// Congestion-loop counters (NACK/stray split, retransmissions).
+    pub retx_stats: RetxStats,
+    /// Packets delivered *to* this node — always
+    /// `retx_stats.nacks_received + retx_stats.stray_received` (kept as
+    /// the sum for golden compatibility).
     pub received: u64,
 }
 
@@ -121,8 +260,16 @@ impl PacedReporterNode {
             schedule,
             cursor: 0,
             reports_per_tick: reports_per_tick.max(1),
+            retx: None,
+            retx_stats: RetxStats::default(),
             received: 0,
         }
+    }
+
+    /// Enable NACK-driven retransmission from a bounded in-flight window.
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.retx = Some(RetxWindow::new(policy));
+        self
     }
 
     /// Reports not yet emitted.
@@ -139,30 +286,49 @@ impl PacedReporterNode {
 }
 
 impl NetNode for PacedReporterNode {
-    fn receive(&mut self, _now: SimTime, _packet: Packet, _out: &mut Vec<Emission>) {
+    fn receive(&mut self, _now: SimTime, packet: Packet, out: &mut Vec<Emission>) {
         self.received += 1;
+        let Some((_dst_ip, seq)) = decode_inbound(&packet) else {
+            self.retx_stats.stray_received += 1;
+            return;
+        };
+        self.retx_stats.nacks_received += 1;
+        let Some(window) = self.retx.as_mut() else {
+            // NACKs decode and count even with retransmission disabled;
+            // without a window the report is simply not recoverable.
+            self.retx_stats.nacks_unmatched += 1;
+            return;
+        };
+        if let Some(report) = window.on_nack(seq, &mut self.retx_stats) {
+            let pace = window.policy.pace_ns;
+            out.push(Emission::after(self.reporter.frame(&report), pace));
+        }
     }
 
     fn tick(&mut self, _now: SimTime, out: &mut Vec<Emission>) -> bool {
         let end = (self.cursor + self.reports_per_tick).min(self.schedule.len());
-        out.extend(
-            self.schedule[self.cursor..end]
-                .iter()
-                .map(|r| Emission::now(self.reporter.frame(r))),
-        );
+        for r in &self.schedule[self.cursor..end] {
+            if let Some(window) = self.retx.as_mut() {
+                window.record(r);
+            }
+            out.push(Emission::now(self.reporter.frame(r)));
+        }
         self.cursor = end;
         // A drained schedule never refills: cancel the tick series instead
         // of burning an engine event every period for the rest of the run.
+        // (NACK-driven retransmits ride on `receive`, not on ticks, so the
+        // cancellation cannot strand them.)
         self.cursor < self.schedule.len()
     }
 }
 
-/// One co-located reporter of a [`ReporterFleetNode`]: its framer and its
-/// paced schedule.
+/// One co-located reporter of a [`ReporterFleetNode`]: its framer, its
+/// paced schedule, and (when enabled) its in-flight retransmit window.
 struct Lane {
     reporter: Reporter,
     schedule: Vec<DtaReport>,
     cursor: usize,
+    retx: Option<RetxWindow>,
 }
 
 /// Several paced reporters sharing one host node (and its uplink).
@@ -177,8 +343,14 @@ struct Lane {
 pub struct ReporterFleetNode {
     lanes: Vec<Lane>,
     reports_per_tick: usize,
-    /// Packets delivered *to* this host (NACKs and stray user traffic
-    /// terminate here).
+    /// Retransmit policy applied to every lane (set before or after adding
+    /// lanes; `None` disables retransmission).
+    retx_policy: Option<RetransmitPolicy>,
+    /// Host-wide congestion-loop counters (all lanes).
+    pub retx_stats: RetxStats,
+    /// Packets delivered *to* this host — always
+    /// `retx_stats.nacks_received + retx_stats.stray_received` (kept as
+    /// the sum for golden compatibility).
     pub received: u64,
 }
 
@@ -188,14 +360,31 @@ impl ReporterFleetNode {
         ReporterFleetNode {
             lanes: Vec::new(),
             reports_per_tick: reports_per_tick.max(1),
+            retx_policy: None,
+            retx_stats: RetxStats::default(),
             received: 0,
+        }
+    }
+
+    /// Enable NACK-driven retransmission on every lane (existing and
+    /// future). Calling again re-applies the new policy to every lane:
+    /// existing windows keep their buffered entries (an oversized buffer
+    /// trims itself on the next record), only the policy changes.
+    pub fn set_retransmit(&mut self, policy: RetransmitPolicy) {
+        self.retx_policy = Some(policy);
+        for lane in &mut self.lanes {
+            match lane.retx.as_mut() {
+                Some(window) => window.policy = policy,
+                None => lane.retx = Some(RetxWindow::new(policy)),
+            }
         }
     }
 
     /// Add a co-located reporter with its schedule. Lanes emit in insertion
     /// order within each tick.
     pub fn add_lane(&mut self, reporter: Reporter, schedule: Vec<DtaReport>) {
-        self.lanes.push(Lane { reporter, schedule, cursor: 0 });
+        let retx = self.retx_policy.map(RetxWindow::new);
+        self.lanes.push(Lane { reporter, schedule, cursor: 0, retx });
     }
 
     /// Number of co-located reporters.
@@ -215,21 +404,44 @@ impl ReporterFleetNode {
 }
 
 impl NetNode for ReporterFleetNode {
-    fn receive(&mut self, _now: SimTime, _packet: Packet, _out: &mut Vec<Emission>) {
+    fn receive(&mut self, _now: SimTime, packet: Packet, out: &mut Vec<Emission>) {
         self.received += 1;
+        let Some((dst_ip, seq)) = decode_inbound(&packet) else {
+            self.retx_stats.stray_received += 1;
+            return;
+        };
+        self.retx_stats.nacks_received += 1;
+        // The NACK's destination IP names the lane whose report was
+        // dropped (every lane has its own source address).
+        let Some(lane) =
+            self.lanes.iter_mut().find(|l| l.reporter.config().my_ip == dst_ip)
+        else {
+            self.retx_stats.nacks_unmatched += 1;
+            return;
+        };
+        let Some(window) = lane.retx.as_mut() else {
+            self.retx_stats.nacks_unmatched += 1;
+            return;
+        };
+        if let Some(report) = window.on_nack(seq, &mut self.retx_stats) {
+            let pace = window.policy.pace_ns;
+            out.push(Emission::after(lane.reporter.frame(&report), pace));
+        }
     }
 
     fn tick(&mut self, _now: SimTime, out: &mut Vec<Emission>) -> bool {
         for lane in &mut self.lanes {
             let end = (lane.cursor + self.reports_per_tick).min(lane.schedule.len());
-            out.extend(
-                lane.schedule[lane.cursor..end]
-                    .iter()
-                    .map(|r| Emission::now(lane.reporter.frame(r))),
-            );
+            for r in &lane.schedule[lane.cursor..end] {
+                if let Some(window) = lane.retx.as_mut() {
+                    window.record(r);
+                }
+                out.push(Emission::now(lane.reporter.frame(r)));
+            }
             lane.cursor = end;
         }
-        // Cancel the tick series once every lane has drained.
+        // Cancel the tick series once every lane has drained (retransmits
+        // ride on `receive`, so cancellation cannot strand them).
         self.lanes.iter().any(|l| l.cursor < l.schedule.len())
     }
 }
@@ -304,12 +516,14 @@ mod tests {
         assert_eq!(sizes, [3, 3, 1, 0, 0]);
         assert_eq!(node.pending(), 0);
         assert_eq!(node.reporter.exported, 7);
-        // Inbound packets (NACKs) terminate and are counted.
+        // Inbound non-NACK packets terminate, counted as stray.
         let pkt = legacy_udp_frame(&config(), Bytes::from_static(b"nack"));
         let mut out = Vec::new();
         node.receive(SimTime::ZERO, pkt, &mut out);
         assert!(out.is_empty());
         assert_eq!(node.received, 1);
+        assert_eq!(node.retx_stats.stray_received, 1);
+        assert_eq!(node.retx_stats.nacks_received, 0);
     }
 
     #[test]
@@ -333,12 +547,195 @@ mod tests {
         assert_eq!(out.len(), 1 + 2);
         assert_eq!(node.pending(), 0);
         assert_eq!(node.exported(), 9);
-        // Inbound packets terminate and count.
+        // Inbound non-NACK packets terminate, counted as stray.
         let pkt = legacy_udp_frame(&config(), Bytes::from_static(b"nack"));
         out.clear();
         node.receive(SimTime::ZERO, pkt, &mut out);
         assert!(out.is_empty());
         assert_eq!(node.received, 1);
+        assert_eq!(node.retx_stats.stray_received, 1);
+    }
+
+    /// Frame a NACK for `seq` addressed to `dst_ip`, as the translator
+    /// would emit it.
+    fn nack_packet(dst_ip: u32, seq: u32) -> Packet {
+        let udp = UdpPacket::frame(
+            0x0A00_0001,
+            dta_core::DTA_NACK_PORT,
+            dst_ip,
+            5555,
+            dta_core::encode_nack(seq),
+        );
+        Packet::new(NodeId(7), NodeId(1), udp.encode())
+    }
+
+    /// Decode the DTA report inside an emitted packet.
+    fn emitted_report(e: &Emission) -> DtaReport {
+        let udp = UdpPacket::decode(e.packet.payload.clone()).unwrap();
+        DtaReport::decode(udp.payload).unwrap()
+    }
+
+    #[test]
+    fn paced_node_retransmits_nacked_report_from_window() {
+        let schedule: Vec<DtaReport> =
+            (0..3u32).map(|i| DtaReport::append(i, 1, i.to_be_bytes().to_vec())).collect();
+        let policy = RetransmitPolicy { window: 8, max_retries: 1, pace_ns: 500 };
+        let mut node = PacedReporterNode::new(Reporter::new(config()), schedule.clone(), 8)
+            .with_retransmit(policy);
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 3);
+
+        // NACK for seq 1: the exact report re-emits, paced by pace_ns.
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delay_ns, 500, "retransmit must be paced");
+        assert_eq!(emitted_report(&out[0]), schedule[1]);
+        assert_eq!(node.retx_stats.nacks_received, 1);
+        assert_eq!(node.retx_stats.retransmitted, 1);
+
+        // Second NACK for the same seq: budget (1) spent.
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 1), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(node.retx_stats.retries_exhausted, 1);
+
+        // NACK for a seq never sent: unmatched.
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 99), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(node.retx_stats.nacks_unmatched, 1);
+        assert!(node.retx_stats.ledger_closes());
+        assert_eq!(node.received, 3);
+    }
+
+    #[test]
+    fn window_eviction_bounds_recovery() {
+        let schedule: Vec<DtaReport> =
+            (0..4u32).map(|i| DtaReport::append(i, 1, i.to_be_bytes().to_vec())).collect();
+        let policy = RetransmitPolicy { window: 2, max_retries: 8, pace_ns: 0 };
+        let mut node = PacedReporterNode::new(Reporter::new(config()), schedule, 8)
+            .with_retransmit(policy);
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        // Seqs 0 and 1 were evicted by 2 and 3 (window of 2).
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(node.retx_stats.nacks_unmatched, 1);
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 3), &mut out);
+        assert_eq!(out.len(), 1, "in-window seq must still retransmit");
+        assert!(node.retx_stats.ledger_closes());
+    }
+
+    #[test]
+    fn fleet_node_routes_nack_to_the_owning_lane() {
+        let mut node = ReporterFleetNode::new(8);
+        node.set_retransmit(RetransmitPolicy { window: 8, max_retries: 2, pace_ns: 100 });
+        for lane in 0..2u32 {
+            let mut cfg = config();
+            cfg.my_ip = 0x0A02_0000 + lane;
+            // Globally unique seqs, as the scenario workload generator
+            // assigns them.
+            let schedule: Vec<DtaReport> = (0..2u32)
+                .map(|i| DtaReport::append(lane * 2 + i, 1, vec![lane as u8; 4]))
+                .collect();
+            node.add_lane(Reporter::new(cfg), schedule);
+        }
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 4);
+        // Seq 2 belongs to lane 1; the NACK is addressed to lane 1's IP.
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(0x0A02_0001, 2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(emitted_report(&out[0]).payload.as_ref(), &[1u8; 4]);
+        assert_eq!(node.retx_stats.retransmitted, 1);
+        // A NACK addressed to an IP no lane owns is unmatched, not a panic.
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(0x0A02_0099, 2), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(node.retx_stats.nacks_unmatched, 1);
+        assert!(node.retx_stats.ledger_closes());
+    }
+
+    #[test]
+    fn nack_lookalike_from_wrong_source_port_is_stray() {
+        // An 8-byte user payload starting "DNAK" is only a NACK when it
+        // comes from the translator's NACK port — anything else must not
+        // trigger a retransmission.
+        let schedule = vec![DtaReport::append(0, 1, vec![1; 4])];
+        let mut node = PacedReporterNode::new(Reporter::new(config()), schedule, 8)
+            .with_retransmit(RetransmitPolicy::default());
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        out.clear();
+        let spoof = UdpPacket::frame(
+            0x0A00_0001,
+            8080, // not DTA_NACK_PORT
+            config().my_ip,
+            5555,
+            dta_core::encode_nack(0),
+        );
+        node.receive(SimTime::ZERO, Packet::new(NodeId(7), NodeId(1), spoof.encode()), &mut out);
+        assert!(out.is_empty(), "spoofed NACK retransmitted");
+        assert_eq!(node.retx_stats.stray_received, 1);
+        assert_eq!(node.retx_stats.nacks_received, 0);
+    }
+
+    #[test]
+    fn shrinking_the_window_trims_existing_buffers() {
+        // 11 reports paced 10/tick: tick 1 buffers 10 entries under a
+        // wide window; the window is then shrunk to 2 and tick 2 records
+        // the 11th — which must trim all the way down to the new bound.
+        let mut node = ReporterFleetNode::new(10);
+        node.set_retransmit(RetransmitPolicy { window: 64, max_retries: 4, pace_ns: 0 });
+        let schedule: Vec<DtaReport> =
+            (0..11u32).map(|i| DtaReport::append(i, 1, vec![0; 4])).collect();
+        node.add_lane(Reporter::new(config()), schedule);
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 10);
+        node.set_retransmit(RetransmitPolicy { window: 2, max_retries: 4, pace_ns: 0 });
+        out.clear();
+        node.tick(SimTime::ZERO, &mut out); // records seq 10, trims to 2
+        assert_eq!(out.len(), 1);
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 3), &mut out);
+        assert!(out.is_empty(), "seq outside the shrunk window must not retransmit");
+        assert_eq!(node.retx_stats.nacks_unmatched, 1);
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 10), &mut out);
+        assert_eq!(out.len(), 1, "newest seq must survive the trim");
+    }
+
+    #[test]
+    fn set_retransmit_reapplies_policy_to_existing_lanes() {
+        let mut node = ReporterFleetNode::new(8);
+        node.set_retransmit(RetransmitPolicy { window: 8, max_retries: 4, pace_ns: 100 });
+        node.add_lane(
+            Reporter::new(config()),
+            vec![DtaReport::append(0, 1, vec![1; 4])],
+        );
+        // Tighten the policy after the lane exists: the lane must follow.
+        node.set_retransmit(RetransmitPolicy { window: 8, max_retries: 4, pace_ns: 9_000 });
+        let mut out = Vec::new();
+        node.tick(SimTime::ZERO, &mut out);
+        out.clear();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delay_ns, 9_000, "existing lane kept the stale pacing policy");
+    }
+
+    #[test]
+    fn nack_without_retransmit_policy_still_splits_counters() {
+        let mut node = PacedReporterNode::new(Reporter::new(config()), Vec::new(), 1);
+        let mut out = Vec::new();
+        node.receive(SimTime::ZERO, nack_packet(config().my_ip, 5), &mut out);
+        assert!(out.is_empty(), "no policy, no retransmit");
+        assert_eq!(node.retx_stats.nacks_received, 1);
+        assert_eq!(node.retx_stats.nacks_unmatched, 1);
+        assert_eq!(node.received, 1);
+        assert!(node.retx_stats.ledger_closes());
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub use scenario::{
     memory_fingerprint, run_scenario, QueryOutcomes, ScenarioOutcome, ScenarioReport,
     COLLECTOR_IP, TRANSLATOR_IP,
 };
-pub use spec::{FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode, MAX_LANES_PER_HOST};
+pub use spec::{
+    CongestionPlan, FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode, MAX_LANES_PER_HOST,
+};
 pub use traffic::{generate, PrimitiveCounts, Workload};

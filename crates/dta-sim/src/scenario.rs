@@ -28,7 +28,7 @@ use dta_net::{
 };
 use dta_rdma::cm::CmRequester;
 use dta_rdma::mr::SnapshotBuf;
-use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode};
+use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode, RetxStats};
 use dta_translator::node::TranslatorNodeStats;
 use dta_translator::{
     ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode, TranslatorStats,
@@ -83,6 +83,9 @@ pub struct ScenarioReport {
     pub translator: TranslatorStats,
     /// Translator node counters (reports decoded, malformed, forwarded).
     pub translator_node: TranslatorNodeStats,
+    /// Reporter-side congestion-loop counters, aggregated over the fleet
+    /// (NACKs received/answered, stray deliveries, retransmissions).
+    pub reporter: RetxStats,
     /// Reports each shard translated (empty in single-threaded mode).
     pub per_shard_reports_in: Vec<u64>,
     /// RDMA verbs executed against collector memory (collector NIC in
@@ -178,9 +181,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     for (a, b) in ft.topology.edges() {
         net.add_duplex_link(a, b, LinkConfig::dc_100g());
     }
-    // The intra-rack RoCE hop is PFC-lossless (§4/§7): congestion must
-    // never silently drop RDMA traffic the way a lossy report link may.
-    net.add_duplex_link(tor, collector_host, LinkConfig::dc_100g_lossless());
+    // The intra-rack RoCE hop is PFC-lossless (§4/§7) by default:
+    // congestion must never silently drop RDMA traffic the way a lossy
+    // report link may. Congestion scenarios may substitute a tighter (or
+    // deliberately lossy) class via the plan.
+    net.add_duplex_link(tor, collector_host, spec.congestion.rdma_link);
 
     // --- Reporter fleet ---------------------------------------------------
     // Deterministic (pod, edge, host) placement, skipping the collector:
@@ -239,17 +244,34 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     mark(1, &mut __t);
     // --- Collector + translator ------------------------------------------
     let mut svc = CollectorService::new(spec.service.clone());
+    // The congestion plan's rate limiter overlays the translator sizing
+    // (both modes; the sharded pipeline divides the budget across shards).
+    let translator_config = {
+        let mut c = spec.translator.clone();
+        if let Some(limit) = spec.congestion.rate_limit {
+            c.rate_limit = Some(limit);
+        }
+        c
+    };
     let sharded_tor = match spec.mode {
         TranslatorMode::Sharded { shards } => {
-            let node = ShardedTranslatorNode::connect(
-                ShardedConfig { shards, translator: spec.translator.clone(), ..ShardedConfig::default() },
+            let mut node = ShardedTranslatorNode::connect(
+                ShardedConfig { shards, translator: translator_config, ..ShardedConfig::default() },
                 &mut svc,
             );
+            if spec.congestion.nack_on_drop {
+                // Worker-side rate-limit drops are NACKed from the engine
+                // thread on this node's ticks (period = the reporter pacing
+                // period; each tick barriers on the shard queues, so the
+                // drained set is deterministic).
+                node.enable_nacks(tor, TRANSLATOR_IP);
+                net.add_tick(tor, spec.tick_ns);
+            }
             net.add_interceptor(tor, Box::new(node));
             true
         }
         TranslatorMode::SingleThreaded => {
-            let mut translator = Translator::new(spec.translator.clone());
+            let mut translator = Translator::new(translator_config);
             for (i, service) in [
                 dta_collector::SERVICE_KW,
                 dta_collector::SERVICE_POSTCARD,
@@ -293,8 +315,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     mark(2, &mut __t);
     // --- Fleet nodes and pacing ------------------------------------------
     let mut max_ticks = 0u64;
-    let mut fleet_nodes: Vec<ReporterFleetNode> =
-        (0..hosts_used).map(|_| ReporterFleetNode::new(spec.reports_per_tick)).collect();
+    let mut fleet_nodes: Vec<ReporterFleetNode> = (0..hosts_used)
+        .map(|_| {
+            let mut node = ReporterFleetNode::new(spec.reports_per_tick);
+            if let Some(policy) = spec.congestion.retransmit {
+                node.set_retransmit(policy);
+            }
+            node
+        })
+        .collect();
     for (r, stream) in workload.streams.iter().enumerate() {
         let (host, _) = placements[r % hosts_used];
         let lane = (r / hosts_used) as u32;
@@ -338,10 +367,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     let link_totals = net.link_totals();
 
     let mut reports_unsent = 0u64;
+    let mut reporter_totals = RetxStats::default();
     for &(host, _) in &placements {
         let node: Box<dyn std::any::Any> = net.remove_node(host).expect("reporter node");
         let node = node.downcast::<ReporterFleetNode>().expect("reporter type");
         reports_unsent += node.pending() as u64;
+        reporter_totals.merge(&node.retx_stats);
     }
 
     let tor_node: Box<dyn std::any::Any> = net.remove_node(tor).expect("translator node");
@@ -383,6 +414,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             links: link_totals,
             translator: translator_stats,
             translator_node: translator_node_stats,
+            reporter: reporter_totals,
             per_shard_reports_in: per_shard,
             executed,
             collector: collector.stats,

@@ -9,8 +9,9 @@
 //! simulated one.
 
 use dta_collector::ServiceConfig;
-use dta_net::FaultConfig;
-use dta_translator::TranslatorConfig;
+use dta_net::{FaultConfig, LinkConfig};
+use dta_reporter::RetransmitPolicy;
+use dta_translator::{RateLimiterConfig, TranslatorConfig};
 
 /// Which translator pipeline fronts the collector's ToR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,13 @@ pub struct TrafficMix {
     /// Key-Write key-pool size (keys are reused across ops: rewrites
     /// exercise last-writer-wins).
     pub kw_keys: usize,
+    /// Draw Key-Write keys round-robin from the pool instead of randomly
+    /// with replacement, so (while the pool outlasts the op count) every
+    /// key is written at most once. Retransmission reorders deliveries;
+    /// a write-once workload is the one whose final memory is invariant
+    /// under that reordering — the congestion-recovery scenarios need it
+    /// to converge byte-identically to their unthrottled twin.
+    pub kw_write_once: bool,
     /// Key-Increment key-pool size.
     pub inc_keys: usize,
     /// Append lists used (must not exceed the collector's configured list
@@ -116,6 +124,7 @@ impl Default for TrafficMix {
             inc_keys: 64,
             append_lists: 8,
             slot_disjoint_keys: false,
+            kw_write_once: false,
         }
     }
 }
@@ -127,6 +136,62 @@ impl TrafficMix {
             + self.append as u64
             + self.key_increment as u64
             + self.postcarding as u64
+    }
+}
+
+/// The congestion-control loop of §5.2 as a scenario dimension: translator
+/// rate limiting toward the collector NIC, NACKs back to reporters for
+/// dropped reports, reporter-side retransmission, and the link class of
+/// the PFC-protected ToR→collector RoCE hop.
+///
+/// The default plan is a **no-op**: no rate limiter, no NACK flags, no
+/// retransmission, and the same `dc_100g_lossless` RoCE hop every scenario
+/// has always used — so every existing spec (and the engine goldens) is
+/// unchanged unless a scenario opts in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionPlan {
+    /// Translator-side RDMA rate limiter (both modes; the sharded pipeline
+    /// divides the budget exactly across shards). `None` = unlimited.
+    pub rate_limit: Option<RateLimiterConfig>,
+    /// Set the `nack_on_drop` flag on every generated report, and emit
+    /// NACKs for rate-limited drops (in sharded mode this also schedules a
+    /// drain tick on the translator ToR).
+    pub nack_on_drop: bool,
+    /// Reporter-side NACK-driven retransmission (requires `nack_on_drop`).
+    pub retransmit: Option<RetransmitPolicy>,
+    /// Link class of the ToR→collector RoCE hop. Defaults to the usual
+    /// PFC-lossless 100G port; congestion scenarios can substitute a
+    /// tighter lossless config (to surface PFC pauses) or a lossy one (to
+    /// demonstrate why the RDMA hop must not be).
+    pub rdma_link: LinkConfig,
+}
+
+impl CongestionPlan {
+    /// The no-op plan (the default).
+    pub fn none() -> Self {
+        CongestionPlan {
+            rate_limit: None,
+            nack_on_drop: false,
+            retransmit: None,
+            rdma_link: LinkConfig::dc_100g_lossless(),
+        }
+    }
+
+    /// A closed congestion loop: rate limiting at the translator, NACKs on
+    /// drop, and reporter retransmission under `policy`.
+    pub fn closed_loop(rate_limit: RateLimiterConfig, policy: RetransmitPolicy) -> Self {
+        CongestionPlan {
+            rate_limit: Some(rate_limit),
+            nack_on_drop: true,
+            retransmit: Some(policy),
+            ..CongestionPlan::none()
+        }
+    }
+}
+
+impl Default for CongestionPlan {
+    fn default() -> Self {
+        CongestionPlan::none()
     }
 }
 
@@ -154,6 +219,8 @@ pub struct ScenarioSpec {
     pub traffic: TrafficMix,
     /// Per-link-class fault configuration.
     pub faults: FaultPlan,
+    /// Congestion-control loop configuration (no-op by default).
+    pub congestion: CongestionPlan,
     /// Translator pipeline at the ToR.
     pub mode: TranslatorMode,
     /// Translator sizing (shared by both modes; the sharded mode clones it
@@ -182,6 +249,7 @@ impl Default for ScenarioSpec {
             ops_per_reporter: 32,
             traffic: TrafficMix::default(),
             faults: FaultPlan::none(),
+            congestion: CongestionPlan::none(),
             mode: TranslatorMode::SingleThreaded,
             translator: TranslatorConfig::default(),
             service: ServiceConfig::default(),
@@ -247,6 +315,33 @@ impl ScenarioSpec {
         if self.tick_ns == 0 || self.reports_per_tick == 0 {
             return Err("pacing must be positive".into());
         }
+        if let Some(policy) = &self.congestion.retransmit {
+            if !self.congestion.nack_on_drop {
+                return Err("retransmit configured but nack_on_drop is off: \
+                     reporters would never learn of a drop"
+                    .into());
+            }
+            if policy.window == 0 {
+                return Err("retransmit window must be >= 1".into());
+            }
+            if policy.max_retries == 0 {
+                return Err("retransmit max_retries must be >= 1".into());
+            }
+        }
+        if self.congestion.nack_on_drop && self.congestion.rate_limit.is_none() {
+            return Err("nack_on_drop without a rate limiter can never fire".into());
+        }
+        if self.traffic.kw_write_once {
+            // Worst case every op is a Key-Write: the pool must cover it
+            // or the round-robin draw silently wraps into rewrites.
+            let worst = self.reporters as u64 * self.ops_per_reporter as u64;
+            if (self.traffic.kw_keys as u64) < worst {
+                return Err(format!(
+                    "kw_write_once needs kw_keys >= reporters*ops ({} < {})",
+                    self.traffic.kw_keys, worst
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -259,6 +354,44 @@ impl ScenarioSpec {
         ScenarioSpec {
             mode,
             traffic: TrafficMix { slot_disjoint_keys: true, ..TrafficMix::default() },
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Congestion-loop preset: the K=4 fabric under a translator rate
+    /// limit tight enough to drop a third or more of the offered load,
+    /// with NACKs and reporter retransmission closing the loop — the
+    /// `scenario_congested` bench phase and the congestion-recovery test
+    /// workload. Traffic is Key-Write + Key-Increment only: Append batch
+    /// slots and Postcarding cache rows do not survive single-report
+    /// retransmission (a dropped batch write loses `B` entries but NACKs
+    /// one seq), so a recovery scenario that must converge to the
+    /// unthrottled run's memory excludes them; Key-Writes are write-once
+    /// ([`TrafficMix::kw_write_once`]) so a retransmitted write cannot
+    /// land behind a newer value for the same key, and Key-Increments
+    /// commute. Under those two conditions recovery is *guaranteed*
+    /// byte-identical for every seed, not pinned per seed.
+    pub fn congested(mode: TranslatorMode) -> Self {
+        ScenarioSpec {
+            ops_per_reporter: 24,
+            traffic: TrafficMix {
+                key_write: 1,
+                append: 0,
+                key_increment: 1,
+                postcarding: 0,
+                kw_keys: 2048,
+                slot_disjoint_keys: true,
+                kw_write_once: true,
+                ..TrafficMix::default()
+            },
+            congestion: CongestionPlan::closed_loop(
+                RateLimiterConfig { msgs_per_sec: 10e6, burst: 64 },
+                RetransmitPolicy { window: 1024, max_retries: 8, pace_ns: 20_000 },
+            ),
+            mode,
+            // Headroom for the retransmit waves (each paced 20us apart)
+            // to land before the run's deadline.
+            drain_ns: 600_000,
             ..ScenarioSpec::default()
         }
     }
@@ -313,6 +446,39 @@ mod tests {
         assert!(s.validate().is_err());
         let mut s = ScenarioSpec::default();
         s.traffic.append_lists = s.service.append_lists + 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn congestion_plans_validate() {
+        use dta_reporter::RetransmitPolicy;
+        use dta_translator::RateLimiterConfig;
+        // The shipped congested preset is internally consistent.
+        assert_eq!(ScenarioSpec::congested(TranslatorMode::SingleThreaded).validate(), Ok(()));
+        assert_eq!(
+            ScenarioSpec::congested(TranslatorMode::Sharded { shards: 4 }).validate(),
+            Ok(())
+        );
+        // Retransmit without NACKs can never trigger.
+        let mut s = ScenarioSpec::default();
+        s.congestion.rate_limit = Some(RateLimiterConfig::bluefield2());
+        s.congestion.retransmit = Some(RetransmitPolicy::default());
+        assert!(s.validate().is_err());
+        s.congestion.nack_on_drop = true;
+        assert_eq!(s.validate(), Ok(()));
+        // Degenerate retransmit policies fail loudly.
+        s.congestion.retransmit = Some(RetransmitPolicy { window: 0, ..RetransmitPolicy::default() });
+        assert!(s.validate().is_err());
+        s.congestion.retransmit =
+            Some(RetransmitPolicy { max_retries: 0, ..RetransmitPolicy::default() });
+        assert!(s.validate().is_err());
+        // NACK flags without a limiter are dead config.
+        let mut s = ScenarioSpec::default();
+        s.congestion.nack_on_drop = true;
+        assert!(s.validate().is_err());
+        // Write-once pools must cover the worst-case op count.
+        let mut s = ScenarioSpec::congested(TranslatorMode::SingleThreaded);
+        s.traffic.kw_keys = 8;
         assert!(s.validate().is_err());
     }
 

@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use dta_collector::layout::{KwLayout, PostcardLayout};
-use dta_core::{DtaReport, TelemetryKey};
+use dta_core::{DtaFlags, DtaReport, TelemetryKey};
 use dta_hash::family::slot_of;
 use dta_hash::{Crc32, CrcParams, HashFamily};
 use rand::rngs::StdRng;
@@ -185,6 +185,12 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
     let path_len = spec.translator.postcard_hops;
     let weights = [mix.key_write, mix.append, mix.key_increment, mix.postcarding];
     let total_weight: u64 = mix.total_weight();
+    // Congestion loop: reporters ask for a NACK when the translator's rate
+    // limiter drops their report (§5.2). The flag bit changes nothing else.
+    let flags = DtaFlags {
+        immediate: false,
+        nack_on_drop: spec.congestion.nack_on_drop,
+    };
 
     let mut streams = Vec::with_capacity(spec.reporters as usize);
     let mut kw_hit = vec![false; kw_keys.len()];
@@ -195,6 +201,7 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
     let mut counts = PrimitiveCounts::default();
     let mut seq = 0u32;
     let mut value_counter = 0u64;
+    let mut kw_cursor = 0usize; // round-robin draw for kw_write_once
 
     for _reporter in 0..spec.reporters {
         let mut stream = Vec::with_capacity(spec.ops_per_reporter as usize);
@@ -210,15 +217,26 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
             }
             match primitive {
                 0 => {
-                    let idx = rng.gen_range(0..kw_keys.len());
+                    let idx = if mix.kw_write_once {
+                        // Each key written at most once (spec validation
+                        // guarantees the pool outlasts the op count), so
+                        // delivery reordering cannot change final memory.
+                        kw_cursor += 1;
+                        kw_cursor - 1
+                    } else {
+                        rng.gen_range(0..kw_keys.len())
+                    };
                     kw_hit[idx] = true;
                     value_counter += 1;
-                    stream.push(DtaReport::key_write(
-                        seq,
-                        kw_keys[idx],
-                        mix.kw_redundancy,
-                        payload(value_counter, spec.service.kw_value_bytes as usize),
-                    ));
+                    stream.push(
+                        DtaReport::key_write(
+                            seq,
+                            kw_keys[idx],
+                            mix.kw_redundancy,
+                            payload(value_counter, spec.service.kw_value_bytes as usize),
+                        )
+                        .with_flags(flags),
+                    );
                     seq += 1;
                     counts.key_write += 1;
                 }
@@ -226,11 +244,14 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
                     let list = rng.gen_range(0..mix.append_lists);
                     append_per_list[list as usize] += 1;
                     value_counter += 1;
-                    stream.push(DtaReport::append(
-                        seq,
-                        list,
-                        payload(value_counter, spec.service.append_entry_bytes as usize),
-                    ));
+                    stream.push(
+                        DtaReport::append(
+                            seq,
+                            list,
+                            payload(value_counter, spec.service.append_entry_bytes as usize),
+                        )
+                        .with_flags(flags),
+                    );
                     seq += 1;
                     counts.append += 1;
                 }
@@ -239,12 +260,10 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
                     inc_hit[idx] = true;
                     let delta = rng.gen_range(1..=100u64);
                     inc_total += delta;
-                    stream.push(DtaReport::key_increment(
-                        seq,
-                        inc_keys[idx],
-                        mix.inc_redundancy,
-                        delta,
-                    ));
+                    stream.push(
+                        DtaReport::key_increment(seq, inc_keys[idx], mix.inc_redundancy, delta)
+                            .with_flags(flags),
+                    );
                     seq += 1;
                     counts.key_increment += 1;
                 }
@@ -255,7 +274,9 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
                     pc_flows.push(key);
                     for hop in 0..path_len {
                         let value = rng.gen_range(0..spec.translator.postcard_values);
-                        stream.push(DtaReport::postcard(seq, key, hop, path_len, value));
+                        stream.push(
+                            DtaReport::postcard(seq, key, hop, path_len, value).with_flags(flags),
+                        );
                         seq += 1;
                         counts.postcard += 1;
                     }

@@ -40,5 +40,7 @@ pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};
 pub use ratelimit::{RateLimiter, RateLimiterConfig};
 pub use resources::{translator_footprint, TranslatorFeatures};
-pub use shard::{ShardRunReport, ShardedConfig, ShardedRunReport, ShardedTranslator};
+pub use shard::{
+    NackRecord, ReportOrigin, ShardRunReport, ShardedConfig, ShardedRunReport, ShardedTranslator,
+};
 pub use translator::{Translator, TranslatorConfig, TranslatorOutput, TranslatorStats};

@@ -6,37 +6,18 @@
 //! (UDP port 4791) feed queue-pair resynchronization, and everything else is
 //! forwarded untouched ("basic user-traffic forwarding", §5.2).
 
-use bytes::{BufMut, Bytes, BytesMut};
 use dta_collector::service::CollectorService;
 use dta_core::framing::UdpPacket;
 use dta_core::{DtaReport, DTA_UDP_PORT};
 use dta_net::{Emission, NetNode, NodeId, Packet, SimTime};
 use dta_rdma::packet::{RocePacket, ROCE_UDP_PORT};
 
-use crate::shard::{ShardedConfig, ShardedRunReport, ShardedTranslator};
+use crate::shard::{NackRecord, ReportOrigin, ShardedConfig, ShardedRunReport, ShardedTranslator};
 use crate::translator::Translator;
 
-/// UDP source port for NACKs returned to reporters.
-pub const DTA_NACK_PORT: u16 = 40081;
-/// Magic prefix of a NACK payload.
-pub const NACK_MAGIC: &[u8; 4] = b"DNAK";
-
-/// Encode a NACK payload for report sequence `seq`.
-pub fn encode_nack(seq: u32) -> Bytes {
-    let mut b = BytesMut::with_capacity(8);
-    b.put_slice(NACK_MAGIC);
-    b.put_u32(seq);
-    b.freeze()
-}
-
-/// Decode a NACK payload, returning the dropped report's sequence number.
-pub fn decode_nack(payload: &[u8]) -> Option<u32> {
-    if payload.len() == 8 && &payload[..4] == NACK_MAGIC {
-        Some(u32::from_be_bytes(payload[4..8].try_into().unwrap()))
-    } else {
-        None
-    }
-}
+// The NACK wire format lives in `dta-core` (both the translator and the
+// reporter speak it); re-exported here for source compatibility.
+pub use dta_core::nack::{decode_nack, encode_nack, DTA_NACK_PORT, NACK_MAGIC};
 
 /// Per-node counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,13 +99,13 @@ impl NetNode for TranslatorNode {
                 self.translator
                     .process_batch(now.as_nanos(), std::slice::from_ref(&report), &mut translated);
                 out.extend(translated.packets.iter().map(|p| self.roce_to_emission(p)));
-                if translated.nack {
+                for &seq in &translated.nacked {
                     let nack = UdpPacket::frame(
                         self.my_ip,
                         DTA_NACK_PORT,
                         reporter_ip,
                         udp.udp.src_port,
-                        encode_nack(report.header.seq),
+                        encode_nack(seq),
                     );
                     out.push(Emission::now(Packet::new(self.my_id, reporter_node, nack.encode())));
                 }
@@ -171,15 +152,26 @@ impl NetNode for TranslatorNode {
 /// * no RoCE packets are emitted onto the network (shard endpoints execute
 ///   and consume responses in-process, feeding NAKs straight back to their
 ///   translator);
-/// * no reporter NACKs are emitted — the rate-limit decision happens on a
-///   worker thread after the ingest thread has already returned to the
-///   engine (`nacks_sent` still counts in the merged shard stats);
+/// * reporter NACKs are emitted *asynchronously*: the rate-limit decision
+///   happens on a worker thread after the ingest thread has already
+///   returned to the engine, so each shard records the dropped seqs (with
+///   their return addresses) onto a bounded return ring, and this node's
+///   [`NetNode::tick`] — enabled via
+///   [`ShardedTranslatorNode::enable_nacks`] — barriers on the queues and
+///   emits the NACKs from the engine thread. The barrier makes the set
+///   drained at each tick a pure function of the delivered stream, which
+///   keeps congested sharded scenarios bit-reproducible;
 /// * the pipeline must be shut down explicitly:
 ///   [`ShardedTranslatorNode::finish`] barriers on the queues, flushes
 ///   translator-held state, joins the workers, and returns the aggregated
 ///   [`ShardedRunReport`].
 pub struct ShardedTranslatorNode {
     sharded: Option<ShardedTranslator>,
+    /// NACK source addressing `(node id, IP)`; `None` leaves NACK records
+    /// undrained (they surface as `nacks_pending` at `finish`).
+    nack_from: Option<(NodeId, u32)>,
+    /// Recycled drain buffer for tick-time NACK emission.
+    nack_buf: Vec<NackRecord>,
     /// Counters (`roce_responses` stays 0: responses never cross the
     /// simulated network in this deployment).
     pub stats: TranslatorNodeStats,
@@ -195,8 +187,18 @@ impl ShardedTranslatorNode {
     pub fn connect(config: ShardedConfig, collector: &mut CollectorService) -> Self {
         ShardedTranslatorNode {
             sharded: Some(ShardedTranslator::connect(config, collector)),
+            nack_from: None,
+            nack_buf: Vec::new(),
             stats: TranslatorNodeStats::default(),
         }
+    }
+
+    /// Enable reporter NACK emission from this node's ticks, sourced from
+    /// `my_id`/`my_ip`. The deployment must also schedule a periodic tick
+    /// on this node (the scenario harness reuses the reporter pacing
+    /// period), or records pile up until `finish`.
+    pub fn enable_nacks(&mut self, my_id: NodeId, my_ip: u32) {
+        self.nack_from = Some((my_id, my_ip));
     }
 
     /// Number of worker shards (0 after [`ShardedTranslatorNode::finish`]).
@@ -209,7 +211,7 @@ impl ShardedTranslatorNode {
     /// workers, and return the aggregated counters. Returns `None` if
     /// already finished.
     pub fn finish(&mut self) -> Option<ShardedRunReport> {
-        let sharded = self.sharded.take()?;
+        let mut sharded = self.sharded.take()?;
         sharded.wait_idle();
         Some(sharded.flush_and_join())
     }
@@ -233,8 +235,15 @@ impl NetNode for ShardedTranslatorNode {
                 self.stats.dta_in += 1;
                 // Routes on the ingest thread, enqueues to the owning
                 // shard's SPSC ring (yielding on a full ring), and returns;
-                // translation + RDMA execution happen on the worker threads.
-                sharded.ingest(now.as_nanos(), report);
+                // translation + RDMA execution happen on the worker
+                // threads. The return address rides along so a worker-side
+                // rate-limit drop can still be NACKed to the reporter.
+                let origin = ReportOrigin {
+                    node: packet.src.0,
+                    ip: udp.ip.src,
+                    port: udp.udp.src_port,
+                };
+                sharded.ingest_from(now.as_nanos(), report, origin);
             }
             ROCE_UDP_PORT => {
                 // Shard endpoints handle their responses in-process; a RoCE
@@ -247,11 +256,45 @@ impl NetNode for ShardedTranslatorNode {
             }
         }
     }
+
+    /// Drain worker-recorded NACKs and emit them, when enabled.
+    ///
+    /// Determinism rule: `wait_idle` barriers first, so the records
+    /// drained at this tick are exactly the rate-limited `nack_on_drop`
+    /// reports delivered before it — shard order, FIFO within a shard —
+    /// independent of worker thread scheduling.
+    fn tick(&mut self, _now: SimTime, out: &mut Vec<Emission>) -> bool {
+        let Some(sharded) = self.sharded.as_mut() else {
+            return false; // finished: stop the tick series
+        };
+        let Some((my_id, my_ip)) = self.nack_from else {
+            // Ticks scheduled without `enable_nacks`: there is no return
+            // address to emit from, but the rings must still drain or a
+            // worker eventually blocks pushing records. The parked records
+            // surface as `nacks_pending` at `finish`, as documented.
+            sharded.drain_nack_rings();
+            return true;
+        };
+        sharded.wait_idle();
+        sharded.take_nacks(&mut self.nack_buf);
+        for rec in self.nack_buf.drain(..) {
+            let nack = UdpPacket::frame(
+                my_ip,
+                DTA_NACK_PORT,
+                rec.origin.ip,
+                rec.origin.port,
+                encode_nack(rec.seq),
+            );
+            out.push(Emission::now(Packet::new(my_id, NodeId(rec.origin.node), nack.encode())));
+        }
+        true
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use dta_collector::service::ServiceConfig;
     use dta_collector::{CollectorNode, QueryOutcome, QueryPolicy};
     use dta_core::TelemetryKey;

@@ -48,7 +48,24 @@ impl RateLimiter {
     }
 
     /// Try to admit `n` messages at simulated time `now_ns`.
+    ///
+    /// Timestamps are expected to be monotone (the simulated engine clock
+    /// only moves forward, and the sharded pipeline stamps each report at
+    /// ingest, in engine order). A regressed timestamp is **clamped** to
+    /// the refill clock: it neither refills (no free tokens from time
+    /// travel) nor rewinds `last_ns` (which would starve the bucket by
+    /// re-charging an interval that already refilled once a monotone
+    /// timestamp arrives). The clamp is load-bearing for reordered shard
+    /// batches; the `debug_assert` documents that inside the simulator the
+    /// case should never arise.
     pub fn admit(&mut self, now_ns: u64, n: u64) -> bool {
+        debug_assert!(
+            now_ns >= self.last_ns,
+            "rate limiter clock regressed: {} < {}",
+            now_ns,
+            self.last_ns
+        );
+        let now_ns = now_ns.max(self.last_ns); // monotonic clamp
         if now_ns > self.last_ns {
             let dt = (now_ns - self.last_ns) as f64 / 1e9;
             self.tokens =
@@ -99,6 +116,78 @@ mod tests {
         // A long idle period must not accumulate more than `burst`.
         assert!(rl.admit(1_000_000_000, 4));
         assert!(!rl.admit(1_000_000_000, 1));
+    }
+
+    /// Out-of-order timestamps clamp to the refill clock instead of
+    /// silently starving the bucket: the regressed call refills nothing,
+    /// but the next monotone call refills the full span since `last_ns`.
+    /// (The `debug_assert` in `admit` flags regression in debug builds;
+    /// this pins the defined release behavior.)
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_order_timestamps_clamp_without_starving() {
+        let mut rl = RateLimiter::new(RateLimiterConfig { msgs_per_sec: 1e6, burst: 10 });
+        for _ in 0..10 {
+            assert!(rl.admit(10_000, 1));
+        }
+        assert!(!rl.admit(10_000, 1), "bucket empty at t=10us");
+        // A reordered batch stamps an older time: no refill, no rewind.
+        assert!(!rl.admit(4_000, 1), "time travel must not mint tokens");
+        // 1 msg/us: by 15us five full tokens must be back — the regressed
+        // call must not have re-anchored `last_ns` below 10us (which would
+        // fake a larger refill) nor above it (which would starve).
+        assert!(rl.admit(15_000, 5));
+        assert!(!rl.admit(15_000, 1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "rate limiter clock regressed")]
+    fn out_of_order_timestamps_assert_in_debug() {
+        let mut rl = RateLimiter::new(RateLimiterConfig { msgs_per_sec: 1e6, burst: 10 });
+        rl.admit(10_000, 1);
+        rl.admit(4_000, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_are_not_a_regression() {
+        let mut rl = RateLimiter::new(RateLimiterConfig { msgs_per_sec: 1e6, burst: 2 });
+        assert!(rl.admit(1_000, 1));
+        assert!(rl.admit(1_000, 1)); // same instant: fine, burst covers it
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The token bucket's defining bound, checked over adversarial
+        /// admit sequences: however requests are sized and spaced, total
+        /// admitted messages never exceed `burst + rate * elapsed` (plus
+        /// one message of slack for the f64 boundary). At BlueField-2-class
+        /// rates (110e6 msgs/sec) over long simulated runs, f64 drift in
+        /// the incremental refill is the thing this guards against.
+        #[test]
+        fn admitted_never_exceeds_burst_plus_rate_times_elapsed(
+            rate_idx in 0usize..3,
+            burst in 1u64..5000,
+            steps in proptest::collection::vec((0u64..2_000_000u64, 1u64..64u64), 1..200),
+        ) {
+            // 110e6 is the BlueField-2 message rate the default config
+            // models; the others bracket it.
+            let rates = [1e6, 110e6, 3.5e9];
+            let rate = rates[rate_idx];
+            let mut rl = RateLimiter::new(RateLimiterConfig { msgs_per_sec: rate, burst });
+            let mut now = 0u64;
+            for (dt, n) in &steps {
+                now += dt;
+                rl.admit(now, *n);
+            }
+            let bound = burst as f64 + now as f64 * rate / 1e9;
+            prop_assert!(
+                (rl.admitted as f64) <= bound + 1.0,
+                "admitted {} > burst {} + rate*elapsed {:.1} (elapsed {}ns at {} msgs/s)",
+                rl.admitted, burst, bound, now, rate
+            );
+        }
     }
 
     #[test]

@@ -87,15 +87,52 @@ impl ShardedConfig {
 struct Shared {
     /// Set once, after the last ingest; workers drain and exit.
     stop: AtomicBool,
-    /// Timestamp the ingest thread last announced (feeds rate limiting and
-    /// flush timing inside the shards; the sharded pipeline is not a
-    /// cycle-accurate simulation, so one clock for a whole batch is fine).
+    /// Timestamp the ingest thread last announced. Feeds the shutdown
+    /// flush; rate limiting instead reads each report's own ingest
+    /// timestamp (see [`ShardItem::now_ns`]) so admission decisions are a
+    /// pure function of the delivered stream, not of worker scheduling.
     now_ns: AtomicU64,
+}
+
+/// Where a report came from — everything the translator needs to address a
+/// NACK back to its reporter. Plain integers (not `dta-net` types) so the
+/// pipeline stays usable without a simulated network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportOrigin {
+    /// Network node id of the reporter host.
+    pub node: u32,
+    /// Source IP of the report datagram.
+    pub ip: u32,
+    /// Source UDP port of the report datagram.
+    pub port: u16,
+}
+
+/// One queued report: the report, its ingest timestamp, and its return
+/// address.
+struct ShardItem {
+    now_ns: u64,
+    report: DtaReport,
+    origin: ReportOrigin,
+}
+
+/// A rate-limited report whose `nack_on_drop` flag requests a reporter
+/// NACK: recorded by the shard worker, drained and emitted by the owning
+/// node on the engine thread (workers have no network handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackRecord {
+    /// The dropped report's sequence number.
+    pub seq: u32,
+    /// Its return address.
+    pub origin: ReportOrigin,
 }
 
 /// Ingest-side handle to one shard.
 struct Lane {
-    tx: spsc::Producer<DtaReport>,
+    /// Report producer; taken (dropped) at shutdown while the NACK
+    /// consumer below stays alive for a final post-join drain.
+    tx: Option<spsc::Producer<ShardItem>>,
+    /// Rate-limited seqs flowing back from the worker (engine-thread side).
+    nack_rx: spsc::Consumer<NackRecord>,
     /// Reports pushed (ingest thread private).
     enqueued: u64,
     /// Reports fully processed by the worker (written by the worker).
@@ -130,6 +167,10 @@ pub struct ShardedRunReport {
     pub executed: u64,
     /// Total ingest-side yields on full rings.
     pub backpressure_yields: u64,
+    /// NACK records still undelivered at shutdown (recorded by workers but
+    /// never drained via [`ShardedTranslator::take_nacks`]). Zero in any
+    /// correctly sized scenario: the owning node drains on every tick.
+    pub nacks_pending: u64,
 }
 
 /// The sharded translator pipeline (ingest handle).
@@ -145,6 +186,10 @@ pub struct ShardedTranslator {
     lanes: Vec<Lane>,
     workers: Vec<JoinHandle<ShardRunReport>>,
     shared: Arc<Shared>,
+    /// NACK records drained off the worker rings but not yet taken by the
+    /// caller (the rings are drained opportunistically inside `wait_idle`
+    /// so a blocked worker can always make progress).
+    pending_nacks: Vec<NackRecord>,
 }
 
 impl ShardedTranslator {
@@ -193,10 +238,12 @@ impl ShardedTranslator {
                     _ => unreachable!(),
                 }
             }
-            let (tx, rx) = spsc::channel::<DtaReport>(config.queue_depth);
+            let (tx, rx) = spsc::channel::<ShardItem>(config.queue_depth);
+            let (nack_tx, nack_rx) = spsc::channel::<NackRecord>(config.queue_depth);
             let processed = Arc::new(AtomicU64::new(0));
             lanes.push(Lane {
-                tx,
+                tx: Some(tx),
+                nack_rx,
                 enqueued: 0,
                 processed: processed.clone(),
                 backpressure_yields: 0,
@@ -206,7 +253,9 @@ impl ShardedTranslator {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("dta-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, rx, tr, nic, processed, shared, drain))
+                    .spawn(move || {
+                        worker_loop(shard, rx, tr, nic, nack_tx, processed, shared, drain)
+                    })
                     .expect("spawn shard worker"),
             );
         }
@@ -219,6 +268,7 @@ impl ShardedTranslator {
             lanes,
             workers,
             shared,
+            pending_nacks: Vec::new(),
         }
     }
 
@@ -229,24 +279,29 @@ impl ShardedTranslator {
 
     /// Route one report to its shard and enqueue it at simulated time
     /// `now_ns`, yielding while that shard's ring is full (bounded-memory
-    /// backpressure). Time must advance here as well as in
-    /// [`ShardedTranslator::ingest_batch`]: shard-side rate limiters and
-    /// flush timing read the announced clock.
+    /// backpressure). The timestamp rides with the report: shard-side rate
+    /// limiters admit each report at its ingest time, whenever the worker
+    /// actually drains it.
     pub fn ingest(&mut self, now_ns: u64, report: DtaReport) {
-        self.shared.now_ns.store(now_ns, Ordering::Relaxed);
-        self.dispatch(report);
+        self.ingest_from(now_ns, report, ReportOrigin::default());
     }
 
-    /// Route and enqueue without touching the shared clock (the per-report
-    /// body of both ingest entry points; `ingest_batch` announces the time
-    /// once, not once per report).
-    fn dispatch(&mut self, report: DtaReport) {
-        let shard = self.partitioner.route_cached(&mut self.scratch, &report) as usize;
-        let lane = &mut self.lanes[shard];
-        let mut item = report;
+    /// [`ShardedTranslator::ingest`] carrying the report's return address,
+    /// so a rate-limited `nack_on_drop` report can be NACKed back to its
+    /// reporter (records surface via [`ShardedTranslator::take_nacks`]).
+    pub fn ingest_from(&mut self, now_ns: u64, report: DtaReport, origin: ReportOrigin) {
+        self.shared.now_ns.store(now_ns, Ordering::Relaxed);
+        self.dispatch(ShardItem { now_ns, report, origin });
+    }
+
+    /// Route and enqueue (the per-report body of every ingest entry point).
+    fn dispatch(&mut self, item: ShardItem) {
+        let shard = self.partitioner.route_cached(&mut self.scratch, &item.report) as usize;
+        let mut item = item;
         let mut spins = 0u32;
         loop {
-            match lane.tx.push(item) {
+            let lane = &mut self.lanes[shard];
+            match lane.tx.as_mut().expect("dispatch after shutdown").push(item) {
                 Ok(()) => break,
                 Err(back) => {
                     // A worker exits before shutdown only by panicking;
@@ -259,6 +314,11 @@ impl ShardedTranslator {
                     spins += 1;
                     if spins > 16 {
                         lane.backpressure_yields += 1;
+                        // Same rule as every other engine-side blocking
+                        // loop: keep the NACK return rings draining, or a
+                        // worker blocked pushing a record and this thread
+                        // blocked pushing a report deadlock each other.
+                        self.drain_nack_rings();
                         std::thread::yield_now();
                     } else {
                         std::hint::spin_loop();
@@ -266,27 +326,62 @@ impl ShardedTranslator {
                 }
             }
         }
-        lane.enqueued += 1;
+        self.lanes[shard].enqueued += 1;
     }
 
-    /// Announce `now_ns` to the shards and ingest a batch of reports.
+    /// Announce `now_ns` to the shards and ingest a batch of reports, all
+    /// stamped with that one timestamp.
     pub fn ingest_batch(&mut self, now_ns: u64, reports: impl IntoIterator<Item = DtaReport>) {
         self.shared.now_ns.store(now_ns, Ordering::Relaxed);
         for report in reports {
-            self.dispatch(report);
+            self.dispatch(ShardItem { now_ns, report, origin: ReportOrigin::default() });
         }
+    }
+
+    /// Pop every queued NACK record off the worker rings into
+    /// `pending_nacks` (shard order, FIFO within a shard — deterministic
+    /// once the workers are idle). Records stay parked until
+    /// [`ShardedTranslator::take_nacks`]; every engine-side loop that can
+    /// block on a worker calls this so a worker blocked pushing a record
+    /// always makes progress.
+    pub(crate) fn drain_nack_rings(&mut self) {
+        for lane in &mut self.lanes {
+            while let Some(rec) = lane.nack_rx.pop() {
+                self.pending_nacks.push(rec);
+            }
+        }
+    }
+
+    /// Take every NACK recorded so far, in ascending seq order. Call after
+    /// a barrier ([`ShardedTranslator::wait_idle`]) to get a deterministic
+    /// *set*: all rate-limited `nack_on_drop` reports ingested before the
+    /// barrier. The seq sort makes the *order* deterministic too — the
+    /// barrier's opportunistic ring drains interleave shards by thread
+    /// timing, so raw arrival order is not reproducible (identical-seq
+    /// duplicates are identical records, so their relative order is moot).
+    pub fn take_nacks(&mut self, out: &mut Vec<NackRecord>) {
+        self.drain_nack_rings();
+        self.pending_nacks.sort_by_key(|r| r.seq);
+        out.append(&mut self.pending_nacks);
     }
 
     /// Block until every report ingested so far has been translated and
     /// executed (queues empty, workers idle). The barrier benchmarks use to
-    /// close a measurement window.
-    pub fn wait_idle(&self) {
-        for (shard, lane) in self.lanes.iter().enumerate() {
-            while lane.processed.load(Ordering::Acquire) < lane.enqueued {
+    /// close a measurement window. Drains the NACK return rings while
+    /// waiting — a worker blocked on a full NACK ring must be able to make
+    /// progress, or this barrier would deadlock.
+    pub fn wait_idle(&mut self) {
+        for shard in 0..self.lanes.len() {
+            loop {
+                let lane = &self.lanes[shard];
+                if lane.processed.load(Ordering::Acquire) >= lane.enqueued {
+                    break;
+                }
                 assert!(
                     !self.workers[shard].is_finished(),
                     "shard {shard} worker died with reports still queued"
                 );
+                self.drain_nack_rings();
                 std::thread::yield_now();
             }
         }
@@ -298,10 +393,17 @@ impl ShardedTranslator {
     pub fn flush_and_join(mut self) -> ShardedRunReport {
         let backpressure_yields = self.lanes.iter().map(|l| l.backpressure_yields).sum();
         self.shutdown();
-        let mut shards: Vec<ShardRunReport> = std::mem::take(&mut self.workers)
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect();
+        let handles = std::mem::take(&mut self.workers);
+        let mut shards: Vec<ShardRunReport> = Vec::with_capacity(handles.len());
+        for h in handles {
+            // Keep the NACK rings draining while waiting: a worker blocked
+            // pushing a record must be able to finish, or this join hangs.
+            while !h.is_finished() {
+                self.drain_nack_rings();
+                std::thread::yield_now();
+            }
+            shards.push(h.join().expect("shard worker panicked"));
+        }
         shards.sort_by_key(|s| s.shard);
         let mut translator = TranslatorStats::default();
         let mut executed = 0;
@@ -309,15 +411,31 @@ impl ShardedTranslator {
             translator.merge(&s.translator);
             executed += s.nic.executed;
         }
-        ShardedRunReport { shards, translator, executed, backpressure_yields }
+        // Anything left on the NACK rings (or parked in `pending_nacks`)
+        // can never be emitted now: surface the count instead of silently
+        // dropping the records.
+        self.drain_nack_rings();
+        let nacks_pending = self.pending_nacks.len() as u64;
+        ShardedRunReport {
+            shards,
+            translator,
+            executed,
+            backpressure_yields,
+            nacks_pending,
+        }
     }
 
-    /// Signal stop and drop the producers so workers drain and exit.
+    /// Signal stop and drop the report producers so workers drain and
+    /// exit. NACK consumers stay alive: `flush_and_join` reads the rings
+    /// one last time after the workers are gone.
     fn shutdown(&mut self) {
         // Producers must drop before (or with) the stop signal so a worker
         // that observes `stop` and then sees an empty ring can trust it;
-        // lane drop also releases the ring references.
-        self.lanes.clear();
+        // dropping the whole lane would also drop its NACK consumer, so
+        // only the report producers are taken here.
+        for lane in &mut self.lanes {
+            lane.tx = None;
+        }
         self.shared.stop.store(true, Ordering::Release);
     }
 }
@@ -329,24 +447,32 @@ impl Drop for ShardedTranslator {
         if !self.workers.is_empty() {
             self.shutdown();
             for h in std::mem::take(&mut self.workers) {
+                while !h.is_finished() {
+                    self.drain_nack_rings(); // unblock workers mid-push
+                    std::thread::yield_now();
+                }
                 let _ = h.join();
             }
         }
     }
 }
 
-/// One shard's event loop: drain the ring in batches, translate, execute at
-/// the shard NIC endpoint, feed NAKs back, and flush on shutdown.
+/// One shard's event loop: drain the ring in batches, translate (each
+/// report at its own ingest timestamp), execute at the shard NIC endpoint,
+/// feed NAKs back, record rate-limited `nack_on_drop` seqs onto the NACK
+/// return ring, and flush on shutdown.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     shard: usize,
-    mut rx: spsc::Consumer<DtaReport>,
+    mut rx: spsc::Consumer<ShardItem>,
     mut tr: Translator,
     mut nic: RdmaNic,
+    mut nack_tx: spsc::Producer<NackRecord>,
     processed: Arc<AtomicU64>,
     shared: Arc<Shared>,
     drain_batch: usize,
 ) -> ShardRunReport {
-    let mut batch: Vec<DtaReport> = Vec::with_capacity(drain_batch);
+    let mut batch: Vec<ShardItem> = Vec::with_capacity(drain_batch);
     let mut out = TranslatorOutput::default();
     let mut responses = Vec::new();
     let mut stopping = false;
@@ -376,13 +502,39 @@ fn worker_loop(
             continue;
         }
         idle = 0;
-        let now = shared.now_ns.load(Ordering::Relaxed);
-        tr.process_batch(now, &batch, &mut out);
+        out.clear();
+        for item in &batch {
+            // Per-item timestamps: admission (rate limiting) must see the
+            // report's arrival time, not the time this worker happened to
+            // drain it, or the decision would depend on thread scheduling.
+            tr.process_into(item.now_ns, &item.report, &mut out);
+        }
         responses.clear();
         nic.ingress_burst(&out.packets, &mut responses);
         for r in &responses {
             if r.is_nak() {
                 tr.on_roce_response(r);
+            }
+        }
+        // Hand rate-limited seqs back to the engine thread with their
+        // return addresses (looked up in the batch just processed).
+        for &seq in &out.nacked {
+            let origin = batch
+                .iter()
+                .find(|it| it.report.header.seq == seq)
+                .map(|it| it.origin)
+                .unwrap_or_default();
+            let mut rec = NackRecord { seq, origin };
+            loop {
+                match nack_tx.push(rec) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // The engine drains this ring on node ticks and
+                        // inside `wait_idle`; yield until there is room.
+                        rec = back;
+                        std::thread::yield_now();
+                    }
+                }
             }
         }
         processed.fetch_add(n as u64, Ordering::Release);
@@ -556,6 +708,119 @@ mod tests {
             );
             assert_eq!(report.translator.rate_limited, 400 - burst);
         }
+    }
+
+    #[test]
+    fn rate_limited_nack_reports_surface_with_their_origins() {
+        use crate::ratelimit::RateLimiterConfig;
+        use dta_core::DtaFlags;
+        // 1 shard, burst 2, frozen clock: reports 2.. are rate-limited and
+        // (with the nack flag) must surface as NackRecords carrying the
+        // return address they were ingested with, in FIFO order.
+        let mut col = CollectorService::new(ServiceConfig::default());
+        let mut st = ShardedTranslator::connect(
+            ShardedConfig {
+                shards: 1,
+                translator: TranslatorConfig {
+                    rate_limit: Some(RateLimiterConfig { msgs_per_sec: 1.0, burst: 2 }),
+                    ..TranslatorConfig::default()
+                },
+                ..ShardedConfig::default()
+            },
+            &mut col,
+        );
+        let flags = DtaFlags { immediate: false, nack_on_drop: true };
+        for i in 0..6u32 {
+            let report = DtaReport::key_write(i, TelemetryKey::from_u64(i as u64), 1, vec![1; 4])
+                .with_flags(flags);
+            let origin = ReportOrigin { node: 100 + i, ip: 0x0A00_0000 + i, port: 5000 };
+            st.ingest_from(0, report, origin);
+        }
+        st.wait_idle();
+        let mut nacks = Vec::new();
+        st.take_nacks(&mut nacks);
+        assert_eq!(
+            nacks,
+            (2..6u32)
+                .map(|i| NackRecord {
+                    seq: i,
+                    origin: ReportOrigin { node: 100 + i, ip: 0x0A00_0000 + i, port: 5000 },
+                })
+                .collect::<Vec<_>>(),
+            "burst 2 admits the first two; the rest NACK in ingest order"
+        );
+        let report = st.flush_and_join();
+        assert_eq!(report.translator.rate_limited, 4);
+        assert_eq!(report.translator.nacks_sent, 4);
+        assert_eq!(report.nacks_pending, 0, "all records were taken before shutdown");
+    }
+
+    /// Regression: tiny rings + every report rate-limited-with-nack. The
+    /// worker blocks pushing NackRecords once its return ring (capacity =
+    /// queue_depth) fills and stops draining reports; the ingest loop
+    /// must drain the return rings while backpressured, or the two block
+    /// each other forever. Without the dispatch-side drain this test
+    /// hangs rather than fails.
+    #[test]
+    fn dispatch_backpressure_drains_nack_rings_instead_of_deadlocking() {
+        use crate::ratelimit::RateLimiterConfig;
+        use dta_core::DtaFlags;
+        let mut col = CollectorService::new(ServiceConfig::default());
+        let mut st = ShardedTranslator::connect(
+            ShardedConfig {
+                shards: 1,
+                queue_depth: 4,
+                drain_batch: 2,
+                translator: TranslatorConfig {
+                    rate_limit: Some(RateLimiterConfig { msgs_per_sec: 1.0, burst: 0 }),
+                    ..TranslatorConfig::default()
+                },
+                ..ShardedConfig::default()
+            },
+            &mut col,
+        );
+        let flags = DtaFlags { immediate: false, nack_on_drop: true };
+        for i in 0..500u32 {
+            let report = DtaReport::key_write(i, TelemetryKey::from_u64(i as u64), 1, vec![1; 4])
+                .with_flags(flags);
+            st.ingest_from(0, report, ReportOrigin { node: 1, ip: 2, port: 3 });
+        }
+        st.wait_idle();
+        let mut nacks = Vec::new();
+        st.take_nacks(&mut nacks);
+        assert_eq!(nacks.len(), 500, "every drop must surface despite tiny rings");
+        let report = st.flush_and_join();
+        assert_eq!(report.translator.rate_limited, 500);
+        assert_eq!(report.nacks_pending, 0);
+    }
+
+    #[test]
+    fn untaken_nacks_are_counted_at_shutdown() {
+        use crate::ratelimit::RateLimiterConfig;
+        use dta_core::DtaFlags;
+        let mut col = CollectorService::new(ServiceConfig::default());
+        let mut st = ShardedTranslator::connect(
+            ShardedConfig {
+                shards: 2,
+                translator: TranslatorConfig {
+                    rate_limit: Some(RateLimiterConfig { msgs_per_sec: 1.0, burst: 0 }),
+                    ..TranslatorConfig::default()
+                },
+                ..ShardedConfig::default()
+            },
+            &mut col,
+        );
+        let flags = DtaFlags { immediate: false, nack_on_drop: true };
+        st.ingest_batch(
+            0,
+            (0..10u32).map(|i| {
+                DtaReport::key_write(i, TelemetryKey::from_u64(i as u64), 1, vec![1; 4])
+                    .with_flags(flags)
+            }),
+        );
+        st.wait_idle();
+        let report = st.flush_and_join();
+        assert_eq!(report.nacks_pending, 10, "nobody drained: shutdown must account them");
     }
 
     #[test]

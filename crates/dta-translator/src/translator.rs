@@ -106,15 +106,18 @@ impl TranslatorStats {
 pub struct TranslatorOutput {
     /// RoCE packets to forward to the collector NIC.
     pub packets: Vec<RocePacket>,
-    /// Whether a NACK should be returned to the reporter.
-    pub nack: bool,
+    /// Sequence numbers of reports the rate limiter dropped whose
+    /// `nack_on_drop` flag requests a NACK back to the reporter — one entry
+    /// per dropped report, in drop order, so a batch caller can answer each
+    /// reporter individually (the single-report path sees 0 or 1 entries).
+    pub nacked: Vec<u32>,
 }
 
 impl TranslatorOutput {
-    /// Reset for reuse, keeping the packet vector's capacity.
+    /// Reset for reuse, keeping the vectors' capacity.
     pub fn clear(&mut self) {
         self.packets.clear();
-        self.nack = false;
+        self.nacked.clear();
     }
 }
 
@@ -313,8 +316,17 @@ impl Translator {
         }
     }
 
-    /// Translate one report, appending packets to `out`.
-    fn process_into(&mut self, now_ns: u64, report: &DtaReport, out: &mut TranslatorOutput) {
+    /// Translate one report, appending packets to `out` without clearing it
+    /// first — the per-item entry point shard workers use to stamp each
+    /// report with its own ingest time (rate limiting must see arrival
+    /// timestamps, not the batch-drain time, to stay a pure function of the
+    /// delivered stream).
+    pub(crate) fn process_into(
+        &mut self,
+        now_ns: u64,
+        report: &DtaReport,
+        out: &mut TranslatorOutput,
+    ) {
         self.stats.reports_in += 1;
         let packets_before = out.packets.len();
         let immediate = report.header.flags.immediate.then_some(report.header.seq);
@@ -549,7 +561,7 @@ impl Translator {
         }
         self.stats.rate_limited += 1;
         if report.header.flags.nack_on_drop {
-            out.nack = true;
+            out.nacked.push(report.header.seq);
             self.stats.nacks_sent += 1;
         }
         false
@@ -693,14 +705,14 @@ mod tests {
         tr.connect_key_write(qp, params);
 
         let flags = DtaFlags { immediate: false, nack_on_drop: true };
-        let r1 = DtaReport::key_write(0, TelemetryKey::from_u64(1), 2, vec![0; 4])
+        let r1 = DtaReport::key_write(7, TelemetryKey::from_u64(1), 2, vec![0; 4])
             .with_flags(flags);
         let out1 = tr.process(0, &r1);
         assert_eq!(out1.packets.len(), 2);
-        assert!(!out1.nack);
+        assert!(out1.nacked.is_empty());
         let out2 = tr.process(0, &r1);
         assert!(out2.packets.is_empty(), "bucket exhausted");
-        assert!(out2.nack);
+        assert_eq!(out2.nacked, [7], "NACK must name the dropped report's seq");
         assert_eq!(tr.stats.rate_limited, 1);
         assert_eq!(tr.stats.nacks_sent, 1);
     }
