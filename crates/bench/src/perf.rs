@@ -180,7 +180,8 @@ fn run_loop_sharded(
 /// the simulated clock, and audits the collector — so the ns/report here
 /// prices the *whole* deployment path (framing, fabric hops, translation,
 /// RDMA execution, query audit), not just the translator hot loop. The
-/// scenario is seeded and fault-free, so every run does identical work.
+/// scenario is seeded and any fault schedule is deterministic, so every
+/// run does identical work.
 fn run_loop_scenario(name: &str, window: Duration, spec: &dta_sim::ScenarioSpec) -> PerfEntry {
     let per_run = {
         // Warm-up run; also fixes the per-run report count.
@@ -336,6 +337,24 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
             dta_sim::ScenarioSpec::congested(dta_sim::TranslatorMode::Sharded { shards: 4 });
         results.push(run_loop_scenario(
             "scenario_congested/k4_congested_sharded4",
+            window,
+            &spec,
+        ));
+    }
+
+    // Failover: the K=4 deployment with a fleet of 3 collectors and
+    // collector 1 killed mid-run (see ScenarioSpec::failover). The
+    // ns/report prices the whole robustness cycle on top of the normal
+    // path — fail-stop detection, routing-table epoch bump, ledger
+    // replay through the survivors, and the fleet-wide query fan-out.
+    if wants("scenario_failover/k4_failover_single") {
+        let spec = dta_sim::ScenarioSpec::failover(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario_failover/k4_failover_single", window, &spec));
+    }
+    if wants("scenario_failover/k4_failover_sharded4") {
+        let spec = dta_sim::ScenarioSpec::failover(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario(
+            "scenario_failover/k4_failover_sharded4",
             window,
             &spec,
         ));
@@ -639,7 +658,9 @@ mod tests {
              "append/16", "key_increment/2", "key_write_sharded/1", "key_write_sharded/2",
              "key_write_sharded/4", "key_write_sharded/8", "scenario/k4_single",
              "scenario/k4_sharded4", "scenario_congested/k4_congested_single",
-             "scenario_congested/k4_congested_sharded4", "scenario_large/k8_single",
+             "scenario_congested/k4_congested_sharded4",
+             "scenario_failover/k4_failover_single",
+             "scenario_failover/k4_failover_sharded4", "scenario_large/k8_single",
              "scenario_large/k8_sharded4"]
         );
         for e in &results {
@@ -695,6 +716,20 @@ mod tests {
         assert_eq!(
             names,
             ["scenario_congested/k4_congested_single", "scenario_congested/k4_congested_sharded4"]
+        );
+        for e in &results {
+            assert!(e.reports > 0, "{} measured nothing", e.name);
+        }
+    }
+
+    #[test]
+    fn only_scenario_failover_selects_the_failover_family() {
+        let results =
+            translator_suite_filtered(Duration::from_millis(1), Some("scenario_failover"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["scenario_failover/k4_failover_single", "scenario_failover/k4_failover_sharded4"]
         );
         for e in &results {
             assert!(e.reports > 0, "{} measured nothing", e.name);

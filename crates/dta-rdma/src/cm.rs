@@ -58,6 +58,15 @@ pub enum CmEvent {
         /// The service that was requested.
         service: ServiceId,
     },
+    /// Connection teardown (RDMA_CM `DREQ`/`DREP`): either side declares
+    /// the connection identified by `qpn` dead. A requester sends it when
+    /// closing gracefully; a translator *observing* one for a collector's
+    /// QP treats it as a fail-stop signal (the CM-teardown detection path
+    /// of collector failover, complementing the completion timeout).
+    Disconnect {
+        /// The QP whose connection is torn down.
+        qpn: u32,
+    },
 }
 
 /// Collector-side connection manager.
@@ -132,6 +141,10 @@ impl CmManager {
                     None => (CmEvent::Reject { service: *service }, None),
                 }
             }
+            // A DREQ is acknowledged with a DREP naming the same QP. The
+            // manager holds no per-connection state to tear down (QPs live
+            // in the NIC); the echo closes the handshake.
+            CmEvent::Disconnect { qpn } => (CmEvent::Disconnect { qpn: *qpn }, None),
             _ => (CmEvent::Reject { service: 0 }, None),
         }
     }
@@ -230,6 +243,21 @@ mod tests {
         qpns.sort_unstable();
         qpns.dedup();
         assert_eq!(qpns.len(), 4, "responder QPNs not unique per shard");
+    }
+
+    #[test]
+    fn disconnect_echoes_drep_for_the_same_qp() {
+        let mut cm = CmManager::new();
+        let published = cm.publish(kv_params());
+        let (reply, qp) = cm.handle(&CmEvent::Disconnect { qpn: published.qpn });
+        assert!(qp.is_none(), "a teardown mints no QP");
+        assert_eq!(reply, CmEvent::Disconnect { qpn: published.qpn });
+        // Connecting again after a disconnect still works: teardown is
+        // stateless at the manager.
+        let requester = CmRequester::new(0x56, 0);
+        let (reply, responder) = cm.handle(&requester.request(1));
+        assert!(responder.is_some());
+        assert!(requester.complete(&reply).is_ok());
     }
 
     #[test]

@@ -615,6 +615,32 @@ impl SnapshotBuf {
         self.written.push((start as u32, end as u32));
     }
 
+    /// Byte-wise OR `other` into this image.
+    ///
+    /// The collector-fleet memory merge: when every key's slots are
+    /// written on exactly one collector (write-once Key-Write, slot-
+    /// disjoint key pools), OR-ing the per-collector images is a union of
+    /// the written bytes, and the merged image is comparable byte-for-byte
+    /// against a single-image run. Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &[u8]) {
+        assert_eq!(other.len(), self.len, "cannot OR differently sized region images");
+        // Safety: the buffer is exclusively owned; plain-byte writes.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(self.data.as_ptr() as *mut u8, self.len)
+        };
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for (i, (d, &s)) in dst.iter_mut().zip(other).enumerate() {
+            if s != 0 {
+                *d |= s;
+                lo = lo.min(i);
+                hi = hi.max(i + 1);
+            }
+        }
+        if lo < hi {
+            self.written.push((lo as u32, hi as u32));
+        }
+    }
+
     /// The full image bytes.
     pub fn as_bytes(&self) -> &[u8] {
         // Safety: exclusive ownership; shared reads of plain bytes.
@@ -812,6 +838,20 @@ mod tests {
         assert_eq!(mr.writes(), 1);
         assert_eq!(mr.bytes_written(), 4);
         assert_eq!(mr.stats().local_reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn snapshot_or_merge_unions_disjoint_writes() {
+        let a = MemoryRegion::new(0, 64, 1, MrAccess::WRITE);
+        let b = MemoryRegion::new(0, 64, 1, MrAccess::WRITE);
+        let both = MemoryRegion::new(0, 64, 1, MrAccess::WRITE);
+        a.write(4, &[1, 2]).unwrap();
+        b.write(32, &[7]).unwrap();
+        both.write(4, &[1, 2]).unwrap();
+        both.write(32, &[7]).unwrap();
+        let mut merged = a.snapshot();
+        merged.or_with(&b.snapshot());
+        assert_eq!(&*merged, &*both.snapshot());
     }
 
     #[test]

@@ -23,15 +23,17 @@ use dta_collector::{
     CollectorNode, CollectorNodeStats, CollectorService, PostcardQueryOutcome, QueryPolicy,
 };
 use dta_net::{
-    FatTree, FaultInjector, LinkConfig, LinkStats, FaultTotals, Network, NetworkStats, NodeId,
-    SimTime,
+    FatTree, FaultInjector, LinkConfig, LinkStats, FaultTotals, NetNode, Network, NetworkStats,
+    NodeId, SimTime,
 };
 use dta_rdma::cm::CmRequester;
 use dta_rdma::mr::SnapshotBuf;
 use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode, RetxStats};
 use dta_translator::node::TranslatorNodeStats;
 use dta_translator::{
-    ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode, TranslatorStats,
+    CollectorRoutingTable, FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetShardedNode,
+    FleetTranslatorNode, ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode,
+    TranslatorStats,
 };
 
 use crate::spec::{ScenarioSpec, TranslatorMode};
@@ -91,9 +93,13 @@ pub struct ScenarioReport {
     /// RDMA verbs executed against collector memory (collector NIC in
     /// single-threaded mode, shard endpoints in sharded mode).
     pub executed: u64,
-    /// Collector node counters (RoCE over the simulated wire only).
+    /// Collector node counters (RoCE over the simulated wire only; summed
+    /// across the fleet when `collectors.count > 1`).
     pub collector: CollectorNodeStats,
-    /// Post-run query audit.
+    /// Collector-failover counters (all zero for single-collector runs).
+    pub failover: FailoverStats,
+    /// Post-run query audit (routed by the final collector table in fleet
+    /// runs).
     pub queries: QueryOutcomes,
 }
 
@@ -104,8 +110,16 @@ pub struct ScenarioOutcome {
     /// Counters and query audit.
     pub report: ScenarioReport,
     /// `(rkey, bytes)` of every registered collector region. The byte
-    /// images live in pooled [`SnapshotBuf`]s (deref to `&[u8]`).
+    /// images live in pooled [`SnapshotBuf`]s (deref to `&[u8]`). For a
+    /// fleet run this is the *merged* view — the byte-wise OR of every
+    /// collector the final routing table considers alive, which (under the
+    /// fleet preconditions: write-once KW, slot-disjoint pools) equals a
+    /// union of the fleet's writes and is comparable byte-for-byte against
+    /// another run's merged view.
     pub memory: Vec<(u32, SnapshotBuf)>,
+    /// Per-collector unmerged snapshots, fleet order (empty unless
+    /// `collectors.count > 1`).
+    pub fleet_memory: Vec<Vec<(u32, SnapshotBuf)>>,
 }
 
 /// FNV-1a fingerprint of a [`ScenarioOutcome::memory`] snapshot, mixing
@@ -174,9 +188,29 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
 
     // --- Fabric -----------------------------------------------------------
     let ft = FatTree::new(spec.fat_tree_k);
-    let collector_host = ft.host(0, 0, 0);
     let tor = ft.edge(0, 0);
     let num_switches = ft.num_switches();
+    let half = spec.fat_tree_k / 2;
+    // Collector sites: the first `count` hosts in deterministic
+    // (pod, edge, host) order — site 0 is always `host(0, 0, 0)`, the
+    // collector every existing single-collector scenario uses. Reports
+    // stay addressed to site 0 regardless of fleet size (the ToR
+    // translator intercepts them before the last hop), so the reporter
+    // path is identical in fleet and single runs.
+    let fleet_size = spec.collectors.count.max(1) as usize;
+    let fleet = fleet_size > 1;
+    let mut collector_sites = Vec::with_capacity(fleet_size); // (host, its edge)
+    'sites: for pod in 0..spec.fat_tree_k {
+        for e in 0..half {
+            for h in 0..half {
+                collector_sites.push((ft.host(pod, e, h), ft.edge(pod, e)));
+                if collector_sites.len() == fleet_size {
+                    break 'sites;
+                }
+            }
+        }
+    }
+    let collector_host = collector_sites[0].0;
     let mut net = Network::new(ft.topology.shortest_path_routing());
     for (a, b) in ft.topology.edges() {
         net.add_duplex_link(a, b, LinkConfig::dc_100g());
@@ -184,21 +218,23 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     // The intra-rack RoCE hop is PFC-lossless (§4/§7) by default:
     // congestion must never silently drop RDMA traffic the way a lossy
     // report link may. Congestion scenarios may substitute a tighter (or
-    // deliberately lossy) class via the plan.
-    net.add_duplex_link(tor, collector_host, spec.congestion.rdma_link);
+    // deliberately lossy) class via the plan. Every collector's last hop
+    // gets the RoCE link class.
+    for &(host, edge) in &collector_sites {
+        net.add_duplex_link(edge, host, spec.congestion.rdma_link);
+    }
 
     // --- Reporter fleet ---------------------------------------------------
-    // Deterministic (pod, edge, host) placement, skipping the collector:
+    // Deterministic (pod, edge, host) placement, skipping the collectors:
     // reporter `r` lands on host `r % hosts_used` as lane `r / hosts_used`
     // (so a fleet no larger than the host count gets one lane per host,
     // exactly the pre-lane layout).
-    let half = spec.fat_tree_k / 2;
     let mut placements = Vec::new(); // (host, its edge switch)
     'outer: for pod in 0..spec.fat_tree_k {
         for e in 0..half {
             for h in 0..half {
                 let host = ft.host(pod, e, h);
-                if host == collector_host {
+                if collector_sites.iter().any(|&(c, _)| c == host) {
                     continue;
                 }
                 placements.push((host, ft.edge(pod, e)));
@@ -243,7 +279,6 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
 
     mark(1, &mut __t);
     // --- Collector + translator ------------------------------------------
-    let mut svc = CollectorService::new(spec.service.clone());
     // The congestion plan's rate limiter overlays the translator sizing
     // (both modes; the sharded pipeline divides the budget across shards).
     let translator_config = {
@@ -253,64 +288,124 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         }
         c
     };
-    let sharded_tor = match spec.mode {
-        TranslatorMode::Sharded { shards } => {
-            let mut node = ShardedTranslatorNode::connect(
-                ShardedConfig { shards, translator: translator_config, ..ShardedConfig::default() },
-                &mut svc,
-            );
-            if spec.congestion.nack_on_drop {
-                // Worker-side rate-limit drops are NACKed from the engine
-                // thread on this node's ticks (period = the reporter pacing
-                // period; each tick barriers on the shard queues, so the
-                // drained set is deterministic).
-                node.enable_nacks(tor, TRANSLATOR_IP);
-                net.add_tick(tor, spec.tick_ns);
-            }
-            net.add_interceptor(tor, Box::new(node));
-            true
-        }
-        TranslatorMode::SingleThreaded => {
-            let mut translator = Translator::new(translator_config);
-            for (i, service) in [
-                dta_collector::SERVICE_KW,
-                dta_collector::SERVICE_POSTCARD,
-                dta_collector::SERVICE_APPEND,
-                dta_collector::SERVICE_CMS,
-            ]
-            .into_iter()
+    let mut fleet_admin: Option<FleetAdmin> = None;
+    let sharded_tor = if fleet {
+        let mut services: Vec<CollectorService> =
+            (0..fleet_size).map(|_| CollectorService::new(spec.service.clone())).collect();
+        let mut peers: Vec<(NodeId, u32, &mut CollectorService)> = services
+            .iter_mut()
             .enumerate()
-            {
-                let req = CmRequester::new(0x700 + i as u32, 0);
-                let reply = svc.handle_cm(&req.request(service));
-                let Ok((qp, params)) = req.complete(&reply) else {
-                    continue; // primitive disabled at the collector
-                };
-                match service {
-                    dta_collector::SERVICE_KW => translator.connect_key_write(qp, params),
-                    dta_collector::SERVICE_POSTCARD => translator.connect_postcarding(qp, params),
-                    dta_collector::SERVICE_APPEND => translator.connect_append(qp, params),
-                    dta_collector::SERVICE_CMS => translator.connect_key_increment(qp, params),
-                    _ => unreachable!(),
-                }
+            .map(|(c, svc)| (collector_sites[c].0, COLLECTOR_IP + c as u32, svc))
+            .collect();
+        let sharded = match spec.mode {
+            TranslatorMode::Sharded { shards } => {
+                let (node, admin) = FleetShardedNode::connect(
+                    &ShardedConfig {
+                        shards,
+                        translator: translator_config,
+                        ..ShardedConfig::default()
+                    },
+                    spec.collectors.ledger_capacity,
+                    &mut peers,
+                );
+                fleet_admin = Some(admin);
+                net.add_interceptor(tor, Box::new(node));
+                true
             }
-            net.add_interceptor(
-                tor,
-                Box::new(TranslatorNode::new(
-                    translator,
+            TranslatorMode::SingleThreaded => {
+                let (node, admin) = FleetTranslatorNode::connect(
+                    &FleetConfig {
+                        translator: translator_config,
+                        timeout_ns: spec.collectors.timeout_ns,
+                        min_unacked: spec.collectors.min_unacked,
+                        ledger_capacity: spec.collectors.ledger_capacity,
+                    },
+                    &mut peers,
                     tor,
                     TRANSLATOR_IP,
-                    collector_host,
-                    COLLECTOR_IP,
-                )),
-            );
-            false
+                );
+                fleet_admin = Some(admin);
+                net.add_interceptor(tor, Box::new(node));
+                false
+            }
+        };
+        drop(peers);
+        // Fleet ticks drive admin-event consumption, completion-timeout
+        // detection, and periodic endpoint flushes.
+        net.add_tick(tor, spec.tick_ns);
+        for (c, svc) in services.into_iter().enumerate() {
+            let (host, _) = collector_sites[c];
+            net.add_node(host, Box::new(CollectorNode::new(svc, host, COLLECTOR_IP + c as u32)));
         }
+        sharded
+    } else {
+        let mut svc = CollectorService::new(spec.service.clone());
+        let sharded = match spec.mode {
+            TranslatorMode::Sharded { shards } => {
+                let mut node = ShardedTranslatorNode::connect(
+                    ShardedConfig {
+                        shards,
+                        translator: translator_config,
+                        ..ShardedConfig::default()
+                    },
+                    &mut svc,
+                );
+                if spec.congestion.nack_on_drop {
+                    // Worker-side rate-limit drops are NACKed from the engine
+                    // thread on this node's ticks (period = the reporter pacing
+                    // period; each tick barriers on the shard queues, so the
+                    // drained set is deterministic).
+                    node.enable_nacks(tor, TRANSLATOR_IP);
+                    net.add_tick(tor, spec.tick_ns);
+                }
+                net.add_interceptor(tor, Box::new(node));
+                true
+            }
+            TranslatorMode::SingleThreaded => {
+                let mut translator = Translator::new(translator_config);
+                for (i, service) in [
+                    dta_collector::SERVICE_KW,
+                    dta_collector::SERVICE_POSTCARD,
+                    dta_collector::SERVICE_APPEND,
+                    dta_collector::SERVICE_CMS,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let req = CmRequester::new(0x700 + i as u32, 0);
+                    let reply = svc.handle_cm(&req.request(service));
+                    let Ok((qp, params)) = req.complete(&reply) else {
+                        continue; // primitive disabled at the collector
+                    };
+                    match service {
+                        dta_collector::SERVICE_KW => translator.connect_key_write(qp, params),
+                        dta_collector::SERVICE_POSTCARD => {
+                            translator.connect_postcarding(qp, params)
+                        }
+                        dta_collector::SERVICE_APPEND => translator.connect_append(qp, params),
+                        dta_collector::SERVICE_CMS => translator.connect_key_increment(qp, params),
+                        _ => unreachable!(),
+                    }
+                }
+                net.add_interceptor(
+                    tor,
+                    Box::new(TranslatorNode::new(
+                        translator,
+                        tor,
+                        TRANSLATOR_IP,
+                        collector_host,
+                        COLLECTOR_IP,
+                    )),
+                );
+                false
+            }
+        };
+        net.add_node(
+            collector_host,
+            Box::new(CollectorNode::new(svc, collector_host, COLLECTOR_IP)),
+        );
+        sharded
     };
-    net.add_node(
-        collector_host,
-        Box::new(CollectorNode::new(svc, collector_host, COLLECTOR_IP)),
-    );
 
     mark(2, &mut __t);
     // --- Fleet nodes and pacing ------------------------------------------
@@ -349,15 +444,46 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     // --- Run on the simulated clock ---------------------------------------
     let emit_end = spec.tick_ns * (max_ticks + 1);
     let flush_at = emit_end + spec.drain_ns;
-    if !sharded_tor {
+    if !sharded_tor && !fleet {
         // One translator flush inside the run (postcard cache rows, partial
         // append batches): the first tick of this series fires at
         // `flush_at`, the second lands past the deadline. The sharded
-        // pipeline instead flushes at shutdown, below.
+        // pipeline instead flushes at shutdown, below; the fleet node
+        // flushes on its periodic ticks.
         net.add_tick(tor, flush_at);
     }
     let deadline = flush_at + spec.drain_ns;
     mark(3, &mut __t);
+    // Fleet fault schedule: run up to the kill time, take the victim off
+    // the fabric (or, for a spurious failover, just slander it to the
+    // translator), optionally re-seat it at the rejoin time, then run out
+    // the clock. Packets addressed to a removed node are dropped by the
+    // engine — exactly a fail-stop host.
+    let mut parked_victim: Option<(NodeId, Box<dyn NetNode>)> = None;
+    if let (true, Some(f)) = (fleet, spec.collectors.fault) {
+        let admin = fleet_admin.as_ref().expect("fleet admin");
+        let victim_host = collector_sites[f.victim as usize].0;
+        net.run_until(SimTime::from_nanos(f.kill_at_ns.min(deadline)));
+        if f.spurious {
+            admin.signal(FleetEvent::ForceFailover { collector: f.victim });
+        } else {
+            let boxed = net.remove_node(victim_host).expect("victim collector node");
+            if sharded_tor {
+                // The sharded pipelines execute RDMA in-process, so there is
+                // no wire-level completion loop to time out on: the CM
+                // teardown stands in for fail-stop detection.
+                admin.signal(FleetEvent::Teardown { collector: f.victim });
+            }
+            parked_victim = Some((victim_host, boxed));
+        }
+        if let Some(rejoin_at) = f.rejoin_at_ns {
+            net.run_until(SimTime::from_nanos(rejoin_at.min(deadline)));
+            if let Some((host, boxed)) = parked_victim.take() {
+                net.add_node(host, boxed);
+            }
+            admin.signal(FleetEvent::Rejoin { collector: f.victim });
+        }
+    }
     net.run_until(SimTime::from_nanos(deadline));
     mark(4, &mut __t);
 
@@ -376,33 +502,90 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     }
 
     let tor_node: Box<dyn std::any::Any> = net.remove_node(tor).expect("translator node");
-    let (translator_stats, translator_node_stats, per_shard, sharded_executed) = if sharded_tor {
-        let mut node = tor_node.downcast::<ShardedTranslatorNode>().expect("sharded node");
-        let node_stats = node.stats;
-        let run = node.finish().expect("pipeline not yet finished");
-        let per_shard = run.shards.iter().map(|s| s.translator.reports_in).collect();
-        (run.translator, node_stats, per_shard, Some(run.executed))
-    } else {
-        let node = tor_node.downcast::<TranslatorNode>().expect("translator type");
-        (node.translator.stats, node.stats, Vec::new(), None)
-    };
+    let (translator_stats, translator_node_stats, per_shard, sharded_executed, failover, table) =
+        if fleet {
+            if sharded_tor {
+                let mut node =
+                    tor_node.downcast::<FleetShardedNode>().expect("fleet sharded node");
+                let node_stats = node.stats;
+                let rep = node.finish().expect("pipelines not yet finished");
+                let mut translator = TranslatorStats::default();
+                let mut per_shard = Vec::new();
+                let mut executed = 0u64;
+                for run in &rep.runs {
+                    translator.merge(&run.translator);
+                    per_shard.extend(run.shards.iter().map(|s| s.translator.reports_in));
+                    executed += run.executed;
+                }
+                (translator, node_stats, per_shard, Some(executed), rep.failover, Some(rep.table))
+            } else {
+                let mut node = tor_node.downcast::<FleetTranslatorNode>().expect("fleet node");
+                let node_stats = node.stats;
+                let rep = node.finish();
+                (rep.translator, node_stats, Vec::new(), None, rep.failover, Some(rep.table))
+            }
+        } else if sharded_tor {
+            let mut node = tor_node.downcast::<ShardedTranslatorNode>().expect("sharded node");
+            let node_stats = node.stats;
+            let run = node.finish().expect("pipeline not yet finished");
+            let per_shard = run.shards.iter().map(|s| s.translator.reports_in).collect();
+            (run.translator, node_stats, per_shard, Some(run.executed), FailoverStats::default(), None)
+        } else {
+            let node = tor_node.downcast::<TranslatorNode>().expect("translator type");
+            (node.translator.stats, node.stats, Vec::new(), None, FailoverStats::default(), None)
+        };
 
-    let collector: Box<dyn std::any::Any> =
-        net.remove_node(collector_host).expect("collector node");
-    let mut collector = collector.downcast::<CollectorNode>().expect("collector type");
-    let executed = sharded_executed.unwrap_or(collector.stats.executed);
+    // The victim of a genuine kill lives in `parked_victim`, not the
+    // engine; everyone else comes off the fabric here. Fleet order.
+    let mut collector_nodes: Vec<Box<CollectorNode>> = Vec::with_capacity(fleet_size);
+    let mut collector_stats = CollectorNodeStats::default();
+    for &(host, _) in &collector_sites {
+        let boxed: Box<dyn NetNode> = match parked_victim.take() {
+            Some((victim_host, boxed)) if victim_host == host => boxed,
+            other => {
+                parked_victim = other;
+                net.remove_node(host).expect("collector node")
+            }
+        };
+        let boxed: Box<dyn std::any::Any> = boxed;
+        let node = boxed.downcast::<CollectorNode>().expect("collector type");
+        collector_stats.executed += node.stats.executed;
+        collector_stats.naks += node.stats.naks;
+        collector_stats.dropped += node.stats.dropped;
+        collector_nodes.push(node);
+    }
+    let executed = sharded_executed.unwrap_or(collector_stats.executed);
 
     mark(5, &mut __t);
-    let queries = audit(&mut collector.service, spec, &workload);
+    let queries = if let Some(table) = &table {
+        audit_fleet(&mut collector_nodes, table, spec, &workload)
+    } else {
+        audit(&mut collector_nodes[0].service, spec, &workload)
+    };
     mark(6, &mut __t);
-    let mut memory: Vec<(u32, SnapshotBuf)> = collector
-        .service
-        .nic
-        .memory
-        .regions()
-        .map(|r| (r.rkey, r.snapshot()))
-        .collect();
-    memory.sort_by_key(|(rkey, _)| *rkey);
+    let (memory, fleet_memory) = if let Some(table) = &table {
+        // Unmerged per-collector snapshots, plus the byte-wise OR over the
+        // collectors the final table considers alive. Under the fleet
+        // preconditions (write-once KW, slot-disjoint key pools) each byte
+        // is written by at most one collector, so the OR is a union and is
+        // comparable across runs with different fault schedules.
+        let fleet_memory: Vec<Vec<(u32, SnapshotBuf)>> =
+            collector_nodes.iter().map(|n| snapshot_regions(&n.service)).collect();
+        let mut alive = (0..fleet_size as u32).filter(|&c| table.is_alive(c));
+        let first = alive.next().expect("at least one live collector") as usize;
+        let mut merged = snapshot_regions(&collector_nodes[first].service);
+        for c in alive {
+            for ((rkey, buf), (other_rkey, other)) in
+                merged.iter_mut().zip(&fleet_memory[c as usize])
+            {
+                debug_assert_eq!(*rkey, *other_rkey, "fleet collectors register identical regions");
+                buf.or_with(other);
+            }
+        }
+        (merged, fleet_memory)
+    } else {
+        (snapshot_regions(&collector_nodes[0].service), Vec::new())
+    };
     mark(7, &mut __t);
 
     ScenarioOutcome {
@@ -417,11 +600,21 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             reporter: reporter_totals,
             per_shard_reports_in: per_shard,
             executed,
-            collector: collector.stats,
+            collector: collector_stats,
+            failover,
             queries,
         },
         memory,
+        fleet_memory,
     }
+}
+
+/// Rkey-sorted byte snapshots of every registered region.
+fn snapshot_regions(svc: &CollectorService) -> Vec<(u32, SnapshotBuf)> {
+    let mut memory: Vec<(u32, SnapshotBuf)> =
+        svc.nic.memory.regions().map(|r| (r.rkey, r.snapshot())).collect();
+    memory.sort_by_key(|(rkey, _)| *rkey);
+    memory
 }
 
 /// Query the collector stores against the workload ledger.
@@ -461,6 +654,83 @@ fn audit(svc: &mut CollectorService, spec: &ScenarioSpec, workload: &Workload) -
         for key in &workload.inc_used {
             q.inc_estimate_total += cms.query(key, spec.traffic.inc_redundancy as usize);
         }
+    }
+    q
+}
+
+/// Query a collector fleet against the workload ledger, routing each key
+/// to its owner per the translator's *final* routing table — the same
+/// checksum digest and table reduction the translators used on the wire,
+/// so a key rerouted by a failover is queried at its surviving owner.
+fn audit_fleet(
+    nodes: &mut [Box<CollectorNode>],
+    table: &CollectorRoutingTable,
+    spec: &ScenarioSpec,
+    workload: &Workload,
+) -> QueryOutcomes {
+    let mut scratch = dta_hash::scratch::KeyScratch::new(16 * 1024, 1);
+    let mut owner_of = |key: &dta_core::TelemetryKey| {
+        table.owner_checksum(scratch.digests(key.as_bytes(), 0).checksum) as usize
+    };
+    // A fleet that lived through a fault window scatters point-lookup
+    // state: keys routed to the fallback while the primary was dead stay
+    // there after a rejoin. The query side therefore asks the owner
+    // first and, on a miss, fans out to the rest of the alive fleet —
+    // write-once slots make the first hit authoritative.
+    let alive: Vec<usize> =
+        (0..nodes.len()).filter(|&c| table.is_alive(c as u32)).collect();
+    let mut q = QueryOutcomes::default();
+    for key in &workload.kw_used {
+        let owner = owner_of(key);
+        let mut outcome = dta_collector::QueryOutcome::NotFound;
+        for &c in std::iter::once(&owner).chain(alive.iter().filter(|&&c| c != owner)) {
+            let Some(kw) = nodes[c].service.keywrite.as_ref() else { continue };
+            outcome = kw.query(key, spec.traffic.kw_redundancy as usize, QueryPolicy::Plurality);
+            if !matches!(outcome, dta_collector::QueryOutcome::NotFound) {
+                break;
+            }
+        }
+        match outcome {
+            dta_collector::QueryOutcome::Found(_) => q.kw_found += 1,
+            dta_collector::QueryOutcome::Ambiguous => q.kw_ambiguous += 1,
+            dta_collector::QueryOutcome::NotFound => q.kw_missing += 1,
+        }
+    }
+    for key in &workload.pc_flows {
+        let owner = owner_of(key);
+        let mut found = false;
+        for &c in std::iter::once(&owner).chain(alive.iter().filter(|&&c| c != owner)) {
+            let Some(pc) = nodes[c].service.postcarding.as_ref() else { continue };
+            if let PostcardQueryOutcome::Found(_) =
+                pc.query(key, spec.translator.postcard_redundancy.max(1))
+            {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            q.pc_found += 1;
+        } else {
+            q.pc_missing += 1;
+        }
+    }
+    for (list, &sent) in workload.append_per_list.iter().enumerate() {
+        if list as u32 >= spec.service.append_lists {
+            break;
+        }
+        let svc = &mut nodes[table.owner_list(list as u32) as usize].service;
+        let Some(reader) = svc.append.as_mut() else { continue };
+        let drain = sent.min(spec.service.append_entries);
+        for _ in 0..drain {
+            if reader.poll(list as u32).iter().any(|b| *b != 0) {
+                q.append_entries += 1;
+            }
+        }
+    }
+    for key in &workload.inc_used {
+        let svc = &nodes[owner_of(key)].service;
+        let Some(cms) = svc.key_increment.as_ref() else { continue };
+        q.inc_estimate_total += cms.query(key, spec.traffic.inc_redundancy as usize);
     }
     q
 }

@@ -67,6 +67,95 @@ impl FaultPlan {
     }
 }
 
+/// One fail-stop event against the collector fleet: collector `victim`
+/// drops off the fabric at `kill_at_ns`, optionally rejoining later.
+///
+/// Detection depends on the translator mode. The single-threaded fleet
+/// translator observes a genuine RDMA completion timeout (ACKs stop while
+/// unacked work accumulates; see [`CollectorPlan::timeout_ns`] /
+/// [`CollectorPlan::min_unacked`]). The sharded pipeline executes RDMA
+/// in-process — there is no wire to time out — so the fail-stop surfaces
+/// as a CM teardown event delivered to the fleet node, the software
+/// analogue of an RDMA_CM `DISCONNECT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorFaultPlan {
+    /// Index of the collector to kill (< [`CollectorPlan::count`]).
+    pub victim: u32,
+    /// Simulated time of the fail-stop, in nanoseconds.
+    pub kill_at_ns: u64,
+    /// When set, the victim rejoins the fabric at this time (>
+    /// `kill_at_ns`) and the routing table re-admits it at a bumped epoch.
+    pub rejoin_at_ns: Option<u64>,
+    /// A *spurious* failover: the translator is told the victim died but
+    /// the node stays up. Exercises replay idempotence — the re-routed
+    /// writes must not double-apply anywhere queries look. Mutually
+    /// exclusive with `rejoin_at_ns`.
+    pub spurious: bool,
+}
+
+impl CollectorFaultPlan {
+    /// Kill `victim` at `kill_at_ns`, no rejoin.
+    pub fn kill(victim: u32, kill_at_ns: u64) -> Self {
+        CollectorFaultPlan { victim, kill_at_ns, rejoin_at_ns: None, spurious: false }
+    }
+}
+
+/// The collector tier of the deployment: how many `CollectorService`
+/// nodes stand behind the ToR, the translator-side failover tuning, and
+/// an optional fail-stop fault against one of them.
+///
+/// The default is a **single collector and no fault machinery** — byte-
+/// for-byte the deployment every existing scenario has always built. The
+/// multi-collector fabric (routing table, in-flight ledger, failover
+/// state machine) only assembles when `count > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorPlan {
+    /// Collector fleet size (>= 1). Reports partition across the fleet by
+    /// key checksum (collector-level salt of
+    /// [`dta_translator::Partitioner`]); shard dispatch inside each
+    /// collector's pipeline keeps its own domain-separated salt.
+    pub count: u32,
+    /// Optional fail-stop fault (requires `count >= 2`).
+    pub fault: Option<CollectorFaultPlan>,
+    /// Completion-timeout horizon: a collector with `min_unacked`+ sends
+    /// outstanding and no ACK progress for this long is declared dead
+    /// (single-threaded fleet translator only).
+    pub timeout_ns: u64,
+    /// Minimum outstanding (unacknowledged) sends before the timeout can
+    /// fire. Must exceed the collector NIC's worst-case ACK coalescing
+    /// backlog (`ack_coalesce - 1` per connected service QP), or a live
+    /// but momentarily quiet collector would be declared dead.
+    pub min_unacked: u64,
+    /// Bound on the translator-side in-flight ledger, per collector
+    /// (entries beyond it evict oldest-first and are counted, never
+    /// silently dropped).
+    pub ledger_capacity: usize,
+}
+
+impl CollectorPlan {
+    /// The historical single-collector deployment (the default).
+    pub fn single() -> Self {
+        CollectorPlan {
+            count: 1,
+            fault: None,
+            timeout_ns: 40_000,
+            min_unacked: 24,
+            ledger_capacity: 4096,
+        }
+    }
+
+    /// A fleet of `count` collectors, no fault.
+    pub fn fleet(count: u32) -> Self {
+        CollectorPlan { count, ..CollectorPlan::single() }
+    }
+}
+
+impl Default for CollectorPlan {
+    fn default() -> Self {
+        CollectorPlan::single()
+    }
+}
+
 /// The reporter fleet's traffic blend.
 ///
 /// Weights are relative (they need not sum to anything particular); each
@@ -109,6 +198,13 @@ pub struct TrafficMix {
     /// on colliding slots — making single-vs-sharded runs byte-comparable.
     /// Fault-equivalence tests set it; throughput scenarios need not.
     pub slot_disjoint_keys: bool,
+    /// Also draw Key-Increment keys slot-disjointly over the collector's
+    /// CMS geometry. Increments commute, so ordinary scenarios never need
+    /// this — but collector-failover scenarios compare a bytewise *merge*
+    /// of surviving collector regions against a no-failure twin, and two
+    /// keys sharing a CMS counter while living on different collectors
+    /// would make that merge lossy. Off by default.
+    pub inc_slot_disjoint: bool,
 }
 
 impl Default for TrafficMix {
@@ -125,6 +221,7 @@ impl Default for TrafficMix {
             append_lists: 8,
             slot_disjoint_keys: false,
             kw_write_once: false,
+            inc_slot_disjoint: false,
         }
     }
 }
@@ -221,6 +318,9 @@ pub struct ScenarioSpec {
     pub faults: FaultPlan,
     /// Congestion-control loop configuration (no-op by default).
     pub congestion: CongestionPlan,
+    /// Collector tier: fleet size, failover tuning, optional fail-stop
+    /// fault (single collector, no fault by default).
+    pub collectors: CollectorPlan,
     /// Translator pipeline at the ToR.
     pub mode: TranslatorMode,
     /// Translator sizing (shared by both modes; the sharded mode clones it
@@ -250,6 +350,7 @@ impl Default for ScenarioSpec {
             traffic: TrafficMix::default(),
             faults: FaultPlan::none(),
             congestion: CongestionPlan::none(),
+            collectors: CollectorPlan::single(),
             mode: TranslatorMode::SingleThreaded,
             translator: TranslatorConfig::default(),
             service: ServiceConfig::default(),
@@ -269,7 +370,16 @@ impl ScenarioSpec {
             return Err(format!("fat_tree_k must be even and >= 2, got {}", self.fat_tree_k));
         }
         let hosts = self.fat_tree_k * (self.fat_tree_k / 2) * (self.fat_tree_k / 2);
-        let usable = hosts - 1; // one host is the collector
+        if self.collectors.count == 0 {
+            return Err("need at least one collector".into());
+        }
+        if self.collectors.count >= hosts {
+            return Err(format!(
+                "{} collectors leave no host for reporters (fabric has {})",
+                self.collectors.count, hosts
+            ));
+        }
+        let usable = hosts - self.collectors.count; // collectors occupy hosts
         if self.reporters == 0 {
             return Err("fleet needs at least one reporter".into());
         }
@@ -310,6 +420,84 @@ impl ScenarioSpec {
         if let TranslatorMode::Sharded { shards } = self.mode {
             if shards == 0 {
                 return Err("sharded mode needs at least one shard".into());
+            }
+            // The sharded pipeline's RDMA hop is intra-rack (shard NIC
+            // endpoints write collector memory in-process): a fault plan
+            // on the simulated ToR→collector link would silently apply to
+            // nothing. Reject it instead of ignoring it.
+            if !self.faults.rdma_hop.is_none() {
+                return Err("faults.rdma_hop is meaningless under TranslatorMode::Sharded: \
+                     the RDMA hop does not cross a simulated link"
+                    .into());
+            }
+        }
+        if self.collectors.count > 1 {
+            // The fleet translators replay Key-Write / Key-Increment from
+            // the in-flight ledger; Append batches and Postcarding cache
+            // rows are translator-held state that dies with a connection
+            // and cannot be replayed, so a fleet scenario excludes them.
+            if self.traffic.append > 0 || self.traffic.postcarding > 0 {
+                return Err("multi-collector scenarios carry Key-Write/Key-Increment \
+                     traffic only: Append and Postcarding cannot be replayed \
+                     across a failover"
+                    .into());
+            }
+            // The fleet nodes do not implement the reporter NACK loop.
+            if self.congestion.rate_limit.is_some()
+                || self.congestion.nack_on_drop
+                || self.congestion.retransmit.is_some()
+            {
+                return Err("multi-collector scenarios do not support the \
+                     congestion loop (rate_limit / nack_on_drop / retransmit)"
+                    .into());
+            }
+            if !self.faults.rdma_hop.is_none() {
+                return Err("faults.rdma_hop names a single ToR→collector link; \
+                     use collectors.fault for collector-tier faults".into());
+            }
+            if self.collectors.timeout_ns == 0
+                || self.collectors.min_unacked == 0
+                || self.collectors.ledger_capacity == 0
+            {
+                return Err("collector failover tuning must be positive".into());
+            }
+            // A healthy collector may legitimately sit on `ack_coalesce - 1`
+            // unanswered sends per service QP (KW + INC = 2 QPs). A floor
+            // at or below that backlog turns ordinary coalescing silence
+            // into a false fail-stop verdict.
+            let coalesce_backlog = 2 * (u64::from(self.service.nic.ack_coalesce) - 1);
+            if self.collectors.min_unacked <= coalesce_backlog {
+                return Err(format!(
+                    "collectors.min_unacked ({}) must exceed the worst-case \
+                     ACK-coalescing backlog of 2 QPs x (ack_coalesce - 1) = {}",
+                    self.collectors.min_unacked, coalesce_backlog
+                ));
+            }
+        }
+        if let Some(fault) = &self.collectors.fault {
+            if self.collectors.count < 2 {
+                return Err("a collector fault needs a fleet of >= 2 (survivors \
+                     must exist to re-route to)"
+                    .into());
+            }
+            if fault.victim >= self.collectors.count {
+                return Err(format!(
+                    "collector fault victim {} out of range (fleet of {})",
+                    fault.victim, self.collectors.count
+                ));
+            }
+            if fault.kill_at_ns == 0 {
+                return Err("collector kill_at_ns must be positive".into());
+            }
+            if let Some(rejoin) = fault.rejoin_at_ns {
+                if rejoin <= fault.kill_at_ns {
+                    return Err("collector rejoin must come after the kill".into());
+                }
+                if fault.spurious {
+                    return Err("a spurious failover never removed the node: \
+                         rejoin_at_ns does not apply"
+                        .into());
+                }
             }
         }
         if self.tick_ns == 0 || self.reports_per_tick == 0 {
@@ -396,6 +584,54 @@ impl ScenarioSpec {
         }
     }
 
+    /// Collector-failover preset: the K=4 fabric with a 3-collector fleet
+    /// and a fail-stop kill of collector 1 mid-emission — the
+    /// `scenario_failover` bench phase and the failover-suite workload.
+    /// Traffic is Key-Write + Key-Increment only (the two primitives whose
+    /// replay is order-invariant: write-once KW is idempotent by value,
+    /// increments commute), with *both* key pools slot-disjoint so the
+    /// surviving fleet's merged memory is byte-comparable against a
+    /// same-seed run that never had the failure. The collector NICs ACK
+    /// every 8th packet (instead of the BlueField default 64) so the
+    /// completion-timeout detector works against a tight backlog bound:
+    /// `min_unacked = 24 > 2 service QPs × 7 coalesced`.
+    pub fn failover(mode: TranslatorMode) -> Self {
+        let mut spec = ScenarioSpec {
+            ops_per_reporter: 48,
+            traffic: TrafficMix {
+                key_write: 1,
+                append: 0,
+                key_increment: 1,
+                postcarding: 0,
+                kw_keys: 2048,
+                slot_disjoint_keys: true,
+                kw_write_once: true,
+                inc_slot_disjoint: true,
+                ..TrafficMix::default()
+            },
+            collectors: CollectorPlan {
+                // Kill 1 of 3 at 12us — mid-way through the ~28us emission
+                // window, so reports for the victim's key range are in
+                // flight on both sides of the fail-stop. The 8us timeout
+                // puts single-threaded detection around 20-24us, still
+                // inside the window: the suite wants both live re-routing
+                // *and* ledger replay in the same run. `min_unacked` alone
+                // keeps quiet-but-live collectors safe, so the short
+                // horizon cannot false-positive a healthy node.
+                fault: Some(CollectorFaultPlan::kill(1, 12_000)),
+                timeout_ns: 8_000,
+                ..CollectorPlan::fleet(3)
+            },
+            mode,
+            // Headroom for detection (timeout_ns past the kill) and the
+            // replayed writes to land before the flush.
+            drain_ns: 600_000,
+            ..ScenarioSpec::default()
+        };
+        spec.service.nic = spec.service.nic.with_ack_coalesce(8);
+        spec
+    }
+
     /// Datacenter-scale preset: a K=8 fat tree (80 switches, 128 hosts)
     /// carrying a 1008-reporter fleet — 8 lanes on each of the 127
     /// non-collector hosts — with the default mixed traffic blend. This is
@@ -479,6 +715,78 @@ mod tests {
         // Write-once pools must cover the worst-case op count.
         let mut s = ScenarioSpec::congested(TranslatorMode::SingleThreaded);
         s.traffic.kw_keys = 8;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rdma_hop_faults_rejected_under_sharded_mode() {
+        // The sharded pipeline's RDMA hop never crosses a simulated link,
+        // so a fault plan on it used to be silently meaningless. It must
+        // be rejected, and the identical plan must stay valid in
+        // single-threaded mode (where the hop is real).
+        let mut s = ScenarioSpec::default();
+        s.faults.rdma_hop = dta_net::FaultConfig::unreliable(0.1, 0.0, 0.0);
+        assert_eq!(s.validate(), Ok(()));
+        s.mode = TranslatorMode::Sharded { shards: 4 };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("rdma_hop"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn collector_plans_validate() {
+        // The shipped failover preset is internally consistent in both
+        // modes.
+        assert_eq!(ScenarioSpec::failover(TranslatorMode::SingleThreaded).validate(), Ok(()));
+        assert_eq!(
+            ScenarioSpec::failover(TranslatorMode::Sharded { shards: 4 }).validate(),
+            Ok(())
+        );
+        // A fault needs survivors.
+        let mut s = ScenarioSpec::default();
+        s.collectors.fault = Some(CollectorFaultPlan::kill(0, 1_000));
+        assert!(s.validate().is_err());
+        s.collectors = CollectorPlan::fleet(3);
+        // ...and a fleet needs replayable traffic (no Append/Postcarding).
+        assert!(s.validate().is_err());
+        s.traffic.append = 0;
+        s.traffic.postcarding = 0;
+        // The default NIC coalesces 64 ACKs: min_unacked 24 sits inside
+        // ordinary coalescing silence and must be rejected as a
+        // false-positive fail-stop detector.
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("min_unacked"), "unexpected error: {err}");
+        s.service.nic = s.service.nic.with_ack_coalesce(8);
+        assert_eq!(s.validate(), Ok(()));
+        // Victim must be in range, the kill must be scheduled, and a
+        // rejoin must follow it.
+        s.collectors.fault = Some(CollectorFaultPlan::kill(3, 1_000));
+        assert!(s.validate().is_err());
+        s.collectors.fault = Some(CollectorFaultPlan::kill(1, 0));
+        assert!(s.validate().is_err());
+        let mut f = CollectorFaultPlan::kill(1, 5_000);
+        f.rejoin_at_ns = Some(4_000);
+        s.collectors.fault = Some(f);
+        assert!(s.validate().is_err());
+        f.rejoin_at_ns = Some(9_000);
+        s.collectors.fault = Some(f);
+        assert_eq!(s.validate(), Ok(()));
+        // Spurious failovers never removed the node: no rejoin to plan.
+        f.spurious = true;
+        s.collectors.fault = Some(f);
+        assert!(s.validate().is_err());
+        f.rejoin_at_ns = None;
+        s.collectors.fault = Some(f);
+        assert_eq!(s.validate(), Ok(()));
+        // The fleet nodes opt out of the congestion loop.
+        let mut s = ScenarioSpec::failover(TranslatorMode::SingleThreaded);
+        s.congestion.rate_limit =
+            Some(dta_translator::RateLimiterConfig { msgs_per_sec: 10e6, burst: 64 });
+        assert!(s.validate().is_err());
+        // Zero collectors / a fleet covering every host fail loudly.
+        let mut s = ScenarioSpec::default();
+        s.collectors.count = 0;
+        assert!(s.validate().is_err());
+        s.collectors.count = 16; // K=4 has exactly 16 hosts
         assert!(s.validate().is_err());
     }
 

@@ -178,8 +178,18 @@ pub fn generate(spec: &ScenarioSpec) -> Workload {
         if filter { spec.translator.postcard_cache_slots } else { 0 },
         filter,
     );
-    // Increments commute, so their pool never needs filtering.
-    let mut inc_pool = KeyPool::new(0xC0FF_EE00_0000, mix.inc_redundancy as usize, 1, 0, false);
+    // Increments commute, so their pool needs no filtering for ordinary
+    // runs — but collector-failover scenarios byte-merge surviving
+    // collector regions, which requires CMS counters to be key-private
+    // (see `TrafficMix::inc_slot_disjoint`). The CMS geometry is flat:
+    // `slot_of(h_i(key), cms_slots)`, mirrored here exactly.
+    let mut inc_pool = KeyPool::new(
+        0xC0FF_EE00_0000,
+        mix.inc_redundancy as usize,
+        spec.service.cms_slots.max(1),
+        0,
+        mix.inc_slot_disjoint,
+    );
     let inc_keys = inc_pool.take(mix.inc_keys.max(1));
 
     let path_len = spec.translator.postcard_hops;
@@ -371,6 +381,39 @@ mod tests {
             assert!(rows
                 .insert(crc.compute(k.as_bytes()) as usize % spec.translator.postcard_cache_slots));
         }
+    }
+
+    #[test]
+    fn inc_slot_disjoint_pool_shares_no_cms_slots() {
+        // The failover merge precondition: with `inc_slot_disjoint`, no
+        // two used increment keys may share any CMS counter slot (using
+        // exactly the collector's flat slot addressing).
+        let spec = ScenarioSpec {
+            traffic: TrafficMix {
+                slot_disjoint_keys: true,
+                inc_slot_disjoint: true,
+                ..TrafficMix::default()
+            },
+            ..ScenarioSpec::default()
+        };
+        let w = generate(&spec);
+        let family = HashFamily::new(spec.traffic.inc_redundancy as usize);
+        let mut seen = HashSet::new();
+        for k in &w.inc_used {
+            for i in 0..spec.traffic.inc_redundancy as usize {
+                assert!(
+                    seen.insert(slot_of(family.hash(i, k.as_bytes()), spec.service.cms_slots)),
+                    "cms slot collision in filtered pool"
+                );
+            }
+        }
+        // The default (unfiltered) pool draws the same keys it always
+        // has: the filter flag must not perturb existing workloads.
+        let unfiltered = generate(&ScenarioSpec {
+            traffic: TrafficMix { slot_disjoint_keys: true, ..TrafficMix::default() },
+            ..ScenarioSpec::default()
+        });
+        assert_eq!(unfiltered.inc_used, w.inc_used, "filter changed a collision-free draw");
     }
 
     #[test]

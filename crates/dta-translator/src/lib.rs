@@ -23,6 +23,7 @@
 
 pub mod append;
 pub mod extensions;
+pub mod failover;
 pub mod node;
 pub mod partition;
 mod pool;
@@ -35,6 +36,10 @@ pub mod translator;
 
 pub use append::AppendBatcher;
 pub use extensions::{LatencyMatch, LatencySumQuery};
+pub use failover::{
+    CollectorRoutingTable, FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetRunReport,
+    FleetShardedNode, FleetShardedRunReport, FleetTranslatorNode, LedgerEntry, ReplayLedger,
+};
 pub use node::{ShardedTranslatorNode, TranslatorNode};
 pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};

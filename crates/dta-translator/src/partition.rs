@@ -59,6 +59,26 @@ fn mix32(mut h: u32) -> u32 {
     h
 }
 
+/// Collector-level reduction of an already-computed key `checksum32` over
+/// `targets`, identical to `Partitioner::new(targets).route_checksum(c)`
+/// but without constructing a partitioner — the failover routing table
+/// re-reduces checksums over survivor subsets of varying size, and must
+/// stay bit-compatible with the primary collector-level routing.
+#[inline]
+pub fn collector_route(checksum: u32, targets: u32) -> u32 {
+    debug_assert!(targets > 0, "need at least one routing target");
+    ((mix32(checksum) as u64 * targets as u64) >> 32) as u32
+}
+
+/// Collector-level Append-list reduction, the list analogue of
+/// [`collector_route`] (bit-compatible with
+/// `Partitioner::new(targets).route_list(id)`).
+#[inline]
+pub fn collector_route_list(list_id: u32, targets: u32) -> u32 {
+    debug_assert!(targets > 0, "need at least one routing target");
+    ((mix32(list_id ^ 0xA99D_0C95) as u64 * targets as u64) >> 32) as u32
+}
+
 impl Partitioner {
     /// Collector-level partitioner over `targets` collectors.
     ///
@@ -223,6 +243,65 @@ mod tests {
         }
         for (s, c) in list_counts.iter().enumerate() {
             assert!(*c > 100, "list shard {s} starved: {list_counts:?}");
+        }
+    }
+
+    #[test]
+    fn collector_route_helpers_match_partitioner_reductions() {
+        // The failover routing table reduces checksums through the free
+        // functions (no `Partitioner` in hand); they must stay
+        // bit-compatible with the collector-level partitioner at every
+        // fleet size, or a failed-over translator would disagree with a
+        // fresh one about key ownership.
+        for targets in [1u32, 2, 3, 5, 8] {
+            let p = Partitioner::new(targets);
+            for csum in (0..100_000u32).step_by(97) {
+                assert_eq!(collector_route(csum, targets), p.route_checksum(csum));
+            }
+            for list in 0..512u32 {
+                assert_eq!(collector_route_list(list, targets), p.route_list(list));
+            }
+        }
+    }
+
+    #[test]
+    fn collector_repartition_leaves_shard_routing_untouched() {
+        // Failover re-partitions the collector level: `targets` shrinks
+        // from N to the survivor count while the shard level stays at its
+        // configured width. The two levels are domain-separated (salt 0 vs
+        // `SHARD_SALT`), so changing targets at one level must not move a
+        // single key at the other — and within any one shard, collector
+        // routing must keep spreading over every collector (no cross-level
+        // correlation) at every fleet size.
+        const SHARDS: usize = 4;
+        let shards = Partitioner::for_shards(SHARDS as u32);
+        let mut scratch = KeyScratch::new(1024, 1);
+        let reports: Vec<DtaReport> = (0..4096u64)
+            .map(|i| DtaReport::key_write(0, TelemetryKey::from_u64(i), 1, vec![0; 4]))
+            .collect();
+        let baseline: Vec<u32> =
+            reports.iter().map(|r| shards.route_cached(&mut scratch, r)).collect();
+
+        for targets in [4u32, 3, 2] {
+            let collectors = Partitioner::new(targets);
+            let rerouted: Vec<u32> =
+                reports.iter().map(|r| shards.route_cached(&mut scratch, r)).collect();
+            assert_eq!(baseline, rerouted, "shard routes moved at fleet size {targets}");
+
+            let mut cells = vec![[0u32; SHARDS]; targets as usize];
+            for (r, &shard) in reports.iter().zip(&baseline) {
+                cells[collectors.route(r) as usize][shard as usize] += 1;
+            }
+            let expect = 4096 / (targets * SHARDS as u32);
+            for (c, row) in cells.iter().enumerate() {
+                for (s, &n) in row.iter().enumerate() {
+                    assert!(
+                        n * 2 > expect,
+                        "collector {c} x shard {s} starved at fleet size \
+                         {targets}: {n} of ~{expect}"
+                    );
+                }
+            }
         }
     }
 
