@@ -360,6 +360,26 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
         ));
     }
 
+    // Rebalance: the failover deployment with collector 1 rejoining and a
+    // RebalancePlan migrating its stranded key range home mid-traffic (see
+    // ScenarioSpec::rebalance). On top of the failover cycle, the
+    // ns/report prices the epoch-fenced handoff — fence recording and
+    // double-writes/deferrals on the live path, the per-key drain
+    // (migration-QP reads, KW replays, per-slot INC delta fetch-adds,
+    // fallback zeroing), and the release scan.
+    if wants("scenario_rebalance/k4_rebalance_single") {
+        let spec = dta_sim::ScenarioSpec::rebalance(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario_rebalance/k4_rebalance_single", window, &spec));
+    }
+    if wants("scenario_rebalance/k4_rebalance_sharded4") {
+        let spec = dta_sim::ScenarioSpec::rebalance(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario(
+            "scenario_rebalance/k4_rebalance_sharded4",
+            window,
+            &spec,
+        ));
+    }
+
     // Datacenter scale: K=8 fat tree, 1008 paced reporters (8 lanes per
     // host). One run is ~13k reports over 80 switches — the workload the
     // PR 4 engine rewrite (dense arenas + timing wheel) exists for.
@@ -660,7 +680,9 @@ mod tests {
              "scenario/k4_sharded4", "scenario_congested/k4_congested_single",
              "scenario_congested/k4_congested_sharded4",
              "scenario_failover/k4_failover_single",
-             "scenario_failover/k4_failover_sharded4", "scenario_large/k8_single",
+             "scenario_failover/k4_failover_sharded4",
+             "scenario_rebalance/k4_rebalance_single",
+             "scenario_rebalance/k4_rebalance_sharded4", "scenario_large/k8_single",
              "scenario_large/k8_sharded4"]
         );
         for e in &results {
@@ -730,6 +752,21 @@ mod tests {
         assert_eq!(
             names,
             ["scenario_failover/k4_failover_single", "scenario_failover/k4_failover_sharded4"]
+        );
+        for e in &results {
+            assert!(e.reports > 0, "{} measured nothing", e.name);
+        }
+    }
+
+    #[test]
+    fn only_scenario_rebalance_selects_the_rebalance_family() {
+        let results =
+            translator_suite_filtered(Duration::from_millis(1), Some("scenario_rebalance"));
+        let names: Vec<&str> = results.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["scenario_rebalance/k4_rebalance_single",
+             "scenario_rebalance/k4_rebalance_sharded4"]
         );
         for e in &results {
             assert!(e.reports > 0, "{} measured nothing", e.name);

@@ -220,6 +220,21 @@ impl CollectorService {
         reply
     }
 
+    /// Handle a CM request by minting a **dedicated** responder QP (its own
+    /// PSN domain) on this collector's main NIC. [`handle_cm`] re-accepts a
+    /// service's published QP, which is right for the one dataplane
+    /// connection per service but would splice a second requester into the
+    /// same PSN stream. Control-plane connections that coexist with live
+    /// service traffic — e.g. a rebalance migration channel reading and
+    /// zeroing region slots — need their own responder.
+    pub fn handle_cm_dedicated(&mut self, event: &CmEvent) -> CmEvent {
+        let (reply, qp) = self.cm.handle_dedicated(event);
+        if let Some(qp) = qp {
+            self.nic.add_qp(qp);
+        }
+        reply
+    }
+
     /// A per-shard NIC endpoint: a fresh `RdmaNic` whose registry holds
     /// clones of this collector's region handles. The striped backing
     /// stores are shared — writes through a shard endpoint land in exactly

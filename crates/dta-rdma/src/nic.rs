@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use bytes::Bytes;
+
 use crate::mr::{MemoryRegistry, MrError};
 use crate::packet::{Opcode, RocePacket};
 use crate::qp::{QpError, QueuePair};
@@ -282,6 +284,7 @@ impl RdmaNic {
         }
 
         let requester_qpn = qp.dest_qpn;
+        let mut read_data: Option<Bytes> = None;
         let result: Result<(), NicError> = match pkt.bth.opcode {
             Opcode::WriteOnly | Opcode::WriteOnlyImm => {
                 let reth = pkt.reth.as_ref().expect("decoded WRITE has RETH");
@@ -343,6 +346,17 @@ impl RdmaNic {
                     .map(|_| ())
                     .map_err(NicError::Mr)
             }
+            Opcode::ReadRequest => {
+                let reth = pkt.reth.as_ref().expect("decoded READ has RETH");
+                match self.memory.lookup(reth.rkey) {
+                    None => Err(NicError::Mr(MrError::BadRkey(reth.rkey))),
+                    Some(region) => region
+                        .peek(reth.va, reth.dma_len as usize)
+                        .map_err(NicError::Mr)
+                        .map(|data| read_data = Some(Bytes::from(data))),
+                }
+            }
+            Opcode::ReadResponseOnly => Ok(()), // requester-side path
             Opcode::SendOnly | Opcode::SendOnlyImm => {
                 self.completions.push_back(WorkCompletion {
                     qpn,
@@ -364,7 +378,11 @@ impl RdmaNic {
                 // coalescing state is per-QP, as on real HCAs — traffic on
                 // one QP cannot starve another QP's ACK stream. DTA's
                 // translator never consumes ACKs, so the batching is free.
-                let ack = if pkt.bth.opcode.needs_ack() {
+                let ack = if let Some(data) = read_data {
+                    // A READ's response packet doubles as its ack; never
+                    // coalesced (the requester is blocked on the bytes).
+                    Some(Box::new(RocePacket::read_response(requester_qpn, pkt.bth.psn, data)))
+                } else if pkt.bth.opcode.needs_ack() {
                     let coalesce = self.ack_coalesce;
                     let qp = self.qps.iter_mut().find(|q| q.qpn == qpn).expect("qp exists");
                     qp.ack_due(coalesce, pkt.bth.solicited)
@@ -566,6 +584,43 @@ mod tests {
         assert!(matches!(
             nic.ingress(&bad),
             RxOutcome::Error(NicError::UnknownQp(99))
+        ));
+    }
+
+    #[test]
+    fn read_request_returns_bytes_in_response() {
+        let mut nic = nic_with_qp();
+        assert!(matches!(nic.ingress(&write_pkt(0, 0x10000, &[9, 8, 7, 6])), RxOutcome::Executed(_)));
+        let req = RocePacket::read_request(
+            5,
+            1,
+            Reth { va: 0x10000, rkey: 0xAB, dma_len: 4 },
+        );
+        match nic.ingress(&req) {
+            RxOutcome::Executed(Some(resp)) => {
+                assert_eq!(resp.bth.opcode, Opcode::ReadResponseOnly);
+                assert_eq!(resp.bth.psn, 1, "response echoes the request PSN");
+                assert_eq!(&resp.payload[..], &[9, 8, 7, 6]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_read_request_dropped_silently() {
+        let mut nic = nic_with_qp();
+        let req = RocePacket::read_request(5, 0, Reth { va: 0x10000, rkey: 0xAB, dma_len: 4 });
+        assert!(matches!(nic.ingress(&req), RxOutcome::Executed(Some(_))));
+        assert!(matches!(nic.ingress(&req), RxOutcome::DuplicateDropped));
+    }
+
+    #[test]
+    fn read_request_bad_rkey_is_error() {
+        let mut nic = nic_with_qp();
+        let req = RocePacket::read_request(5, 0, Reth { va: 0x10000, rkey: 0xFF, dma_len: 4 });
+        assert!(matches!(
+            nic.ingress(&req),
+            RxOutcome::Error(NicError::Mr(MrError::BadRkey(0xFF)))
         ));
     }
 

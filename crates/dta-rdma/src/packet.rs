@@ -32,6 +32,10 @@ pub enum Opcode {
     WriteOnly = 0x0A,
     /// RDMA WRITE Only with Immediate.
     WriteOnlyImm = 0x0B,
+    /// RDMA READ Request (carries a RETH naming the bytes to return).
+    ReadRequest = 0x0C,
+    /// RDMA READ Response Only (single-packet response carrying the bytes).
+    ReadResponseOnly = 0x10,
     /// ACK.
     Ack = 0x11,
     /// Atomic ACK.
@@ -51,6 +55,8 @@ impl Opcode {
             0x05 => Opcode::SendOnlyImm,
             0x0A => Opcode::WriteOnly,
             0x0B => Opcode::WriteOnlyImm,
+            0x0C => Opcode::ReadRequest,
+            0x10 => Opcode::ReadResponseOnly,
             0x11 => Opcode::Ack,
             0x12 => Opcode::AtomicAck,
             0x14 => Opcode::FetchAdd,
@@ -60,7 +66,10 @@ impl Opcode {
 
     /// Whether this opcode carries a RETH.
     pub fn has_reth(self) -> bool {
-        matches!(self, Opcode::WriteOnly | Opcode::WriteOnlyImm | Opcode::WriteFirst)
+        matches!(
+            self,
+            Opcode::WriteOnly | Opcode::WriteOnlyImm | Opcode::WriteFirst | Opcode::ReadRequest
+        )
     }
 
     /// Whether this opcode continues a multi-packet write.
@@ -78,9 +87,14 @@ impl Opcode {
         matches!(self, Opcode::SendOnlyImm | Opcode::WriteOnlyImm)
     }
 
-    /// Whether the responder must generate an acknowledgement.
+    /// Whether the responder must generate an acknowledgement. READ
+    /// requests are excluded because the READ response itself carries the
+    /// acknowledgement; READ responses are requester-bound and never acked.
     pub fn needs_ack(self) -> bool {
-        !matches!(self, Opcode::Ack | Opcode::AtomicAck)
+        !matches!(
+            self,
+            Opcode::Ack | Opcode::AtomicAck | Opcode::ReadRequest | Opcode::ReadResponseOnly
+        )
     }
 }
 
@@ -286,6 +300,46 @@ impl RocePacket {
             atomic: Some(AtomicEth { va, rkey, swap_add: add, compare: 0 }),
             imm: None,
             payload: Bytes::new(),
+        }
+    }
+
+    /// A READ Request for the bytes named by `reth` (the rebalance drain
+    /// path: the translator reads a source collector's region slice before
+    /// replaying it to the new owner).
+    pub fn read_request(dest_qp: u32, psn: u32, reth: Reth) -> Self {
+        RocePacket {
+            bth: Bth {
+                opcode: Opcode::ReadRequest,
+                solicited: false,
+                pkey: 0xFFFF,
+                dest_qp,
+                ack_req: true,
+                psn,
+            },
+            reth: Some(reth),
+            atomic: None,
+            imm: None,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A single-packet READ Response carrying the requested bytes. Echoes
+    /// the request PSN so the requester can match it to its outstanding
+    /// READ (and treat it as a cumulative ACK up to that PSN).
+    pub fn read_response(dest_qp: u32, psn: u32, payload: Bytes) -> Self {
+        RocePacket {
+            bth: Bth {
+                opcode: Opcode::ReadResponseOnly,
+                solicited: false,
+                pkey: 0xFFFF,
+                dest_qp,
+                ack_req: false,
+                psn,
+            },
+            reth: None,
+            atomic: None,
+            imm: None,
+            payload,
         }
     }
 
@@ -534,5 +588,26 @@ mod tests {
         assert!(!Opcode::Ack.needs_ack());
         assert!(Opcode::WriteOnly.needs_ack());
         assert!(Opcode::FetchAdd.needs_ack());
+    }
+
+    #[test]
+    fn read_request_roundtrip() {
+        let p = RocePacket::read_request(
+            0x77,
+            19,
+            Reth { va: 0x1_0000_0040, rkey: 0x10, dma_len: 8 },
+        );
+        assert!(p.bth.opcode.has_reth());
+        assert!(!p.bth.opcode.needs_ack(), "the READ response is the ack");
+        assert_eq!(RocePacket::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn read_response_roundtrip_carries_payload() {
+        let p = RocePacket::read_response(0x78, 19, Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!(!p.bth.opcode.needs_ack());
+        let got = RocePacket::decode(p.encode()).unwrap();
+        assert_eq!(got, p);
+        assert_eq!(&got.payload[..], &[1, 2, 3, 4, 5, 6, 7, 8]);
     }
 }

@@ -43,7 +43,7 @@ pub use scenario::{
     COLLECTOR_IP, TRANSLATOR_IP,
 };
 pub use spec::{
-    CollectorFaultPlan, CollectorPlan, CongestionPlan, FaultPlan, ScenarioSpec, TrafficMix,
-    TranslatorMode, MAX_LANES_PER_HOST,
+    CollectorFaultPlan, CollectorPlan, CongestionPlan, FaultPlan, RebalancePlan, ScenarioSpec,
+    TrafficMix, TranslatorMode, MAX_LANES_PER_HOST,
 };
 pub use traffic::{generate, PrimitiveCounts, Workload};

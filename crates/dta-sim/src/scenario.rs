@@ -32,8 +32,8 @@ use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNod
 use dta_translator::node::TranslatorNodeStats;
 use dta_translator::{
     CollectorRoutingTable, FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetShardedNode,
-    FleetTranslatorNode, ShardedConfig, ShardedTranslatorNode, Translator, TranslatorNode,
-    TranslatorStats,
+    FleetTranslatorNode, RebalanceConfig, RebalanceStats, ShardedConfig, ShardedTranslatorNode,
+    Translator, TranslatorNode, TranslatorStats,
 };
 
 use crate::spec::{ScenarioSpec, TranslatorMode};
@@ -63,6 +63,11 @@ pub struct QueryOutcomes {
     /// Sum of Key-Increment estimates over the used keys (a CMS-style
     /// overestimate of the delivered delta total).
     pub inc_estimate_total: u64,
+    /// Key-Write point lookups that had to probe a collector *other* than
+    /// the key's routed owner (fleet audits fan out on an owner miss; see
+    /// [`run_scenario`]'s audit). A completed rebalance repatriates every
+    /// key to its primary, so a post-release audit pins this to zero.
+    pub fanout_lookups: u64,
 }
 
 /// Everything a scenario run measured. Bit-reproducible for a given spec.
@@ -98,6 +103,9 @@ pub struct ScenarioReport {
     pub collector: CollectorNodeStats,
     /// Collector-failover counters (all zero for single-collector runs).
     pub failover: FailoverStats,
+    /// Rebalance migration counters (`None` unless the spec scheduled a
+    /// [`crate::RebalancePlan`]).
+    pub rebalance: Option<RebalanceStats>,
     /// Post-run query audit (routed by the final collector table in fleet
     /// runs).
     pub queries: QueryOutcomes,
@@ -297,6 +305,17 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             .enumerate()
             .map(|(c, svc)| (collector_sites[c].0, COLLECTOR_IP + c as u32, svc))
             .collect();
+        // The migration path rolls its own fault dice (there is no
+        // simulated link between the fence and the fallback's memory), so
+        // it gets a domain-separated stream off the scenario seed.
+        let rebalance_cfg = spec.rebalance.as_ref().map(|rb| RebalanceConfig {
+            fence_capacity: rb.fence_capacity,
+            ledger_capacity: rb.ledger_capacity,
+            drain_batch: rb.drain_batch,
+            retry_ns: rb.retry_ns,
+            faults: rb.faults,
+            seed: splitmix64(spec.seed ^ 0x5EBA_1A4C),
+        });
         let sharded = match spec.mode {
             TranslatorMode::Sharded { shards } => {
                 let (node, admin) = FleetShardedNode::connect(
@@ -306,6 +325,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
                         ..ShardedConfig::default()
                     },
                     spec.collectors.ledger_capacity,
+                    rebalance_cfg,
                     &mut peers,
                 );
                 fleet_admin = Some(admin);
@@ -319,6 +339,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
                         timeout_ns: spec.collectors.timeout_ns,
                         min_unacked: spec.collectors.min_unacked,
                         ledger_capacity: spec.collectors.ledger_capacity,
+                        rebalance: rebalance_cfg,
                     },
                     &mut peers,
                     tor,
@@ -483,6 +504,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             }
             admin.signal(FleetEvent::Rejoin { collector: f.victim });
         }
+        if let Some(rb) = &spec.rebalance {
+            // Fence up: the rejoined victim starts reclaiming its key
+            // range while emission is still live.
+            net.run_until(SimTime::from_nanos(rb.start_at_ns.min(deadline)));
+            admin.signal(FleetEvent::Rebalance { collector: f.victim });
+        }
     }
     net.run_until(SimTime::from_nanos(deadline));
     mark(4, &mut __t);
@@ -502,7 +529,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     }
 
     let tor_node: Box<dyn std::any::Any> = net.remove_node(tor).expect("translator node");
-    let (translator_stats, translator_node_stats, per_shard, sharded_executed, failover, table) =
+    let (translator_stats, translator_node_stats, per_shard, sharded_executed, failover, rebalance, table) =
         if fleet {
             if sharded_tor {
                 let mut node =
@@ -517,22 +544,22 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
                     per_shard.extend(run.shards.iter().map(|s| s.translator.reports_in));
                     executed += run.executed;
                 }
-                (translator, node_stats, per_shard, Some(executed), rep.failover, Some(rep.table))
+                (translator, node_stats, per_shard, Some(executed), rep.failover, rep.rebalance, Some(rep.table))
             } else {
                 let mut node = tor_node.downcast::<FleetTranslatorNode>().expect("fleet node");
                 let node_stats = node.stats;
                 let rep = node.finish();
-                (rep.translator, node_stats, Vec::new(), None, rep.failover, Some(rep.table))
+                (rep.translator, node_stats, Vec::new(), None, rep.failover, rep.rebalance, Some(rep.table))
             }
         } else if sharded_tor {
             let mut node = tor_node.downcast::<ShardedTranslatorNode>().expect("sharded node");
             let node_stats = node.stats;
             let run = node.finish().expect("pipeline not yet finished");
             let per_shard = run.shards.iter().map(|s| s.translator.reports_in).collect();
-            (run.translator, node_stats, per_shard, Some(run.executed), FailoverStats::default(), None)
+            (run.translator, node_stats, per_shard, Some(run.executed), FailoverStats::default(), None, None)
         } else {
             let node = tor_node.downcast::<TranslatorNode>().expect("translator type");
-            (node.translator.stats, node.stats, Vec::new(), None, FailoverStats::default(), None)
+            (node.translator.stats, node.stats, Vec::new(), None, FailoverStats::default(), None, None)
         };
 
     // The victim of a genuine kill lives in `parked_victim`, not the
@@ -602,6 +629,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             executed,
             collector: collector_stats,
             failover,
+            rebalance,
             queries,
         },
         memory,
@@ -685,6 +713,12 @@ fn audit_fleet(
         let mut outcome = dta_collector::QueryOutcome::NotFound;
         for &c in std::iter::once(&owner).chain(alive.iter().filter(|&&c| c != owner)) {
             let Some(kw) = nodes[c].service.keywrite.as_ref() else { continue };
+            if c != owner {
+                // Every probe past the routed owner is scattered state a
+                // rebalance would have repatriated — a released rebalance
+                // audit pins this count to zero.
+                q.fanout_lookups += 1;
+            }
             outcome = kw.query(key, spec.traffic.kw_redundancy as usize, QueryPolicy::Plurality);
             if !matches!(outcome, dta_collector::QueryOutcome::NotFound) {
                 break;

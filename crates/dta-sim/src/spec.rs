@@ -11,7 +11,7 @@
 use dta_collector::ServiceConfig;
 use dta_net::{FaultConfig, LinkConfig};
 use dta_reporter::RetransmitPolicy;
-use dta_translator::{RateLimiterConfig, TranslatorConfig};
+use dta_translator::{MigrationFaults, RateLimiterConfig, TranslatorConfig};
 
 /// Which translator pipeline fronts the collector's ToR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +97,45 @@ impl CollectorFaultPlan {
     /// Kill `victim` at `kill_at_ns`, no rejoin.
     pub fn kill(victim: u32, kill_at_ns: u64) -> Self {
         CollectorFaultPlan { victim, kill_at_ns, rejoin_at_ns: None, spurious: false }
+    }
+}
+
+/// A scheduled live rebalance: after the fault plan's victim rejoins, the
+/// fleet migrates the victim's key range back from its failover owner under
+/// an epoch fence (see `dta_translator::rebalance`). The plan names *when*
+/// the handoff starts and how the migration machinery is sized; the victim
+/// is always the rejoined collector of [`CollectorFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancePlan {
+    /// Simulated time the fence goes up (must be after
+    /// [`CollectorFaultPlan::rejoin_at_ns`] — there is nothing to migrate
+    /// back to before the victim is readmitted).
+    pub start_at_ns: u64,
+    /// Bound on concurrently *active* (non-terminal) fence entries.
+    /// Eviction is counted, never silent (> 0).
+    pub fence_capacity: usize,
+    /// Bound on drain reads in flight ([`dta_translator::MigrationLedger`],
+    /// > 0).
+    pub ledger_capacity: usize,
+    /// Entries armed / drained per pump tick.
+    pub drain_batch: usize,
+    /// Retransmit timer for unacknowledged migration ops.
+    pub retry_ns: u64,
+    /// Fault injection on the migration path itself (drop / duplicate /
+    /// pairwise-reorder dice over migration reads and zero-writes).
+    pub faults: MigrationFaults,
+}
+
+impl Default for RebalancePlan {
+    fn default() -> Self {
+        RebalancePlan {
+            start_at_ns: 36_000,
+            fence_capacity: 1024,
+            ledger_capacity: 256,
+            drain_batch: 16,
+            retry_ns: 8_000,
+            faults: MigrationFaults::default(),
+        }
     }
 }
 
@@ -321,6 +360,10 @@ pub struct ScenarioSpec {
     /// Collector tier: fleet size, failover tuning, optional fail-stop
     /// fault (single collector, no fault by default).
     pub collectors: CollectorPlan,
+    /// Optional post-rejoin key-range migration back to the rejoined
+    /// collector (requires `collectors.fault` with a rejoin; `None` by
+    /// default).
+    pub rebalance: Option<RebalancePlan>,
     /// Translator pipeline at the ToR.
     pub mode: TranslatorMode,
     /// Translator sizing (shared by both modes; the sharded mode clones it
@@ -351,6 +394,7 @@ impl Default for ScenarioSpec {
             faults: FaultPlan::none(),
             congestion: CongestionPlan::none(),
             collectors: CollectorPlan::single(),
+            rebalance: None,
             mode: TranslatorMode::SingleThreaded,
             translator: TranslatorConfig::default(),
             service: ServiceConfig::default(),
@@ -500,6 +544,33 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(rb) = &self.rebalance {
+            // A rebalance migrates the victim's key range *back* to it:
+            // without a fault-and-rejoin there is no churn to heal.
+            let Some(fault) = &self.collectors.fault else {
+                return Err("rebalance configured but collectors.fault is None: \
+                     there is no membership churn to rebalance after"
+                    .into());
+            };
+            let Some(rejoin) = fault.rejoin_at_ns else {
+                return Err("rebalance needs collectors.fault.rejoin_at_ns: \
+                     the migration target is the rejoined victim".into());
+            };
+            if rb.start_at_ns <= rejoin {
+                return Err(format!(
+                    "rebalance.start_at_ns ({}) must come after the rejoin ({})",
+                    rb.start_at_ns, rejoin
+                ));
+            }
+            if rb.fence_capacity == 0 || rb.ledger_capacity == 0 {
+                return Err("rebalance fence/ledger capacities must be >= 1 \
+                     (a zero bound would evict every entry on arrival)"
+                    .into());
+            }
+            if rb.drain_batch == 0 {
+                return Err("rebalance.drain_batch must be >= 1".into());
+            }
+        }
         if self.tick_ns == 0 || self.reports_per_tick == 0 {
             return Err("pacing must be positive".into());
         }
@@ -629,6 +700,24 @@ impl ScenarioSpec {
             ..ScenarioSpec::default()
         };
         spec.service.nic = spec.service.nic.with_ack_coalesce(8);
+        spec
+    }
+
+    /// Rebalance preset: the failover fleet with a rejoin and a scheduled
+    /// key-range migration back to the victim — the `scenario_rebalance`
+    /// bench phase and the rebalance-suite workload. Timeline: kill at
+    /// 12us, rejoin at 28us, fence up at 36us; `ops_per_reporter` is
+    /// doubled versus the failover preset so emission (~52us of paced
+    /// traffic) is still live through the whole fence/drain window — the
+    /// suite wants double-writes and increment deferral exercised by real
+    /// concurrent load, not a quiesced handoff.
+    pub fn rebalance(mode: TranslatorMode) -> Self {
+        let mut spec = ScenarioSpec::failover(mode);
+        spec.ops_per_reporter = 96;
+        if let Some(fault) = &mut spec.collectors.fault {
+            fault.rejoin_at_ns = Some(28_000);
+        }
+        spec.rebalance = Some(RebalancePlan::default());
         spec
     }
 
@@ -787,6 +876,43 @@ mod tests {
         s.collectors.count = 0;
         assert!(s.validate().is_err());
         s.collectors.count = 16; // K=4 has exactly 16 hosts
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rebalance_plans_validate() {
+        // The shipped rebalance preset is internally consistent in both
+        // modes.
+        assert_eq!(ScenarioSpec::rebalance(TranslatorMode::SingleThreaded).validate(), Ok(()));
+        assert_eq!(
+            ScenarioSpec::rebalance(TranslatorMode::Sharded { shards: 4 }).validate(),
+            Ok(())
+        );
+        // A rebalance without any collector fault has no churn to heal.
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.collectors.fault = None;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("collectors.fault"), "unexpected error: {err}");
+        // ...and without a rejoin there is no migration target.
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.collectors.fault.as_mut().unwrap().rejoin_at_ns = None;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("rejoin_at_ns"), "unexpected error: {err}");
+        // The fence cannot go up before the victim is back.
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.rebalance.as_mut().unwrap().start_at_ns = 28_000;
+        assert!(s.validate().is_err());
+        s.rebalance.as_mut().unwrap().start_at_ns = 28_001;
+        assert_eq!(s.validate(), Ok(()));
+        // Zero-sized migration bounds would evict everything on arrival.
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.rebalance.as_mut().unwrap().fence_capacity = 0;
+        assert!(s.validate().is_err());
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.rebalance.as_mut().unwrap().ledger_capacity = 0;
+        assert!(s.validate().is_err());
+        let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
+        s.rebalance.as_mut().unwrap().drain_batch = 0;
         assert!(s.validate().is_err());
     }
 

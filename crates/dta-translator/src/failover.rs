@@ -38,16 +38,21 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use dta_collector::layout::{CmsLayout, KwLayout};
 use dta_collector::service::{CollectorService, SERVICE_CMS, SERVICE_KW};
 use dta_core::framing::UdpPacket;
-use dta_core::{DtaReport, PrimitiveHeader, DTA_UDP_PORT};
+use dta_core::{DtaReport, PrimitiveHeader, TelemetryKey, DTA_UDP_PORT};
 use dta_hash::scratch::KeyScratch;
 use dta_net::{Emission, NetNode, NodeId, Packet, SimTime};
 use dta_rdma::cm::CmRequester;
-use dta_rdma::packet::{RocePacket, ROCE_UDP_PORT};
+use dta_rdma::mr::MemoryRegion;
+use dta_rdma::packet::{Opcode, Reth, RocePacket, ROCE_UDP_PORT};
 
 use crate::node::TranslatorNodeStats;
 use crate::partition::{collector_route, collector_route_list};
+use crate::rebalance::{
+    link_of, MigPrimitive, RebalanceConfig, RebalanceDriver, RebalanceStats, WireEmission, WireKind,
+};
 use crate::shard::{ReportOrigin, ShardedConfig, ShardedRunReport, ShardedTranslator};
 use crate::translator::{Translator, TranslatorConfig, TranslatorOutput, TranslatorStats};
 
@@ -149,6 +154,14 @@ impl CollectorRoutingTable {
         true
     }
 
+    /// Bump the epoch without a membership change — the rebalance fence
+    /// and release bumps, which change *interpretation* (double-write vs
+    /// single-owner) rather than the alive set.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// The always-alive-primary owner for a key checksum.
     pub fn primary_checksum(&self, checksum: u32) -> u32 {
         collector_route(checksum, self.len())
@@ -204,6 +217,12 @@ pub enum FleetEvent {
     /// Re-admit a previously failed collector.
     Rejoin {
         /// Fleet index of the rejoining collector.
+        collector: u32,
+    },
+    /// Start the epoch-fenced migration of `collector`'s stranded key
+    /// range back from its fallback owners (after a rejoin).
+    Rebalance {
+        /// Fleet index of the rejoined collector.
         collector: u32,
     },
 }
@@ -367,6 +386,9 @@ pub struct FailoverStats {
     pub ledger_resident: u64,
     /// Final routing-table epoch.
     pub epoch: u64,
+    /// Duplicate `Kill`/`Rejoin`-class events ignored in the same epoch
+    /// (idempotence hardening: a repeat must not double-bump the epoch).
+    pub duplicate_events: u64,
 }
 
 impl FailoverStats {
@@ -394,6 +416,9 @@ pub struct FleetConfig {
     pub min_unacked: u64,
     /// Per-collector replay-window capacity.
     pub ledger_capacity: usize,
+    /// Rebalance sizing; `None` disables migration (no migration QPs are
+    /// even connected).
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 /// Aggregated results of a single-threaded fleet run.
@@ -403,6 +428,8 @@ pub struct FleetRunReport {
     pub translator: TranslatorStats,
     /// Failover counters.
     pub failover: FailoverStats,
+    /// Rebalance counters, when a rebalance was configured.
+    pub rebalance: Option<RebalanceStats>,
     /// Final routing table (drives the survivor-side audit).
     pub table: CollectorRoutingTable,
 }
@@ -414,8 +441,59 @@ pub struct FleetShardedRunReport {
     pub runs: Vec<ShardedRunReport>,
     /// Failover counters.
     pub failover: FailoverStats,
+    /// Rebalance counters, when a rebalance was configured.
+    pub rebalance: Option<RebalanceStats>,
     /// Final routing table.
     pub table: CollectorRoutingTable,
+}
+
+/// One migration QP's addressing inside the single-threaded fleet node.
+#[derive(Debug, Clone, Copy)]
+struct MigLink {
+    /// Requester-side QPN (responses and ACKs name it).
+    req_qpn: u32,
+    /// Responder QPN at the collector.
+    dest_qpn: u32,
+    /// Remote key of the target region.
+    rkey: u32,
+}
+
+/// Rebalance state of the single-threaded fleet node: the driver plus the
+/// dedicated migration QPs (slots 2/3 per collector, separate from the
+/// report-path service QPs so migration traffic never perturbs report
+/// PSNs or the completion-timeout accounting).
+struct FleetRebalance {
+    driver: RebalanceDriver,
+    /// Indexed by [`link_of`]; `None` when the service is disabled.
+    links: Vec<Option<MigLink>>,
+    emission_buf: Vec<WireEmission>,
+    replay_buf: Vec<(DtaReport, ReportOrigin)>,
+}
+
+/// Rebalance state of the sharded fleet node: migration verbs execute
+/// in-process against per-collector region clones, behind a per-link
+/// expected-PSN check that mirrors the RoCE responder (so injected
+/// duplicates and reorders exercise the same dup-drop / NAK recovery).
+struct ShardedRebalance {
+    driver: RebalanceDriver,
+    /// Per-collector `(KW, CMS)` region clones.
+    regions: Vec<(Option<MemoryRegion>, Option<MemoryRegion>)>,
+    /// Per-link responder expected PSN (indexed by [`link_of`]).
+    expected_psn: Vec<u32>,
+    emission_buf: Vec<WireEmission>,
+    replay_buf: Vec<(DtaReport, ReportOrigin)>,
+}
+
+/// `(primitive, key, redundancy)` of a migratable report (KW / INC only;
+/// the other primitives are not fleet-routed by key).
+fn migratable(report: &DtaReport) -> Option<(MigPrimitive, &TelemetryKey, u8)> {
+    match &report.primitive {
+        PrimitiveHeader::KeyWrite(h) => Some((MigPrimitive::KeyWrite, &h.key, h.redundancy)),
+        PrimitiveHeader::KeyIncrement(h) => {
+            Some((MigPrimitive::KeyIncrement, &h.key, h.redundancy))
+        }
+        _ => None,
+    }
 }
 
 /// One collector's connection state inside the single-threaded fleet node.
@@ -483,6 +561,7 @@ pub struct FleetTranslatorNode {
     scratch: TranslatorOutput,
     event_buf: Vec<FleetEvent>,
     replay_buf: Vec<LedgerEntry>,
+    rebalance: Option<FleetRebalance>,
     /// Per-node counters (shared shape with the single-collector node).
     pub stats: TranslatorNodeStats,
     /// Failover counters.
@@ -505,6 +584,8 @@ impl FleetTranslatorNode {
     ) -> (Self, FleetAdmin) {
         assert!(!peers.is_empty(), "a fleet needs at least one collector");
         let mut endpoints = Vec::with_capacity(peers.len());
+        let mut mig_links: Vec<Option<MigLink>> = vec![None; peers.len() * 2];
+        let mut mig_layouts: (Option<KwLayout>, Option<CmsLayout>) = (None, None);
         for (c, (node, ip, svc)) in peers.iter_mut().enumerate() {
             let mut translator = Translator::new(config.translator.clone());
             let mut links = Vec::new();
@@ -520,6 +601,39 @@ impl FleetTranslatorNode {
                     _ => translator.connect_key_increment(qp, params),
                 }
             }
+            // Dedicated migration QPs (slots 2/3), only when a rebalance is
+            // planned: reads + zero-writes ride their own PSN spaces.
+            if config.rebalance.is_some() {
+                for (slot, service) in [(2u32, SERVICE_KW), (3u32, SERVICE_CMS)] {
+                    let requester = CmRequester::new(fleet_qpn(c as u32, slot), 0);
+                    // A dedicated responder QP per migration link:
+                    // re-accepting the service's published QP would splice
+                    // this requester into the service connection's PSN
+                    // stream (and repoint its ACKs here).
+                    let reply = svc.handle_cm_dedicated(&requester.request(service));
+                    let Ok((qp, params)) = requester.complete(&reply) else {
+                        continue;
+                    };
+                    let primitive = if service == SERVICE_KW {
+                        mig_layouts.0.get_or_insert(KwLayout {
+                            base_va: params.base_va,
+                            slots: params.slots,
+                            value_bytes: params.slot_bytes - KwLayout::CSUM_BYTES,
+                        });
+                        MigPrimitive::KeyWrite
+                    } else {
+                        mig_layouts
+                            .1
+                            .get_or_insert(CmsLayout { base_va: params.base_va, slots: params.slots });
+                        MigPrimitive::KeyIncrement
+                    };
+                    mig_links[link_of(c as u32, primitive) as usize] = Some(MigLink {
+                        req_qpn: qp.qpn,
+                        dest_qpn: params.qpn,
+                        rkey: params.rkey,
+                    });
+                }
+            }
             endpoints.push(Endpoint {
                 node: *node,
                 ip: *ip,
@@ -530,6 +644,12 @@ impl FleetTranslatorNode {
                 naks_handled: Vec::new(),
             });
         }
+        let rebalance = config.rebalance.map(|rb| FleetRebalance {
+            driver: RebalanceDriver::new(rb, mig_layouts.0, mig_layouts.1),
+            links: mig_links,
+            emission_buf: Vec::new(),
+            replay_buf: Vec::new(),
+        });
         let n = endpoints.len() as u32;
         let admin = FleetAdmin::new();
         let node = FleetTranslatorNode {
@@ -545,6 +665,7 @@ impl FleetTranslatorNode {
             scratch: TranslatorOutput::default(),
             event_buf: Vec::new(),
             replay_buf: Vec::new(),
+            rebalance,
             stats: TranslatorNodeStats::default(),
             failover: FailoverStats::default(),
         };
@@ -569,6 +690,15 @@ impl FleetTranslatorNode {
         };
         let checksum = self.key_scratch.digests(key.as_bytes(), 0).checksum;
         (self.table.owner_checksum(checksum), self.table.primary_checksum(checksum))
+    }
+
+    /// Record a reroute in the migration fence (reroute sites: receive,
+    /// fail-time window replay, NAK replay).
+    fn record_fence(&mut self, report: &DtaReport, fallback_owner: u32) {
+        let Some(rb) = self.rebalance.as_mut() else { return };
+        let Some((primitive, key, redundancy)) = migratable(report) else { return };
+        let checksum = self.key_scratch.digests(key.as_bytes(), 0).checksum;
+        rb.driver.fence_record(primitive, key, checksum, redundancy, fallback_owner);
     }
 
     /// Translate `report` on collector `owner`'s endpoint, emit the RoCE
@@ -616,7 +746,8 @@ impl FleetTranslatorNode {
     /// and replay its whole ledger window through the survivors.
     fn fail(&mut self, now_ns: u64, c: u32, out: &mut Vec<Emission>) {
         if !self.table.mark_dead(c) {
-            return; // already failed over
+            self.failover.duplicate_events += 1;
+            return; // already failed over: idempotent no-op
         }
         self.failover.failovers += 1;
         self.failover.epoch = self.table.epoch();
@@ -630,8 +761,11 @@ impl FleetTranslatorNode {
             if entry.acked {
                 self.failover.replayed_acked += 1;
             }
-            let (owner, _) = self.route(&entry.report);
+            let (owner, primary) = self.route(&entry.report);
             debug_assert_ne!(owner, c, "table must not route to a dead collector");
+            if owner != primary {
+                self.record_fence(&entry.report, owner);
+            }
             self.translate_to(owner, now_ns, &entry.report, entry.origin, out);
         }
         self.replay_buf = window;
@@ -643,16 +777,89 @@ impl FleetTranslatorNode {
     /// from the ledger.
     fn rejoin(&mut self, now_ns: u64, c: u32) {
         if !self.table.mark_alive(c) {
+            self.failover.duplicate_events += 1;
             return;
         }
         self.failover.rejoins += 1;
         self.failover.epoch = self.table.epoch();
+        if let Some(rb) = self.rebalance.as_mut() {
+            rb.driver.on_rejoin(c);
+        }
         let ep = &mut self.endpoints[c as usize];
         ep.last_progress_ns = now_ns;
         ep.sends_since_response = 0;
         // A readmitted node starts a fresh recovery round; its resync
         // NAKs must be handled anew.
         ep.naks_handled.clear();
+    }
+
+    /// Fence the routing table and start draining the stranded range.
+    fn start_rebalance(&mut self, c: u32) {
+        if self.rebalance.is_none() || !self.table.is_alive(c) {
+            return; // no plan, or the victim never rejoined
+        }
+        let epoch = self.table.bump_epoch();
+        self.failover.epoch = epoch;
+        self.rebalance.as_mut().unwrap().driver.start_drain(epoch);
+    }
+
+    /// Migration-link id for a requester QPN, if it names a migration QP.
+    fn mig_link_for(&self, req_qpn: u32) -> Option<u32> {
+        let rb = self.rebalance.as_ref()?;
+        rb.links
+            .iter()
+            .position(|l| matches!(l, Some(link) if link.req_qpn == req_qpn))
+            .map(|i| i as u32)
+    }
+
+    /// Drive the migration: release check, wire emissions, and replays.
+    fn pump_rebalance(&mut self, now_ns: u64, out: &mut Vec<Emission>) {
+        let ready = self.rebalance.as_ref().map(|rb| rb.driver.release_ready()).unwrap_or(false);
+        if ready {
+            let epoch = self.table.bump_epoch();
+            self.failover.epoch = epoch;
+            self.rebalance.as_mut().unwrap().driver.mark_released(epoch);
+        }
+        let Some(rb) = self.rebalance.as_mut() else { return };
+        let mut emissions = std::mem::take(&mut rb.emission_buf);
+        emissions.clear();
+        rb.driver.pump(now_ns, &mut emissions);
+        for e in &emissions {
+            let Some(link) = self.rebalance.as_ref().unwrap().links[e.link as usize] else {
+                continue;
+            };
+            let ep = &self.endpoints[e.collector() as usize];
+            let reth = Reth { va: e.va, rkey: link.rkey, dma_len: e.len };
+            let pkt = match e.kind {
+                WireKind::Read => RocePacket::read_request(link.dest_qpn, e.psn, reth),
+                WireKind::WriteZero => {
+                    let mut p =
+                        RocePacket::write(link.dest_qpn, e.psn, reth, vec![0u8; e.len as usize].into());
+                    // Solicit an immediate ACK: migration completion must
+                    // not wait out the service-QP coalescing window.
+                    p.bth.solicited = true;
+                    p
+                }
+                WireKind::FetchAdd => {
+                    let mut p =
+                        RocePacket::fetch_add(link.dest_qpn, e.psn, e.va, link.rkey, e.arg);
+                    p.bth.solicited = true;
+                    p
+                }
+            };
+            let udp = UdpPacket::frame(self.my_ip, ROCE_UDP_PORT, ep.ip, ROCE_UDP_PORT, pkt.encode());
+            out.push(Emission::now(Packet::rdma(self.my_id, ep.node, udp.encode())));
+        }
+        self.rebalance.as_mut().unwrap().emission_buf = emissions;
+        // Drained state and released deferrals re-enter the report path.
+        let mut replays = std::mem::take(&mut self.rebalance.as_mut().unwrap().replay_buf);
+        replays.clear();
+        self.rebalance.as_mut().unwrap().driver.take_replays(&mut replays);
+        for (report, origin) in replays.drain(..) {
+            let (owner, _) = self.route(&report);
+            self.translate_to(owner, now_ns, &report, origin, out);
+        }
+        self.rebalance.as_mut().unwrap().replay_buf = replays;
     }
 
     /// Merge per-endpoint counters and close out the ledger accounting.
@@ -664,7 +871,12 @@ impl FleetTranslatorNode {
         self.failover.ledger_recorded = self.ledger.recorded;
         self.failover.ledger_evicted = self.ledger.evicted;
         self.failover.ledger_resident = self.ledger.resident();
-        FleetRunReport { translator, failover: self.failover, table: self.table.clone() }
+        FleetRunReport {
+            translator,
+            failover: self.failover,
+            rebalance: self.rebalance.as_mut().map(|rb| rb.driver.finish()),
+            table: self.table.clone(),
+        }
     }
 }
 
@@ -689,6 +901,23 @@ impl NetNode for FleetTranslatorNode {
                 let (owner, primary) = self.route(&report);
                 if owner != primary {
                     self.failover.rerouted += 1;
+                    self.record_fence(&report, owner);
+                } else if self.rebalance.is_some() {
+                    // Post-rejoin live traffic for a still-fenced key:
+                    // defer INC until its baseline lands, double-write KW
+                    // to the fallback owner until its copy is zeroed.
+                    if let Some((primitive, key, _)) = migratable(&report) {
+                        let checksum = self.key_scratch.digests(key.as_bytes(), 0).checksum;
+                        let rb = self.rebalance.as_mut().unwrap();
+                        if rb.driver.try_defer(primitive, checksum, &report, origin) {
+                            return; // re-emerges via take_replays
+                        }
+                        if primitive == MigPrimitive::KeyWrite {
+                            if let Some(fallback) = rb.driver.double_write_target(checksum) {
+                                self.translate_to(fallback, now.as_nanos(), &report, origin, out);
+                            }
+                        }
+                    }
                 }
                 self.translate_to(owner, now.as_nanos(), &report, origin, out);
             }
@@ -701,11 +930,25 @@ impl NetNode for FleetTranslatorNode {
                 let Some(c) = self.endpoints.iter().position(|ep| ep.node == packet.src) else {
                     return; // response from an unknown node: drop
                 };
-                let ep = &mut self.endpoints[c];
-                ep.last_progress_ns = now.as_nanos();
-                ep.sends_since_response = 0;
+                {
+                    let ep = &mut self.endpoints[c];
+                    ep.last_progress_ns = now.as_nanos();
+                    ep.sends_since_response = 0;
+                }
                 // ACKs and NAKs both name the *requester* QPN.
                 let qpn = roce.bth.dest_qp;
+                // Migration-QP traffic has its own completion protocol.
+                if let Some(link) = self.mig_link_for(qpn) {
+                    let rb = self.rebalance.as_mut().unwrap();
+                    if roce.bth.opcode == Opcode::ReadResponseOnly {
+                        rb.driver.on_read_response(link, roce.bth.psn, &roce.payload);
+                    } else if roce.is_nak() {
+                        rb.driver.on_nak(link, roce.bth.psn);
+                    } else {
+                        rb.driver.on_ack(link, roce.bth.psn);
+                    }
+                    return;
+                }
                 if roce.is_nak() {
                     // The responder NAKs *every* out-of-sequence arrival, so
                     // one gap produces a train of identical NAKs. Only the
@@ -714,6 +957,7 @@ impl NetNode for FleetTranslatorNode {
                     // PSN mid-recovery. PSNs never repeat within a run, so
                     // remembering the pair is sufficient.
                     let seen = (qpn, roce.bth.psn);
+                    let ep = &mut self.endpoints[c];
                     if ep.naks_handled.contains(&seen) {
                         return; // duplicate: liveness credit only
                     }
@@ -723,7 +967,10 @@ impl NetNode for FleetTranslatorNode {
                     self.ledger.drain_nak(c as u32, qpn, roce.bth.psn, &mut suffix);
                     for entry in suffix.drain(..) {
                         self.failover.nak_replayed += 1;
-                        let (owner, _) = self.route(&entry.report);
+                        let (owner, primary) = self.route(&entry.report);
+                        if owner != primary {
+                            self.record_fence(&entry.report, owner);
+                        }
                         self.translate_to(owner, now.as_nanos(), &entry.report, entry.origin, out);
                     }
                     self.replay_buf = suffix;
@@ -758,6 +1005,7 @@ impl NetNode for FleetTranslatorNode {
                     self.fail(now_ns, collector, out);
                 }
                 FleetEvent::Rejoin { collector } => self.rejoin(now_ns, collector),
+                FleetEvent::Rebalance { collector } => self.start_rebalance(collector),
             }
         }
         self.event_buf = events;
@@ -797,6 +1045,10 @@ impl NetNode for FleetTranslatorNode {
                 out.push(Emission::now(Packet::rdma(my_id, ep.node, udp.encode())));
             }
         }
+        // 4. Migration progress (release check, wire ops, replays).
+        if self.rebalance.is_some() {
+            self.pump_rebalance(now_ns, out);
+        }
         true
     }
 }
@@ -822,6 +1074,7 @@ pub struct FleetShardedNode {
     key_scratch: KeyScratch,
     event_buf: Vec<FleetEvent>,
     replay_buf: Vec<LedgerEntry>,
+    rebalance: Option<ShardedRebalance>,
     /// Per-node counters (`roce_responses` stays 0 by construction).
     pub stats: TranslatorNodeStats,
     /// Failover counters.
@@ -831,13 +1084,35 @@ pub struct FleetShardedNode {
 impl FleetShardedNode {
     /// Build one sharded pipeline per collector in `peers` (fleet order).
     /// Call before moving the services into their own network nodes: shard
-    /// NIC endpoints clone each collector's region registry.
+    /// NIC endpoints clone each collector's region registry (as do the
+    /// migration region handles when `rebalance` is set).
     pub fn connect(
         sharded: &ShardedConfig,
         ledger_capacity: usize,
+        rebalance: Option<RebalanceConfig>,
         peers: &mut [(NodeId, u32, &mut CollectorService)],
     ) -> (Self, FleetAdmin) {
         assert!(!peers.is_empty(), "a fleet needs at least one collector");
+        let rebalance = rebalance.map(|rb| {
+            let regions: Vec<(Option<MemoryRegion>, Option<MemoryRegion>)> = peers
+                .iter()
+                .map(|(_, _, svc)| {
+                    (
+                        svc.keywrite.as_ref().map(|s| s.region().clone()),
+                        svc.key_increment.as_ref().map(|s| s.region().clone()),
+                    )
+                })
+                .collect();
+            let kw = peers[0].2.keywrite.as_ref().map(|s| *s.layout());
+            let cms = peers[0].2.key_increment.as_ref().map(|s| *s.layout());
+            ShardedRebalance {
+                driver: RebalanceDriver::new(rb, kw, cms),
+                expected_psn: vec![0; regions.len() * 2],
+                regions,
+                emission_buf: Vec::new(),
+                replay_buf: Vec::new(),
+            }
+        });
         let pipelines: Vec<ShardedTranslator> = peers
             .iter_mut()
             .map(|(_, _, svc)| ShardedTranslator::connect(sharded.clone(), svc))
@@ -852,6 +1127,7 @@ impl FleetShardedNode {
             key_scratch: KeyScratch::new(16 * 1024, 1),
             event_buf: Vec::new(),
             replay_buf: Vec::new(),
+            rebalance,
             stats: TranslatorNodeStats::default(),
             failover: FailoverStats::default(),
         };
@@ -878,10 +1154,33 @@ impl FleetShardedNode {
         (self.table.owner_checksum(checksum), self.table.primary_checksum(checksum))
     }
 
+    /// Record a reroute in the migration fence (mirrors the single-node
+    /// reroute sites; the sharded node has no NAK path).
+    fn record_fence(&mut self, report: &DtaReport, fallback_owner: u32) {
+        let Some(rb) = self.rebalance.as_mut() else { return };
+        let Some((primitive, key, redundancy)) = migratable(report) else { return };
+        let checksum = self.key_scratch.digests(key.as_bytes(), 0).checksum;
+        rb.driver.fence_record(primitive, key, checksum, redundancy, fallback_owner);
+    }
+
+    /// Ledger and ingest `report` into collector `owner`'s pipeline.
+    fn ingest_to(&mut self, owner: u32, now_ns: u64, report: DtaReport, origin: ReportOrigin) {
+        self.ledger.record(LedgerEntry {
+            collector: owner,
+            qpn: 0,
+            last_psn: 0,
+            acked: true,
+            report: report.clone(),
+            origin,
+        });
+        self.pipelines[owner as usize].ingest_from(now_ns, report, origin);
+    }
+
     /// Fail collector `c`: barrier its pipeline, then replay its window
     /// into the surviving pipelines.
     fn fail(&mut self, now_ns: u64, c: u32) {
         if !self.table.mark_dead(c) {
+            self.failover.duplicate_events += 1;
             return;
         }
         self.failover.failovers += 1;
@@ -895,8 +1194,11 @@ impl FleetShardedNode {
             if entry.acked {
                 self.failover.replayed_acked += 1;
             }
-            let (owner, _) = self.route(&entry.report);
+            let (owner, primary) = self.route(&entry.report);
             debug_assert_ne!(owner, c, "table must not route to a dead collector");
+            if owner != primary {
+                self.record_fence(&entry.report, owner);
+            }
             self.ledger.record(LedgerEntry { collector: owner, acked: true, ..entry.clone() });
             self.pipelines[owner as usize].ingest_from(now_ns, entry.report, entry.origin);
         }
@@ -907,10 +1209,85 @@ impl FleetShardedNode {
     /// purely a routing change.
     fn rejoin(&mut self, c: u32) {
         if !self.table.mark_alive(c) {
+            self.failover.duplicate_events += 1;
             return;
         }
         self.failover.rejoins += 1;
         self.failover.epoch = self.table.epoch();
+        if let Some(rb) = self.rebalance.as_mut() {
+            rb.driver.on_rejoin(c);
+        }
+    }
+
+    /// Fence the routing table and start draining the stranded range.
+    fn start_rebalance(&mut self, c: u32) {
+        if self.rebalance.is_none() || !self.table.is_alive(c) {
+            return; // no plan, or the victim never rejoined
+        }
+        let epoch = self.table.bump_epoch();
+        self.failover.epoch = epoch;
+        self.rebalance.as_mut().unwrap().driver.start_drain(epoch);
+    }
+
+    /// Drive the migration in-process: each emission faces the same
+    /// expected-PSN responder discipline as a RoCE NIC (dup → silent
+    /// drop, gap → NAK), then executes against the region clone.
+    fn pump_rebalance(&mut self, now_ns: u64) {
+        let ready = self.rebalance.as_ref().map(|rb| rb.driver.release_ready()).unwrap_or(false);
+        if ready {
+            let epoch = self.table.bump_epoch();
+            self.failover.epoch = epoch;
+            self.rebalance.as_mut().unwrap().driver.mark_released(epoch);
+        }
+        let Some(rb) = self.rebalance.as_mut() else { return };
+        let mut emissions = std::mem::take(&mut rb.emission_buf);
+        emissions.clear();
+        rb.driver.pump(now_ns, &mut emissions);
+        for e in emissions.drain(..) {
+            let rb = self.rebalance.as_mut().unwrap();
+            let expected = rb.expected_psn[e.link as usize];
+            if e.psn < expected {
+                continue; // duplicate: the responder PSN-drops it silently
+            }
+            if e.psn > expected {
+                rb.driver.on_nak(e.link, expected);
+                continue; // gap: NAK names the expected PSN
+            }
+            let collector = e.collector() as usize;
+            let region = match e.primitive() {
+                MigPrimitive::KeyWrite => rb.regions[collector].0.clone(),
+                MigPrimitive::KeyIncrement => rb.regions[collector].1.clone(),
+            };
+            let Some(region) = region else { continue };
+            // Barrier the target pipeline: in-process "RDMA" must observe
+            // every ingested report, like a wire op behind FIFO delivery.
+            self.pipelines[collector].wait_idle();
+            let rb = self.rebalance.as_mut().unwrap();
+            match e.kind {
+                WireKind::Read => {
+                    let data = region.peek(e.va, e.len as usize).expect("migration read in region");
+                    rb.driver.on_read_response(e.link, e.psn, &data);
+                }
+                WireKind::WriteZero => {
+                    region.write(e.va, &vec![0u8; e.len as usize]).expect("migration zero write");
+                    rb.driver.on_ack(e.link, e.psn);
+                }
+                WireKind::FetchAdd => {
+                    region.fetch_add(e.va, e.arg).expect("migration fetch-add");
+                    rb.driver.on_ack(e.link, e.psn);
+                }
+            }
+            rb.expected_psn[e.link as usize] = e.psn + 1;
+        }
+        self.rebalance.as_mut().unwrap().emission_buf = emissions;
+        let mut replays = std::mem::take(&mut self.rebalance.as_mut().unwrap().replay_buf);
+        replays.clear();
+        self.rebalance.as_mut().unwrap().driver.take_replays(&mut replays);
+        for (report, origin) in replays.drain(..) {
+            let (owner, _) = self.route(&report);
+            self.ingest_to(owner, now_ns, report, origin);
+        }
+        self.rebalance.as_mut().unwrap().replay_buf = replays;
     }
 
     /// Barrier, flush, and join every pipeline; close the ledger
@@ -932,6 +1309,7 @@ impl FleetShardedNode {
         Some(FleetShardedRunReport {
             runs,
             failover: self.failover,
+            rebalance: self.rebalance.as_mut().map(|rb| rb.driver.finish()),
             table: self.table.clone(),
         })
     }
@@ -961,18 +1339,24 @@ impl NetNode for FleetShardedNode {
                 let (owner, primary) = self.route(&report);
                 if owner != primary {
                     self.failover.rerouted += 1;
+                    self.record_fence(&report, owner);
+                } else if self.rebalance.is_some() {
+                    if let Some((primitive, key, _)) = migratable(&report) {
+                        let checksum = self.key_scratch.digests(key.as_bytes(), 0).checksum;
+                        let rb = self.rebalance.as_mut().unwrap();
+                        if rb.driver.try_defer(primitive, checksum, &report, origin) {
+                            return; // re-emerges via take_replays
+                        }
+                        if primitive == MigPrimitive::KeyWrite {
+                            if let Some(fallback) = rb.driver.double_write_target(checksum) {
+                                self.ingest_to(fallback, now.as_nanos(), report.clone(), origin);
+                            }
+                        }
+                    }
                 }
                 // Execution is in-process and ordered behind this ingest;
                 // the entry is born acked (see type docs).
-                self.ledger.record(LedgerEntry {
-                    collector: owner,
-                    qpn: 0,
-                    last_psn: 0,
-                    acked: true,
-                    report: report.clone(),
-                    origin,
-                });
-                self.pipelines[owner as usize].ingest_from(now.as_nanos(), report, origin);
+                self.ingest_to(owner, now.as_nanos(), report, origin);
             }
             ROCE_UDP_PORT => {
                 // Shard endpoints answer RDMA in-process; RoCE over the
@@ -1007,9 +1391,13 @@ impl NetNode for FleetShardedNode {
                     self.fail(now.as_nanos(), collector);
                 }
                 FleetEvent::Rejoin { collector } => self.rejoin(collector),
+                FleetEvent::Rebalance { collector } => self.start_rebalance(collector),
             }
         }
         self.event_buf = events;
+        if self.rebalance.is_some() {
+            self.pump_rebalance(now.as_nanos());
+        }
         true
     }
 }

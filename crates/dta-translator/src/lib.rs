@@ -29,6 +29,7 @@ pub mod partition;
 mod pool;
 pub mod postcard_cache;
 pub mod ratelimit;
+pub mod rebalance;
 pub mod resources;
 pub mod shard;
 pub mod spsc;
@@ -44,6 +45,10 @@ pub use node::{ShardedTranslatorNode, TranslatorNode};
 pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};
 pub use ratelimit::{RateLimiter, RateLimiterConfig};
+pub use rebalance::{
+    MigPrimitive, MigrationFaults, MigrationLedger, RebalanceConfig, RebalanceDriver,
+    RebalanceStats, WireEmission, WireKind,
+};
 pub use resources::{translator_footprint, TranslatorFeatures};
 pub use shard::{
     NackRecord, ReportOrigin, ShardRunReport, ShardedConfig, ShardedRunReport, ShardedTranslator,

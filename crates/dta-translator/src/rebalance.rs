@@ -1,0 +1,1441 @@
+//! Live fleet rebalance: epoch-fenced key-range migration after churn.
+//!
+//! PR 6's failover leaves a rejoined collector with its *routing* restored
+//! but its state stranded: everything written during the fault window sits
+//! on the survivor that covered for it. This module drives the three-phase
+//! handoff that moves it home, concurrently with live report traffic:
+//!
+//! 1. **fence** — every reroute during the fault window records the key in
+//!    a bounded fence (the reroute log doubles as the migration work list,
+//!    because the CMS is not invertible: we cannot enumerate rerouted keys
+//!    from collector memory after the fact). Live reports for fenced keys
+//!    are handled per primitive: write-once Key-Write may be double-written
+//!    to the old fallback owner, commutative Key-Increment is *deferred*
+//!    between rejoin and baseline capture (see below).
+//! 2. **drain** — for each fenced key, read the fallback owner's slot over
+//!    the migration QP and replay the content to the restored primary as an
+//!    ordinary DTA report through the post-fence routing table; then zero
+//!    the fallback owner's slots so its region matches a run that never saw
+//!    the failure. A bounded [`MigrationLedger`] (counted eviction, closure
+//!    identity `scanned == transferred + skipped + resident`) caps drain
+//!    flight the way PR 6's `ReplayLedger` caps replay state.
+//! 3. **release** — once every fence entry is terminal and every wire op
+//!    acked, routing collapses back to single-owner at a second epoch bump
+//!    and the fence retires.
+//!
+//! # Key-Increment algebra (per slot)
+//!
+//! Fix one CMS slot `j` of a fenced key. Let `S_pre[j]` be the increments
+//! sent to the victim V before the kill, `A[j] ⊆ S_pre[j]` the subset V
+//! applied, `B[j]` the fault-window increments rerouted to the fallback
+//! owner F, and `C[j]` the post-rejoin increments. The no-failure twin
+//! holds `T[j] = S_pre[j] + B[j] + C[j]` at V and `0` at F. On kill, the
+//! replay ledger re-applies the *whole* window for V at F (acked entries
+//! included), so with a full ledger window F holds `x[j] = S_pre[j] +
+//! B[j]`. The driver reads a baseline `v_stale[j] = A[j]` from V at rejoin
+//! (the *arm* reads, one per slot), defers live increments for the key
+//! until every baseline lands, then transfers `delta[j] = x[j] -
+//! v_stale[j]` as a FETCH_ADD to V over the migration QP:
+//!
+//! ```text
+//! V_final[j] = A[j] + C[j] + (x[j] - A[j]) = S_pre[j] + B[j] + C[j] = T[j]
+//! ```
+//!
+//! and zeroing F's slots restores `F = 0 = twin` (all arithmetic u64
+//! wrapping). The correction absorbs both the deliberate double-apply of
+//! acked window entries and any in-flight packets V never applied — the
+//! same full-window assumption PR 6's merged byte-identity already needs.
+//!
+//! The transfer must be **per slot**, not one delta fanned across the
+//! key's redundancy copies through the report path: a report translates to
+//! one FETCH_ADD packet per slot, and a kill can land *between* them,
+//! applying a report at some of the key's slots and dropping it at the
+//! rest. The baselines `A[j]` then differ across `j`, and no single delta
+//! corrects them all. FETCH_ADD on the migration QP is exactly-once: PSNs
+//! are stable and the responder executes each PSN exactly once, so
+//! retransmitted adds never double-apply. Key-Write needs no baseline
+//! (write-once, whole value in every slot): drain replays the fallback
+//! copy through the report path and zeroes it.
+//!
+//! # Migration transport
+//!
+//! Non-idempotent transfers (the replayed reports) ride the normal report
+//! path, which PR 6 already made exactly-once. The migration QPs carry
+//! *only* idempotent verbs — RDMA READs and zero-WRITEs — under a
+//! go-back-N scheme with **stable PSNs**: a PSN is bound to an op at
+//! creation and never reused, so a late response can never complete the
+//! wrong op. Loss/duplication/reordering are injected at emission (per
+//! [`MigrationFaults`], deterministic splitmix64 dice); recovery is
+//! NAK-triggered resend plus a retry timer, both re-sending undone ops in
+//! original PSN order. READs complete only on a matching-PSN response
+//! (the data is needed); zero-WRITEs complete on cumulative ACK.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dta_collector::layout::{CmsLayout, KwLayout};
+use dta_core::{DtaReport, TelemetryKey};
+use dta_hash::polynomials::MAX_REDUNDANCY;
+use dta_hash::scratch::KeyScratch;
+
+use crate::shard::ReportOrigin;
+
+/// Fault injection on the migration path (requests only; responses and
+/// ACKs ride un-faulted, as in the PR 6 fleet transport). Probabilities
+/// are evaluated per emission with a seeded splitmix64 stream, so a run is
+/// a pure function of the scenario spec.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationFaults {
+    /// Probability of silently dropping an emitted request.
+    pub drop_chance: f64,
+    /// Probability of emitting a request twice (same PSN; the responder
+    /// PSN-drops the copy).
+    pub duplicate_chance: f64,
+    /// Probability of swapping a request with its predecessor in the same
+    /// emission batch (pairwise reorder; same-link swaps exercise the
+    /// responder's NAK path).
+    pub reorder_chance: f64,
+}
+
+impl MigrationFaults {
+    /// True when any injection is configured.
+    pub fn any(&self) -> bool {
+        self.drop_chance > 0.0 || self.duplicate_chance > 0.0 || self.reorder_chance > 0.0
+    }
+}
+
+/// Sizing and pacing of one rebalance run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Maximum *active* (non-terminal) fence entries; overflow skips the
+    /// oldest active entry (counted).
+    pub fence_capacity: usize,
+    /// Maximum fence entries in drain flight at once; overflow abandons
+    /// the oldest in-flight entry (counted), though its already-sent wire
+    /// ops still retransmit to completion so the PSN stream never stalls.
+    pub ledger_capacity: usize,
+    /// New drain reads started per pump (and arm reads, same pacing).
+    pub drain_batch: usize,
+    /// Retransmit timeout for unacknowledged migration ops.
+    pub retry_ns: u64,
+    /// Fault injection on migration requests.
+    pub faults: MigrationFaults,
+    /// Seed for the injection dice.
+    pub seed: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            fence_capacity: 1024,
+            ledger_capacity: 256,
+            drain_batch: 16,
+            retry_ns: 8_000,
+            faults: MigrationFaults::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Which collector-side store a fence entry migrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigPrimitive {
+    /// Write-once Key-Write slots.
+    KeyWrite,
+    /// Commutative Key-Increment / CMS counters.
+    KeyIncrement,
+}
+
+impl MigPrimitive {
+    fn idx(self) -> u32 {
+        match self {
+            MigPrimitive::KeyWrite => 0,
+            MigPrimitive::KeyIncrement => 1,
+        }
+    }
+}
+
+/// Flat migration-link id: one per `(collector, primitive)` pair, so PSN
+/// spaces of the two per-collector QPs never mix.
+pub fn link_of(collector: u32, primitive: MigPrimitive) -> u32 {
+    collector * 2 + primitive.idx()
+}
+
+/// Collector half of a link id.
+pub fn link_collector(link: u32) -> u32 {
+    link / 2
+}
+
+/// Primitive half of a link id.
+pub fn link_primitive(link: u32) -> MigPrimitive {
+    if link.is_multiple_of(2) { MigPrimitive::KeyWrite } else { MigPrimitive::KeyIncrement }
+}
+
+/// Wire verb of a migration op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// RDMA READ of `len` bytes at `va`.
+    Read,
+    /// RDMA WRITE of `len` zero bytes at `va`.
+    WriteZero,
+    /// RDMA FETCH_ADD of `arg` at `va` (8-byte, the per-slot INC delta).
+    FetchAdd,
+}
+
+/// One migration request the deployment must put on the wire. The driver
+/// is transport-agnostic: the single-node fleet frames these as RoCE
+/// packets, the sharded fleet executes them against region clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEmission {
+    /// Migration link (see [`link_of`]).
+    pub link: u32,
+    /// Stable PSN bound to the op at creation.
+    pub psn: u32,
+    /// Verb.
+    pub kind: WireKind,
+    /// Target virtual address in the collector region.
+    pub va: u64,
+    /// Byte length.
+    pub len: u32,
+    /// Verb argument: the add operand for [`WireKind::FetchAdd`], 0
+    /// otherwise.
+    pub arg: u64,
+}
+
+impl WireEmission {
+    /// Destination collector.
+    pub fn collector(&self) -> u32 {
+        link_collector(self.link)
+    }
+
+    /// Destination store.
+    pub fn primitive(&self) -> MigPrimitive {
+        link_primitive(self.link)
+    }
+}
+
+/// Per-primitive fence entry lifecycle. Entries are tombstoned, never
+/// removed, so indices stay stable; `Done`/`Skipped` are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Recorded; waiting for the victim to rejoin (INC) or for drain (KW
+    /// enters `Armed` directly — write-once needs no baseline).
+    Fenced,
+    /// INC baseline read in flight to the rejoined victim.
+    AwaitArm,
+    /// Baseline captured (INC) or not needed (KW); eligible for drain.
+    Armed,
+    /// Drain read in flight to the fallback owner.
+    Reading,
+    /// Replay issued; zero-writes to the fallback owner in flight.
+    Zeroing,
+    /// Migrated: replay and zeroing complete.
+    Done,
+    /// Skipped: fence/ledger eviction, empty or foreign slot.
+    Skipped,
+}
+
+impl EntryState {
+    fn terminal(self) -> bool {
+        matches!(self, EntryState::Done | EntryState::Skipped)
+    }
+}
+
+/// Why an entry was skipped (feeds the per-reason counters).
+#[derive(Debug, Clone, Copy)]
+enum SkipReason {
+    /// Fence capacity evicted it before drain.
+    FenceEvicted,
+    /// The fallback slot was all-zero (nothing ever landed, or a
+    /// same-slot key's drain already moved it).
+    Empty,
+    /// The fallback KW slot holds a different key's checksum.
+    Mismatch,
+    /// Ledger capacity abandoned it mid-flight.
+    Abandoned,
+}
+
+struct FenceEntry {
+    primitive: MigPrimitive,
+    key: TelemetryKey,
+    checksum: u32,
+    /// Raw per-copy slot digests (one per redundancy copy).
+    slots: Vec<u32>,
+    redundancy: u8,
+    /// Fallback owner holding the fault-window state. Per-entry: the dead
+    /// range spreads over *all* survivors, not one.
+    source: u32,
+    state: EntryState,
+    /// Deduplicated CMS slot addresses (INC only; two redundancy digests
+    /// can land in one slot, which must be corrected once, not twice).
+    vas: Vec<u64>,
+    /// Per-slot INC baselines read from the victim at arm time
+    /// (`v_stale[j]`, parallel to `vas`).
+    baseline: Vec<u64>,
+    /// Per-slot fallback values from the drain reads (`x[j]`).
+    drained: Vec<u64>,
+    /// Outstanding arm reads (INC enters `Armed` when this hits 0).
+    arm_pending: u32,
+    /// Outstanding drain reads (INC transfers when this hits 0).
+    read_pending: u32,
+    /// Outstanding per-slot delta FETCH_ADDs.
+    adds_pending: u32,
+    /// Outstanding zero-writes.
+    zeroes_pending: u32,
+    /// Live INC reports held between rejoin and baseline capture.
+    deferred: Vec<(DtaReport, ReportOrigin)>,
+}
+
+/// Bounded FIFO window of fence-entry ids in drain flight — the migration
+/// mirror of PR 6's `ReplayLedger`, with the same counted-eviction
+/// contract: overflow abandons the oldest in-flight entry rather than
+/// blocking, and the closure identity stays checkable.
+pub struct MigrationLedger {
+    window: VecDeque<u32>,
+    capacity: usize,
+    /// Entries ever recorded.
+    pub recorded: u64,
+    /// Entries evicted by capacity.
+    pub evicted: u64,
+}
+
+impl MigrationLedger {
+    /// New ledger bounding `capacity` in-flight entries.
+    pub fn new(capacity: usize) -> Self {
+        MigrationLedger { window: VecDeque::new(), capacity: capacity.max(1), recorded: 0, evicted: 0 }
+    }
+
+    /// Record `id` as in flight; returns the evicted oldest id when the
+    /// window was full.
+    pub fn record(&mut self, id: u32) -> Option<u32> {
+        self.recorded += 1;
+        let evicted = if self.window.len() >= self.capacity {
+            self.evicted += 1;
+            self.window.pop_front()
+        } else {
+            None
+        };
+        self.window.push_back(id);
+        evicted
+    }
+
+    /// Retire `id` (entry went terminal).
+    pub fn remove(&mut self, id: u32) {
+        self.window.retain(|&w| w != id);
+    }
+
+    /// Entries currently in flight.
+    pub fn resident(&self) -> usize {
+        self.window.len()
+    }
+}
+
+/// What one migration op is for (drives completion dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpPurpose {
+    /// INC baseline read from the victim.
+    Arm,
+    /// Slot read from the fallback owner.
+    Drain,
+    /// Per-slot INC delta FETCH_ADD to the victim.
+    Transfer,
+    /// Zero-write to the fallback owner.
+    Zero,
+}
+
+struct MigOp {
+    link: u32,
+    psn: u32,
+    kind: WireKind,
+    va: u64,
+    len: u32,
+    /// Verb argument (FETCH_ADD operand).
+    arg: u64,
+    entry: u32,
+    /// Index into the entry's `vas` (per-slot arm/drain bookkeeping).
+    slot: u16,
+    purpose: OpPurpose,
+    done: bool,
+    /// Next (re)send time; 0 = due now.
+    due_at_ns: u64,
+    ever_sent: bool,
+}
+
+/// Counters of one rebalance run. The closure identity
+/// `scanned == transferred + skipped + resident` is a genuine cross-check:
+/// the three buckets are counted at independent sites (fence recording,
+/// entry completion, skip events / finish-time residency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceStats {
+    /// Distinct keys fence-recorded (the migration work list).
+    pub scanned: u64,
+    /// Entries fully migrated (replayed and zeroed).
+    pub transferred: u64,
+    /// Entries skipped for any reason (sum of the per-reason counters).
+    pub skipped: u64,
+    /// Entries still non-terminal at finish.
+    pub resident: u64,
+    /// Skips: fence capacity evicted the entry before drain.
+    pub fence_evicted: u64,
+    /// Skips: the fallback slot was all-zero.
+    pub skipped_empty: u64,
+    /// Skips: the fallback KW slot held a foreign checksum.
+    pub skipped_mismatch: u64,
+    /// Skips: ledger capacity abandoned the entry mid-flight.
+    pub abandoned: u64,
+    /// Key-Write entries fenced.
+    pub kw_fenced: u64,
+    /// Key-Increment entries fenced.
+    pub inc_fenced: u64,
+    /// INC baselines captured.
+    pub armed: u64,
+    /// Live INC reports deferred behind an un-armed fence entry.
+    pub deferred: u64,
+    /// Deferred reports released back into the report path.
+    pub deferred_flushed: u64,
+    /// Live KW reports double-written to the fallback owner.
+    pub double_writes: u64,
+    /// KW drain replays handed to the report path.
+    pub replays: u64,
+    /// Per-slot INC delta FETCH_ADDs issued to the victim.
+    pub transfer_adds: u64,
+    /// Wire emissions attempted (before fault dice; includes retries).
+    pub ops_sent: u64,
+    /// Wire ops completed (response or cumulative ACK).
+    pub ops_completed: u64,
+    /// Timer- or NAK-driven re-sends.
+    pub retransmits: u64,
+    /// Requests the dice dropped.
+    pub injected_drops: u64,
+    /// Requests the dice duplicated.
+    pub injected_dups: u64,
+    /// Adjacent emission pairs the dice swapped.
+    pub injected_reorders: u64,
+    /// Distinct NAKs handled on migration links.
+    pub naks: u64,
+    /// Routing epoch at the fence bump (drain start).
+    pub fence_epoch: u64,
+    /// Routing epoch at release.
+    pub release_epoch: u64,
+    /// 1 once released.
+    pub released: u64,
+}
+
+impl RebalanceStats {
+    /// The `MigrationLedger` closure identity.
+    pub fn closes(&self) -> bool {
+        self.scanned == self.transferred + self.skipped + self.resident
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fence recording only (fault window and pre-drain).
+    Fencing,
+    /// Drain in progress.
+    Draining,
+    /// Fence retired; routing is single-owner again.
+    Released,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Transport-agnostic rebalance state machine. The owning fleet node
+/// feeds it reroute events ([`RebalanceDriver::fence_record`]), rejoin,
+/// wire completions, and pumps it for emissions; it hands back DTA
+/// replays to push through the ordinary (exactly-once) report path.
+pub struct RebalanceDriver {
+    config: RebalanceConfig,
+    kw: Option<KwLayout>,
+    cms: Option<CmsLayout>,
+    /// Own scratch at full family width: the fleet node's routing scratch
+    /// is width-1 and cannot derive per-copy slot digests.
+    scratch: KeyScratch,
+    entries: Vec<FenceEntry>,
+    /// `(primitive idx, checksum)` → entry id, dedup only (never iterated).
+    index: HashMap<(u32, u32), u32>,
+    /// Non-terminal entry count (fence capacity bounds this).
+    active: usize,
+    /// Oldest entry that might still be active (eviction scan cursor).
+    evict_cursor: usize,
+    ledger: MigrationLedger,
+    ops: Vec<MigOp>,
+    /// Per-link next PSN (keyed lookup only).
+    next_psn: HashMap<u32, u32>,
+    /// NAK dedup: `(link, expected)` pairs already handled.
+    naks_seen: HashSet<(u32, u32)>,
+    /// Next entry to consider for arming (INC) — monotone cursor.
+    arm_cursor: usize,
+    /// Next entry to consider for drain — monotone cursor.
+    drain_cursor: usize,
+    rejoined: bool,
+    victim: u32,
+    phase: Phase,
+    replays: Vec<(DtaReport, ReportOrigin)>,
+    dice: u64,
+    stats: RebalanceStats,
+}
+
+impl RebalanceDriver {
+    /// New driver over the fleet's (uniform) collector memory geometry.
+    /// A `None` layout disables fencing for that primitive.
+    pub fn new(config: RebalanceConfig, kw: Option<KwLayout>, cms: Option<CmsLayout>) -> Self {
+        let seed = config.seed;
+        RebalanceDriver {
+            ledger: MigrationLedger::new(config.ledger_capacity),
+            config,
+            kw,
+            cms,
+            scratch: KeyScratch::new(16 * 1024, MAX_REDUNDANCY),
+            entries: Vec::new(),
+            index: HashMap::new(),
+            active: 0,
+            evict_cursor: 0,
+            ops: Vec::new(),
+            next_psn: HashMap::new(),
+            naks_seen: HashSet::new(),
+            arm_cursor: 0,
+            drain_cursor: 0,
+            rejoined: false,
+            victim: u32::MAX,
+            phase: Phase::Fencing,
+            replays: Vec::new(),
+            dice: seed,
+            stats: RebalanceStats::default(),
+        }
+    }
+
+    /// Current counters (resident not yet folded in; see [`Self::finish`]).
+    pub fn stats(&self) -> &RebalanceStats {
+        &self.stats
+    }
+
+    fn roll(&mut self, chance: f64) -> bool {
+        if chance <= 0.0 {
+            return false;
+        }
+        let r = (splitmix64(&mut self.dice) >> 11) as f64 / (1u64 << 53) as f64;
+        r < chance
+    }
+
+    fn alloc_psn(&mut self, link: u32) -> u32 {
+        let next = self.next_psn.entry(link).or_insert(0);
+        let psn = *next;
+        *next += 1;
+        psn
+    }
+
+    fn skip_entry(&mut self, id: u32, reason: SkipReason) {
+        let e = &mut self.entries[id as usize];
+        if e.state.terminal() {
+            return;
+        }
+        e.state = EntryState::Skipped;
+        // Live traffic held behind the entry must still reach the primary.
+        let deferred = std::mem::take(&mut e.deferred);
+        self.stats.deferred_flushed += deferred.len() as u64;
+        self.replays.extend(deferred);
+        self.active -= 1;
+        self.stats.skipped += 1;
+        match reason {
+            SkipReason::FenceEvicted => self.stats.fence_evicted += 1,
+            SkipReason::Empty => self.stats.skipped_empty += 1,
+            SkipReason::Mismatch => self.stats.skipped_mismatch += 1,
+            SkipReason::Abandoned => self.stats.abandoned += 1,
+        }
+        self.ledger.remove(id);
+    }
+
+    /// Record a reroute: `key` (primary-owned by the dead victim) was
+    /// translated to fallback owner `source` instead. Idempotent per
+    /// `(primitive, checksum)`. Called from the three reroute sites
+    /// (receive, fail-time window replay, NAK replay).
+    pub fn fence_record(
+        &mut self,
+        primitive: MigPrimitive,
+        key: &TelemetryKey,
+        checksum: u32,
+        redundancy: u8,
+        source: u32,
+    ) {
+        match primitive {
+            MigPrimitive::KeyWrite if self.kw.is_none() => return,
+            MigPrimitive::KeyIncrement if self.cms.is_none() => return,
+            _ => {}
+        }
+        let slot = (primitive.idx(), checksum);
+        if self.index.contains_key(&slot) {
+            return;
+        }
+        let redundancy = redundancy.clamp(1, MAX_REDUNDANCY as u8);
+        let digests = self.scratch.digests(key.as_bytes(), redundancy as usize);
+        debug_assert_eq!(digests.checksum, checksum);
+        if self.active >= self.config.fence_capacity {
+            // Evict the oldest still-active entry; cursor is monotone, so
+            // the scan is amortized O(1).
+            while self.evict_cursor < self.entries.len() {
+                let victim_id = self.evict_cursor as u32;
+                self.evict_cursor += 1;
+                if !self.entries[victim_id as usize].state.terminal() {
+                    self.skip_entry(victim_id, SkipReason::FenceEvicted);
+                    break;
+                }
+            }
+        }
+        let id = self.entries.len() as u32;
+        let state = match primitive {
+            // Write-once: no baseline needed, drain-eligible immediately.
+            MigPrimitive::KeyWrite => EntryState::Armed,
+            MigPrimitive::KeyIncrement => EntryState::Fenced,
+        };
+        // Per-slot migration targets, deduplicated: two redundancy digests
+        // that alias one CMS slot must be corrected once.
+        let vas = match primitive {
+            MigPrimitive::KeyIncrement => {
+                let cms = self.cms.expect("INC entry without CMS layout");
+                let mut vas: Vec<u64> = Vec::with_capacity(redundancy as usize);
+                for &digest in &digests.slots[..redundancy as usize] {
+                    let va = cms.slot_va_from_digest(digest);
+                    if !vas.contains(&va) {
+                        vas.push(va);
+                    }
+                }
+                vas
+            }
+            MigPrimitive::KeyWrite => Vec::new(),
+        };
+        let width = vas.len();
+        self.entries.push(FenceEntry {
+            primitive,
+            key: *key,
+            checksum,
+            slots: digests.slots[..redundancy as usize].to_vec(),
+            redundancy,
+            source,
+            state,
+            vas,
+            baseline: vec![0; width],
+            drained: vec![0; width],
+            arm_pending: 0,
+            read_pending: 0,
+            adds_pending: 0,
+            zeroes_pending: 0,
+            deferred: Vec::new(),
+        });
+        self.index.insert(slot, id);
+        self.active += 1;
+        self.stats.scanned += 1;
+        match primitive {
+            MigPrimitive::KeyWrite => self.stats.kw_fenced += 1,
+            MigPrimitive::KeyIncrement => self.stats.inc_fenced += 1,
+        }
+    }
+
+    /// The victim rejoined: INC baselines may now be read from it.
+    pub fn on_rejoin(&mut self, victim: u32) {
+        self.rejoined = true;
+        self.victim = victim;
+    }
+
+    /// Offer a live post-rejoin report for deferral. Returns `true` (and
+    /// takes ownership of a copy) when `checksum` has an un-armed INC
+    /// fence entry — the report must *not* be translated yet; it will come
+    /// back out of [`Self::take_replays`] once the baseline lands.
+    pub fn try_defer(
+        &mut self,
+        primitive: MigPrimitive,
+        checksum: u32,
+        report: &DtaReport,
+        origin: ReportOrigin,
+    ) -> bool {
+        if primitive != MigPrimitive::KeyIncrement || !self.rejoined {
+            return false;
+        }
+        let Some(&id) = self.index.get(&(primitive.idx(), checksum)) else {
+            return false;
+        };
+        let e = &mut self.entries[id as usize];
+        if !matches!(e.state, EntryState::Fenced | EntryState::AwaitArm) {
+            return false;
+        }
+        e.deferred.push((report.clone(), origin));
+        self.stats.deferred += 1;
+        true
+    }
+
+    /// Double-write target for a live KW report: the fallback owner, while
+    /// the entry's fallback copy has not been zeroed yet. `None` once
+    /// zeroing begins (a late double-write could land after the zero and
+    /// break twin identity).
+    pub fn double_write_target(&mut self, checksum: u32) -> Option<u32> {
+        let id = *self.index.get(&(MigPrimitive::KeyWrite.idx(), checksum))?;
+        let e = &self.entries[id as usize];
+        if matches!(e.state, EntryState::Armed | EntryState::Reading) {
+            self.stats.double_writes += 1;
+            Some(e.source)
+        } else {
+            None
+        }
+    }
+
+    /// Enter the drain phase. `fence_epoch` is the routing-table epoch
+    /// after the fence bump.
+    pub fn start_drain(&mut self, fence_epoch: u64) {
+        if self.phase == Phase::Fencing {
+            self.phase = Phase::Draining;
+            self.stats.fence_epoch = fence_epoch;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_op(
+        &mut self,
+        link: u32,
+        kind: WireKind,
+        va: u64,
+        len: u32,
+        arg: u64,
+        entry: u32,
+        slot: u16,
+        purpose: OpPurpose,
+    ) {
+        let psn = self.alloc_psn(link);
+        self.ops.push(MigOp {
+            link,
+            psn,
+            kind,
+            va,
+            len,
+            arg,
+            entry,
+            slot,
+            purpose,
+            done: false,
+            due_at_ns: 0,
+            ever_sent: false,
+        });
+    }
+
+    /// Advance the state machine and collect wire emissions: arm reads for
+    /// fenced INC entries (once rejoined), new drain reads (once
+    /// draining, `drain_batch` per pump, ledger-bounded), and every due
+    /// (re)send — all dice-faulted per [`MigrationFaults`].
+    pub fn pump(&mut self, now_ns: u64, out: &mut Vec<WireEmission>) {
+        if self.phase == Phase::Released {
+            return;
+        }
+        // Arming pass: baseline reads to the rejoined victim.
+        if self.rejoined {
+            let mut started = 0;
+            while self.arm_cursor < self.entries.len() && started < self.config.drain_batch {
+                let id = self.arm_cursor as u32;
+                self.arm_cursor += 1;
+                let e = &self.entries[id as usize];
+                if e.primitive != MigPrimitive::KeyIncrement || e.state != EntryState::Fenced {
+                    continue;
+                }
+                // One baseline read per slot: a kill can split a report's
+                // per-slot packet train, leaving non-uniform baselines.
+                let vas = e.vas.clone();
+                let link = link_of(self.victim, MigPrimitive::KeyIncrement);
+                let e = &mut self.entries[id as usize];
+                e.state = EntryState::AwaitArm;
+                e.arm_pending = vas.len() as u32;
+                for (j, &va) in vas.iter().enumerate() {
+                    self.push_op(
+                        link,
+                        WireKind::Read,
+                        va,
+                        CmsLayout::SLOT_BYTES,
+                        0,
+                        id,
+                        j as u16,
+                        OpPurpose::Arm,
+                    );
+                }
+                started += 1;
+            }
+        }
+        // Drain pass: slot reads from the fallback owners.
+        if self.phase == Phase::Draining && self.rejoined {
+            let mut started = 0;
+            while self.drain_cursor < self.entries.len() && started < self.config.drain_batch {
+                let id = self.drain_cursor as u32;
+                let state = self.entries[id as usize].state;
+                if state != EntryState::Armed {
+                    // Un-armed INC entries block the cursor: drain order
+                    // follows fence order, and the arm pass is ahead of us.
+                    if matches!(state, EntryState::Fenced | EntryState::AwaitArm) {
+                        break;
+                    }
+                    self.drain_cursor += 1;
+                    continue;
+                }
+                self.drain_cursor += 1;
+                if let Some(evicted) = self.ledger.record(id) {
+                    self.skip_entry(evicted, SkipReason::Abandoned);
+                }
+                let e = &self.entries[id as usize];
+                match e.primitive {
+                    MigPrimitive::KeyWrite => {
+                        let kw = self.kw.expect("KW entry without KW layout");
+                        let va = kw.slot_va_from_digest(e.slots[0]);
+                        let len = kw.slot_bytes();
+                        let link = link_of(e.source, MigPrimitive::KeyWrite);
+                        self.entries[id as usize].state = EntryState::Reading;
+                        self.push_op(link, WireKind::Read, va, len, 0, id, 0, OpPurpose::Drain);
+                    }
+                    MigPrimitive::KeyIncrement => {
+                        // One drain read per slot, mirroring the arm pass.
+                        let vas = e.vas.clone();
+                        let link = link_of(e.source, MigPrimitive::KeyIncrement);
+                        let e = &mut self.entries[id as usize];
+                        e.state = EntryState::Reading;
+                        e.read_pending = vas.len() as u32;
+                        for (j, &va) in vas.iter().enumerate() {
+                            self.push_op(
+                                link,
+                                WireKind::Read,
+                                va,
+                                CmsLayout::SLOT_BYTES,
+                                0,
+                                id,
+                                j as u16,
+                                OpPurpose::Drain,
+                            );
+                        }
+                    }
+                }
+                started += 1;
+            }
+        }
+        // Send pass: everything due, in creation (= per-link PSN) order.
+        let batch_start = out.len();
+        for i in 0..self.ops.len() {
+            let (emit, retransmit) = {
+                let op = &self.ops[i];
+                if op.done || now_ns < op.due_at_ns {
+                    continue;
+                }
+                (
+                    WireEmission {
+                        link: op.link,
+                        psn: op.psn,
+                        kind: op.kind,
+                        va: op.va,
+                        len: op.len,
+                        arg: op.arg,
+                    },
+                    op.ever_sent,
+                )
+            };
+            self.stats.ops_sent += 1;
+            if retransmit {
+                self.stats.retransmits += 1;
+            }
+            let dropped = self.roll(self.config.faults.drop_chance);
+            if dropped {
+                self.stats.injected_drops += 1;
+            } else {
+                out.push(emit);
+                if self.roll(self.config.faults.duplicate_chance) {
+                    self.stats.injected_dups += 1;
+                    out.push(emit);
+                }
+            }
+            let op = &mut self.ops[i];
+            op.ever_sent = true;
+            op.due_at_ns = now_ns + self.config.retry_ns;
+        }
+        // Reorder pass over this pump's batch.
+        if self.config.faults.reorder_chance > 0.0 {
+            for i in (batch_start + 1)..out.len() {
+                if self.roll(self.config.faults.reorder_chance) {
+                    out.swap(i - 1, i);
+                    self.stats.injected_reorders += 1;
+                }
+            }
+        }
+    }
+
+    fn find_op(&self, link: u32, psn: u32) -> Option<usize> {
+        self.ops.iter().position(|op| op.link == link && op.psn == psn && !op.done)
+    }
+
+    /// A READ response landed (arm or drain data).
+    pub fn on_read_response(&mut self, link: u32, psn: u32, data: &[u8]) {
+        let Some(i) = self.find_op(link, psn) else {
+            return; // stale or duplicate response
+        };
+        self.ops[i].done = true;
+        self.stats.ops_completed += 1;
+        let (entry_id, purpose, len, slot) = (
+            self.ops[i].entry,
+            self.ops[i].purpose,
+            self.ops[i].len as usize,
+            self.ops[i].slot as usize,
+        );
+        if data.len() < len {
+            return; // malformed; retry timer will not fire (op done) — treat as lost entry
+        }
+        let state = self.entries[entry_id as usize].state;
+        if state.terminal() {
+            return; // abandoned mid-flight; ignore, no double count
+        }
+        match purpose {
+            OpPurpose::Arm => {
+                if state != EntryState::AwaitArm {
+                    return;
+                }
+                let v_stale = u64::from_be_bytes(data[..8].try_into().unwrap());
+                let e = &mut self.entries[entry_id as usize];
+                e.baseline[slot] = v_stale;
+                e.arm_pending -= 1;
+                if e.arm_pending > 0 {
+                    return; // more baselines in flight
+                }
+                e.state = EntryState::Armed;
+                self.stats.armed += 1;
+                // Every baseline captured: release the held live reports.
+                let deferred = std::mem::take(&mut e.deferred);
+                self.stats.deferred_flushed += deferred.len() as u64;
+                self.replays.extend(deferred);
+            }
+            OpPurpose::Drain => {
+                if state != EntryState::Reading {
+                    return;
+                }
+                match self.entries[entry_id as usize].primitive {
+                    MigPrimitive::KeyWrite => self.on_kw_drain_data(entry_id, &data[..len]),
+                    MigPrimitive::KeyIncrement => {
+                        let x = u64::from_be_bytes(data[..8].try_into().unwrap());
+                        let e = &mut self.entries[entry_id as usize];
+                        e.drained[slot] = x;
+                        e.read_pending -= 1;
+                        if e.read_pending == 0 {
+                            self.inc_transfer(entry_id);
+                        }
+                    }
+                }
+            }
+            OpPurpose::Transfer | OpPurpose::Zero => {
+                unreachable!("transfers and zero-writes complete on ACK")
+            }
+        }
+    }
+
+    fn on_kw_drain_data(&mut self, entry_id: u32, data: &[u8]) {
+        let (checksum, key, redundancy, source, slots) = {
+            let e = &self.entries[entry_id as usize];
+            (e.checksum, e.key, e.redundancy, e.source, e.slots.clone())
+        };
+        if data.iter().all(|&b| b == 0) {
+            self.skip_entry(entry_id, SkipReason::Empty);
+            return;
+        }
+        if data[..4] != checksum.to_be_bytes() {
+            self.skip_entry(entry_id, SkipReason::Mismatch);
+            return;
+        }
+        let value = data[4..].to_vec();
+        self.replays.push((
+            DtaReport::key_write(0, key, redundancy, value),
+            ReportOrigin::default(),
+        ));
+        self.stats.replays += 1;
+        let kw = self.kw.expect("KW entry without KW layout");
+        let len = kw.slot_bytes();
+        let link = link_of(source, MigPrimitive::KeyWrite);
+        for &digest in &slots {
+            let va = kw.slot_va_from_digest(digest);
+            self.push_op(link, WireKind::WriteZero, va, len, 0, entry_id, 0, OpPurpose::Zero);
+        }
+        let e = &mut self.entries[entry_id as usize];
+        e.zeroes_pending = e.redundancy as u32;
+        e.state = EntryState::Zeroing;
+    }
+
+    /// Every drain read landed: issue the per-slot delta FETCH_ADDs to the
+    /// victim and the per-slot zero-writes to the fallback owner.
+    fn inc_transfer(&mut self, entry_id: u32) {
+        let (vas, baseline, drained, source) = {
+            let e = &self.entries[entry_id as usize];
+            (e.vas.clone(), e.baseline.clone(), e.drained.clone(), e.source)
+        };
+        if drained.iter().all(|&x| x == 0) {
+            // Nothing ever landed at the fallback (or a prior migration
+            // already moved it): nothing to transfer, nothing to zero.
+            self.skip_entry(entry_id, SkipReason::Empty);
+            return;
+        }
+        let victim_link = link_of(self.victim, MigPrimitive::KeyIncrement);
+        let source_link = link_of(source, MigPrimitive::KeyIncrement);
+        let mut adds = 0u32;
+        for (j, &va) in vas.iter().enumerate() {
+            // See the module docs: delta[j] = x[j] - v_stale[j] absorbs the
+            // fail-time double-replay and lost in-flight packets per slot.
+            let delta = drained[j].wrapping_sub(baseline[j]);
+            if delta != 0 {
+                self.push_op(
+                    victim_link,
+                    WireKind::FetchAdd,
+                    va,
+                    CmsLayout::SLOT_BYTES,
+                    delta,
+                    entry_id,
+                    j as u16,
+                    OpPurpose::Transfer,
+                );
+                adds += 1;
+            }
+            self.push_op(
+                source_link,
+                WireKind::WriteZero,
+                va,
+                CmsLayout::SLOT_BYTES,
+                0,
+                entry_id,
+                j as u16,
+                OpPurpose::Zero,
+            );
+        }
+        self.stats.transfer_adds += adds as u64;
+        let e = &mut self.entries[entry_id as usize];
+        e.adds_pending = adds;
+        e.zeroes_pending = vas.len() as u32;
+        e.state = EntryState::Zeroing;
+    }
+
+    /// A cumulative ACK landed on a migration link: completes every
+    /// outstanding zero-write and delta FETCH_ADD with `psn <= ack` on
+    /// that link (the responder PSN-orders execution, so an ACK proves all
+    /// before it). READs still require their data and never complete here.
+    pub fn on_ack(&mut self, link: u32, ack_psn: u32) {
+        for i in 0..self.ops.len() {
+            let (entry_id, kind) = {
+                let op = &self.ops[i];
+                if op.done
+                    || op.link != link
+                    || op.kind == WireKind::Read
+                    || op.psn > ack_psn
+                {
+                    continue;
+                }
+                (op.entry, op.kind)
+            };
+            self.ops[i].done = true;
+            self.stats.ops_completed += 1;
+            let e = &mut self.entries[entry_id as usize];
+            match kind {
+                WireKind::WriteZero => e.zeroes_pending = e.zeroes_pending.saturating_sub(1),
+                WireKind::FetchAdd => e.adds_pending = e.adds_pending.saturating_sub(1),
+                WireKind::Read => unreachable!(),
+            }
+            if e.zeroes_pending == 0 && e.adds_pending == 0 && e.state == EntryState::Zeroing {
+                e.state = EntryState::Done;
+                self.active -= 1;
+                self.stats.transferred += 1;
+                self.ledger.remove(entry_id);
+            }
+        }
+    }
+
+    /// A NAK landed: go-back-N. Every undone op on `link` with
+    /// `psn >= expected` is due for resend (original PSNs — the send pass
+    /// re-emits them in order). Deduped per `(link, expected)`.
+    pub fn on_nak(&mut self, link: u32, expected: u32) {
+        if !self.naks_seen.insert((link, expected)) {
+            return;
+        }
+        self.stats.naks += 1;
+        for op in &mut self.ops {
+            if !op.done && op.link == link && op.psn >= expected {
+                op.due_at_ns = 0;
+            }
+        }
+    }
+
+    /// Move accumulated DTA replays (drained state, flushed deferrals)
+    /// into `out`. The caller routes them through the post-fence table.
+    pub fn take_replays(&mut self, out: &mut Vec<(DtaReport, ReportOrigin)>) {
+        out.append(&mut self.replays);
+    }
+
+    /// True when the fence can retire: draining, every entry terminal,
+    /// every wire op completed, and no replay still queued.
+    pub fn release_ready(&self) -> bool {
+        self.phase == Phase::Draining
+            && self.active == 0
+            && self.replays.is_empty()
+            && self.ops.iter().all(|op| op.done)
+    }
+
+    /// Retire the fence at the release epoch bump.
+    pub fn mark_released(&mut self, epoch: u64) {
+        if self.phase == Phase::Draining {
+            self.phase = Phase::Released;
+            self.stats.release_epoch = epoch;
+            self.stats.released = 1;
+        }
+    }
+
+    /// Fold residency in and return the final counters.
+    pub fn finish(&mut self) -> RebalanceStats {
+        self.stats.resident = self.entries.iter().filter(|e| !e.state.terminal()).count() as u64;
+        debug_assert!(self.stats.closes(), "rebalance closure violated: {:?}", self.stats);
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts() -> (KwLayout, CmsLayout) {
+        (
+            KwLayout { base_va: 0x1_0000_0000, slots: 4096, value_bytes: 4 },
+            CmsLayout { base_va: 0x4_0000_0000, slots: 1 << 16 },
+        )
+    }
+
+    fn driver(config: RebalanceConfig) -> RebalanceDriver {
+        let (kw, cms) = layouts();
+        RebalanceDriver::new(config, Some(kw), Some(cms))
+    }
+
+    fn key(n: u8) -> TelemetryKey {
+        let mut b = [0u8; 16];
+        b[0] = 0x77;
+        b[15] = n;
+        TelemetryKey(b)
+    }
+
+    fn checksum_of(d: &mut RebalanceDriver, k: &TelemetryKey) -> u32 {
+        d.scratch.digests(k.as_bytes(), 0).checksum
+    }
+
+    /// Fence-record `n` distinct keys of `primitive`; returns checksums.
+    fn fence_n(d: &mut RebalanceDriver, primitive: MigPrimitive, n: u8, source: u32) -> Vec<u32> {
+        (0..n)
+            .map(|i| {
+                let k = key(i);
+                let csum = checksum_of(d, &k);
+                d.fence_record(primitive, &k, csum, 2, source);
+                csum
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fence_dedups_and_evicts_oldest_active() {
+        let mut d = driver(RebalanceConfig { fence_capacity: 2, ..Default::default() });
+        let csums = fence_n(&mut d, MigPrimitive::KeyWrite, 3, 1);
+        assert_eq!(d.stats().scanned, 3);
+        assert_eq!(d.stats().fence_evicted, 1);
+        assert_eq!(d.stats().skipped, 1);
+        assert_eq!(d.entries[0].state, EntryState::Skipped);
+        assert_eq!(d.active, 2);
+        // Duplicate record is a no-op.
+        let k = key(1);
+        d.fence_record(MigPrimitive::KeyWrite, &k, csums[1], 2, 1);
+        assert_eq!(d.stats().scanned, 3);
+    }
+
+    #[test]
+    fn kw_drain_replays_and_zeroes() {
+        let mut d = driver(RebalanceConfig::default());
+        let k = key(9);
+        let csum = checksum_of(&mut d, &k);
+        d.fence_record(MigPrimitive::KeyWrite, &k, csum, 2, 1);
+        d.on_rejoin(0);
+        d.start_drain(3);
+        let mut out = Vec::new();
+        d.pump(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+        let read = out[0];
+        assert_eq!(read.kind, WireKind::Read);
+        assert_eq!(read.collector(), 1);
+        assert_eq!(read.primitive(), MigPrimitive::KeyWrite);
+        assert_eq!(read.len, 8); // 4B checksum + 4B value
+        // Respond with a matching slot: checksum ‖ value.
+        let mut data = csum.to_be_bytes().to_vec();
+        data.extend_from_slice(&0xAABB_CCDDu32.to_be_bytes());
+        d.on_read_response(read.link, read.psn, &data);
+        let mut replays = Vec::new();
+        d.take_replays(&mut replays);
+        assert_eq!(replays.len(), 1);
+        // Zero-writes for both redundancy copies, then cumulative ACK.
+        out.clear();
+        d.pump(2_000, &mut out);
+        let zeros: Vec<_> = out.iter().filter(|e| e.kind == WireKind::WriteZero).collect();
+        assert_eq!(zeros.len(), 2);
+        assert!(!d.release_ready());
+        let last_psn = zeros.iter().map(|e| e.psn).max().unwrap();
+        d.on_ack(zeros[0].link, last_psn);
+        assert_eq!(d.stats().transferred, 1);
+        assert!(d.release_ready());
+        d.mark_released(4);
+        let stats = d.finish();
+        assert!(stats.closes());
+        assert_eq!(stats.released, 1);
+        assert_eq!(stats.release_epoch, 4);
+    }
+
+    #[test]
+    fn kw_drain_skips_empty_and_foreign_slots() {
+        let mut d = driver(RebalanceConfig::default());
+        let csums = fence_n(&mut d, MigPrimitive::KeyWrite, 2, 1);
+        d.on_rejoin(0);
+        d.start_drain(3);
+        let mut out = Vec::new();
+        d.pump(1_000, &mut out);
+        assert_eq!(out.len(), 2);
+        // First: all-zero slot; second: foreign checksum.
+        d.on_read_response(out[0].link, out[0].psn, &[0u8; 8]);
+        let mut foreign = (csums[1] ^ 0xFFFF).to_be_bytes().to_vec();
+        foreign.extend_from_slice(&[1, 2, 3, 4]);
+        d.on_read_response(out[1].link, out[1].psn, &foreign);
+        let stats = *d.stats();
+        assert_eq!(stats.skipped_empty, 1);
+        assert_eq!(stats.skipped_mismatch, 1);
+        assert_eq!(stats.replays, 0);
+        assert!(d.release_ready());
+        let final_stats = d.finish();
+        assert!(final_stats.closes());
+    }
+
+    #[test]
+    fn inc_arms_defers_and_transfers_delta() {
+        let mut d = driver(RebalanceConfig::default());
+        let k = key(5);
+        let csum = checksum_of(&mut d, &k);
+        d.fence_record(MigPrimitive::KeyIncrement, &k, csum, 2, 2);
+        // Not rejoined yet: no deferral, no arming.
+        let live = DtaReport::key_increment(7, k, 2, 11);
+        assert!(!d.try_defer(MigPrimitive::KeyIncrement, csum, &live, ReportOrigin::default()));
+        let mut out = Vec::new();
+        d.pump(100, &mut out);
+        assert!(out.is_empty());
+        // Rejoin: one baseline read per redundancy slot, to the victim's
+        // CMS link.
+        d.on_rejoin(0);
+        d.pump(200, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.collector() == 0));
+        assert!(out.iter().all(|e| e.primitive() == MigPrimitive::KeyIncrement));
+        assert_ne!(out[0].va, out[1].va, "per-slot reads target distinct slots");
+        // Live report while the baselines are in flight: deferred.
+        assert!(d.try_defer(MigPrimitive::KeyIncrement, csum, &live, ReportOrigin::default()));
+        assert_eq!(d.stats().deferred, 1);
+        // First baseline alone does not arm; the second does, and the
+        // deferral flushes.
+        d.on_read_response(out[0].link, out[0].psn, &40u64.to_be_bytes());
+        assert_eq!(d.stats().armed, 0);
+        assert!(d.try_defer(MigPrimitive::KeyIncrement, csum, &live, ReportOrigin::default()));
+        d.on_read_response(out[1].link, out[1].psn, &10u64.to_be_bytes());
+        assert_eq!(d.stats().armed, 1);
+        let mut replays = Vec::new();
+        d.take_replays(&mut replays);
+        assert_eq!(replays.len(), 2);
+        assert_eq!(d.stats().deferred_flushed, 2);
+        // Armed entries no longer defer.
+        assert!(!d.try_defer(MigPrimitive::KeyIncrement, csum, &live, ReportOrigin::default()));
+        // Drain: x = 100 at the fallback owner in both slots → per-slot
+        // deltas 60 and 90 as FETCH_ADDs to the victim, not a report.
+        d.start_drain(3);
+        out.clear();
+        d.pump(300, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.collector() == 2));
+        let drains = out.clone();
+        d.on_read_response(drains[0].link, drains[0].psn, &100u64.to_be_bytes());
+        d.on_read_response(drains[1].link, drains[1].psn, &100u64.to_be_bytes());
+        replays.clear();
+        d.take_replays(&mut replays);
+        assert!(replays.is_empty(), "INC transfers bypass the report path");
+        out.clear();
+        d.pump(400, &mut out);
+        let adds: Vec<_> = out.iter().filter(|e| e.kind == WireKind::FetchAdd).collect();
+        assert_eq!(adds.len(), 2);
+        assert!(adds.iter().all(|e| e.collector() == 0));
+        let mut deltas: Vec<u64> = adds.iter().map(|e| e.arg).collect();
+        deltas.sort_unstable();
+        assert_eq!(deltas, vec![60, 90]);
+        assert_eq!(d.stats().transfer_adds, 2);
+        let zeros: Vec<_> = out.iter().filter(|e| e.kind == WireKind::WriteZero).collect();
+        assert_eq!(zeros.len(), 2);
+        assert!(zeros.iter().all(|e| e.collector() == 2));
+        // Cumulative ACKs on both links complete the entry.
+        d.on_ack(adds[0].link, adds.iter().map(|e| e.psn).max().unwrap());
+        assert_eq!(d.stats().transferred, 0, "zero-writes still outstanding");
+        d.on_ack(zeros[0].link, zeros.iter().map(|e| e.psn).max().unwrap());
+        let stats = d.finish();
+        assert_eq!(stats.transferred, 1);
+        assert!(stats.closes());
+    }
+
+    #[test]
+    fn inc_zero_sum_skips_without_replay() {
+        let mut d = driver(RebalanceConfig::default());
+        let k = key(5);
+        let csum = checksum_of(&mut d, &k);
+        d.fence_record(MigPrimitive::KeyIncrement, &k, csum, 1, 2);
+        d.on_rejoin(0);
+        let mut out = Vec::new();
+        d.pump(100, &mut out);
+        d.on_read_response(out[0].link, out[0].psn, &0u64.to_be_bytes());
+        d.start_drain(3);
+        out.clear();
+        d.pump(200, &mut out);
+        d.on_read_response(out[0].link, out[0].psn, &0u64.to_be_bytes());
+        let stats = d.finish();
+        assert_eq!(stats.skipped_empty, 1);
+        assert_eq!(stats.replays, 0);
+        assert!(stats.closes());
+    }
+
+    #[test]
+    fn nak_resends_in_psn_order_and_dedups() {
+        let mut d = driver(RebalanceConfig { retry_ns: 1_000_000, ..Default::default() });
+        fence_n(&mut d, MigPrimitive::KeyWrite, 3, 1);
+        d.on_rejoin(0);
+        d.start_drain(3);
+        let mut out = Vec::new();
+        d.pump(1_000, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.iter().map(|e| e.psn).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // NAK(expected=1): psns 1 and 2 become due again with the SAME psns.
+        d.on_nak(out[0].link, 1);
+        assert_eq!(d.stats().naks, 1);
+        out.clear();
+        d.pump(1_001, &mut out);
+        assert_eq!(out.iter().map(|e| e.psn).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(d.stats().retransmits, 2);
+        // Same NAK again: deduped, nothing due.
+        d.on_nak(out[0].link, 1);
+        assert_eq!(d.stats().naks, 1);
+        out.clear();
+        d.pump(1_002, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn retry_timer_resends_undone_ops() {
+        let mut d = driver(RebalanceConfig { retry_ns: 500, ..Default::default() });
+        fence_n(&mut d, MigPrimitive::KeyWrite, 1, 1);
+        d.on_rejoin(0);
+        d.start_drain(3);
+        let mut out = Vec::new();
+        d.pump(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        d.pump(1_200, &mut out);
+        assert!(out.is_empty(), "not yet due");
+        d.pump(1_500, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].psn, 0, "retry reuses the original psn");
+        assert_eq!(d.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn ledger_eviction_abandons_but_still_closes() {
+        let mut d = driver(RebalanceConfig {
+            ledger_capacity: 1,
+            drain_batch: 8,
+            ..Default::default()
+        });
+        let csums = fence_n(&mut d, MigPrimitive::KeyWrite, 2, 1);
+        d.on_rejoin(0);
+        d.start_drain(3);
+        let mut out = Vec::new();
+        d.pump(1_000, &mut out);
+        // Both drain reads issued; recording the second evicted the first.
+        assert_eq!(out.len(), 2);
+        assert_eq!(d.stats().abandoned, 1);
+        // The abandoned entry's late response is ignored (no double count).
+        let mut data = csums[0].to_be_bytes().to_vec();
+        data.extend_from_slice(&[9, 9, 9, 9]);
+        d.on_read_response(out[0].link, out[0].psn, &data);
+        assert_eq!(d.stats().replays, 0);
+        // The survivor completes normally.
+        let mut data = csums[1].to_be_bytes().to_vec();
+        data.extend_from_slice(&[1, 1, 1, 1]);
+        d.on_read_response(out[1].link, out[1].psn, &data);
+        out.clear();
+        d.pump(2_000, &mut out);
+        let last = out.iter().map(|e| e.psn).max().unwrap();
+        d.on_ack(out[0].link, last);
+        let stats = d.finish();
+        assert_eq!(stats.transferred, 1);
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.resident, 0);
+        assert!(stats.closes());
+    }
+
+    #[test]
+    fn dice_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut d = driver(RebalanceConfig {
+                faults: MigrationFaults { drop_chance: 0.5, duplicate_chance: 0.3, reorder_chance: 0.3 },
+                seed,
+                retry_ns: 100,
+                ..Default::default()
+            });
+            fence_n(&mut d, MigPrimitive::KeyWrite, 8, 1);
+            d.on_rejoin(0);
+            d.start_drain(3);
+            let mut all = Vec::new();
+            for t in 0..20u64 {
+                d.pump(t * 100, &mut all);
+            }
+            (all, *d.stats())
+        };
+        let (a1, s1) = run(42);
+        let (a2, s2) = run(42);
+        assert_eq!(a1, a2);
+        assert_eq!(s1, s2);
+        let (a3, _) = run(43);
+        assert_ne!(a1, a3, "different seeds should fault differently");
+        assert!(s1.injected_drops > 0);
+        assert!(s1.injected_dups > 0);
+    }
+
+    #[test]
+    fn fence_eviction_flushes_deferred_reports() {
+        let mut d = driver(RebalanceConfig { fence_capacity: 1, ..Default::default() });
+        let k = key(0);
+        let csum = checksum_of(&mut d, &k);
+        d.fence_record(MigPrimitive::KeyIncrement, &k, csum, 1, 2);
+        d.on_rejoin(0);
+        let live = DtaReport::key_increment(1, k, 1, 5);
+        assert!(d.try_defer(MigPrimitive::KeyIncrement, csum, &live, ReportOrigin::default()));
+        // A second key evicts the first, which must release its deferral.
+        let k2 = key(1);
+        let csum2 = checksum_of(&mut d, &k2);
+        d.fence_record(MigPrimitive::KeyIncrement, &k2, csum2, 1, 2);
+        assert_eq!(d.stats().fence_evicted, 1);
+        let mut replays = Vec::new();
+        d.take_replays(&mut replays);
+        assert_eq!(replays.len(), 1, "deferred live report survives eviction");
+        assert_eq!(d.stats().deferred_flushed, 1);
+    }
+
+    #[test]
+    fn closure_identity_arithmetic() {
+        let s = RebalanceStats {
+            scanned: 10,
+            transferred: 6,
+            skipped: 3,
+            resident: 1,
+            ..Default::default()
+        };
+        assert!(s.closes());
+        let bad = RebalanceStats { resident: 0, ..s };
+        assert!(!bad.closes());
+    }
+}
