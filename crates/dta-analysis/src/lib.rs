@@ -10,12 +10,15 @@
 //!   empirically (used by tests and the A.5/A.6 repro experiments).
 //! * [`cost`] — the Figure 3 collection-cost model (cores vs network size).
 //! * [`table`] — markdown/CSV table emission for the `repro` harness.
+//! * [`sweep`] — corpus-sweep coverage aggregation + the Monte-Carlo
+//!   cross-check behind the `sweep` binary's coverage report.
 
 pub mod cms;
 pub mod cost;
 pub mod keywrite;
 pub mod montecarlo;
 pub mod postcarding;
+pub mod sweep;
 pub mod table;
 
 pub use keywrite::{kw_empty_return_bound, kw_wrong_return_bound};

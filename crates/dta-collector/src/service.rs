@@ -37,7 +37,7 @@ const VA_APPEND: u64 = 0x3_0000_0000;
 const VA_CMS: u64 = 0x4_0000_0000;
 
 /// Sizing of a collector instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// NIC model.
     pub nic: NicConfig,

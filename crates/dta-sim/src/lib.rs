@@ -34,9 +34,15 @@
 //! See `DESIGN.md` ("Scenario harness") for the determinism rules and how
 //! to add a scenario.
 
+pub mod corpus;
 pub mod scenario;
 pub mod spec;
 pub mod traffic;
+
+pub use corpus::{
+    load_dir, load_file, load_str, mode_label, parse_mode_label, parse_str, render_spec, Axis,
+    Cell, CorpusDoc, InvariantSet, ParseError,
+};
 
 pub use scenario::{
     memory_fingerprint, run_scenario, QueryOutcomes, ScenarioOutcome, ScenarioReport,

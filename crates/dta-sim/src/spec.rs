@@ -335,7 +335,7 @@ impl Default for CongestionPlan {
 pub const MAX_LANES_PER_HOST: u32 = 64;
 
 /// A complete end-to-end deployment description.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Fat-tree port count `k` (even, ≥ 2). The collector lives on host
     /// (pod 0, edge 0, host 0); its edge switch is the translator ToR.

@@ -1,0 +1,183 @@
+//! Corpus conformance: the `scenarios/` tree is a first-class test input.
+//!
+//! Always-on (debug) checks parse + validate every corpus file and pin
+//! the preset ports byte-for-byte against their Rust constructors; the
+//! release-gated half actually runs cells — per-file smoke cells twice
+//! for bit-reproducibility, and every cell of files tagged
+//! `cross_mode_identical` for single-vs-sharded memory equality.
+
+use std::path::{Path, PathBuf};
+
+use dta_sim::{load_dir, load_file, Axis, CorpusDoc, ScenarioSpec, TranslatorMode};
+#[cfg(not(debug_assertions))]
+use dta_sim::{memory_fingerprint, run_scenario};
+
+/// `(corpus file, expected base preset, optional sharded cell check)`.
+type PresetCase = (&'static str, ScenarioSpec, Option<(&'static str, ScenarioSpec)>);
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn load_corpus() -> Vec<CorpusDoc> {
+    let docs = load_dir(&corpus_dir()).expect("every corpus file must parse and validate");
+    assert!(!docs.is_empty(), "scenarios/ must not be empty");
+    docs
+}
+
+fn cell_spec(doc: &CorpusDoc, id: &str) -> ScenarioSpec {
+    doc.cells()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .unwrap_or_else(|| panic!("{}: no cell [{id}]", doc.file))
+        .spec
+}
+
+/// Every Rust preset exists as a corpus file whose base spec — and, via
+/// the mode axis, whose sharded cell — is *identical* to the constructor's
+/// output. This is the acceptance criterion that keeps the corpus and the
+/// code from drifting apart.
+#[test]
+fn preset_ports_parse_to_identical_specs() {
+    let sharded4 = TranslatorMode::Sharded { shards: 4 };
+    let cases: Vec<PresetCase> = vec![
+        ("default.toml", ScenarioSpec::default(), None),
+        (
+            "smoke.toml",
+            ScenarioSpec::smoke(TranslatorMode::SingleThreaded),
+            Some(("seed=1,mode=sharded4", ScenarioSpec::smoke(sharded4))),
+        ),
+        (
+            "congested.toml",
+            ScenarioSpec::congested(TranslatorMode::SingleThreaded),
+            Some(("seed=1,mode=sharded4", ScenarioSpec::congested(sharded4))),
+        ),
+        (
+            "failover.toml",
+            ScenarioSpec::failover(TranslatorMode::SingleThreaded),
+            Some(("seed=1,victim=1,mode=sharded4", ScenarioSpec::failover(sharded4))),
+        ),
+        (
+            "rebalance.toml",
+            ScenarioSpec::rebalance(TranslatorMode::SingleThreaded),
+            Some(("seed=1,mode=sharded4", ScenarioSpec::rebalance(sharded4))),
+        ),
+        (
+            "large.toml",
+            ScenarioSpec::large(TranslatorMode::SingleThreaded),
+            Some(("mode=sharded4", ScenarioSpec::large(sharded4))),
+        ),
+    ];
+    for (file, want, sharded) in cases {
+        let doc = load_file(&corpus_dir().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(doc.spec, want, "{file} base spec drifted from its preset");
+        if let Some((cell_id, want_sharded)) = sharded {
+            assert_eq!(
+                cell_spec(&doc, cell_id),
+                want_sharded,
+                "{file} cell [{cell_id}] drifted from the sharded preset"
+            );
+        }
+    }
+}
+
+/// Every file parses, validates (`load_dir` runs `validate()` on the base
+/// spec and every expanded cell), declares at least one invariant, and
+/// the corpus carries the acceptance grid: one file expanding to a
+/// >= 64-cell seed×fault×mode sweep.
+#[test]
+fn corpus_conforms() {
+    let docs = load_corpus();
+    for doc in &docs {
+        assert!(
+            doc.invariants.any(),
+            "{}: a corpus file with no invariants checks nothing",
+            doc.file
+        );
+        assert!(doc.cell_count() >= 1);
+    }
+    let grid = docs
+        .iter()
+        .find(|d| {
+            d.cell_count() >= 64
+                && d.sweep.iter().any(|a| matches!(a, Axis::Seed(_)))
+                && d.sweep.iter().any(|a| matches!(a, Axis::Mode(_)))
+                && d.sweep.iter().any(|a| {
+                    matches!(a, Axis::Drop(_) | Axis::Reorder(_) | Axis::Duplicate(_))
+                })
+        })
+        .expect("corpus must carry a >= 64-cell seed×fault×mode grid");
+    assert!(grid.invariants.cross_mode_memory_equal, "{}: the acceptance grid must check cross-mode memory", grid.file);
+}
+
+/// Release suite: a 1-cell smoke of every corpus file per declared mode
+/// (the file's own `mode` axis decides its mode coverage — `default.toml`
+/// deliberately has none, since its non-slot-disjoint traffic makes
+/// sharded memory nondeterministic), each run twice asserting
+/// bit-reproducibility of the report and collector memory.
+#[cfg(not(debug_assertions))]
+#[test]
+fn corpus_smoke_cells_are_bit_reproducible() {
+    for doc in load_corpus() {
+        for cell in doc.smoke_cells() {
+            let a = run_scenario(&cell.spec);
+            let b = run_scenario(&cell.spec);
+            assert_eq!(
+                a.report,
+                b.report,
+                "{} [{}]: report must be a pure function of the spec",
+                doc.file,
+                cell.id()
+            );
+            assert_eq!(
+                memory_fingerprint(&a.memory),
+                memory_fingerprint(&b.memory),
+                "{} [{}]: collector memory must be bit-identical",
+                doc.file,
+                cell.id()
+            );
+        }
+    }
+}
+
+/// Release suite: for every file tagged `cross_mode_identical`, every
+/// group of cells differing only in the `mode` axis leaves byte-identical
+/// merged collector memory — the corpus-driven replacement for the
+/// hand-picked differential specs the suite used to carry.
+#[cfg(not(debug_assertions))]
+#[test]
+fn cross_mode_tagged_corpus_leaves_identical_memory() {
+    let mut tagged = 0;
+    for doc in load_corpus() {
+        if !doc.has_tag("cross_mode_identical") {
+            continue;
+        }
+        tagged += 1;
+        let mut groups: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+        for cell in doc.cells() {
+            let fp = memory_fingerprint(&run_scenario(&cell.spec).memory);
+            let g = cell.mode_group_id();
+            match groups.iter_mut().find(|(name, _)| *name == g) {
+                Some((_, members)) => members.push((cell.id(), fp)),
+                None => groups.push((g, vec![(cell.id(), fp)])),
+            }
+        }
+        for (group, members) in &groups {
+            assert!(
+                members.len() >= 2,
+                "{} group [{group}] has no mode pair to compare",
+                doc.file
+            );
+            let (c0, fp0) = &members[0];
+            for (c, fp) in &members[1..] {
+                assert_eq!(
+                    fp, fp0,
+                    "{}: memory diverged between [{c0}] and [{c}]",
+                    doc.file
+                );
+            }
+        }
+    }
+    assert!(tagged >= 4, "expected the preset ports to carry the tag, got {tagged}");
+}

@@ -14,11 +14,15 @@
 //!    best-effort primitives don't care *which* pipeline fronts the
 //!    collector, only *what* the network delivered.
 
-use dta_sim::{run_scenario, FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode};
+use dta_sim::{load_file, run_scenario, FaultPlan, ScenarioSpec, TrafficMix, TranslatorMode};
 use proptest::prelude::*;
 
 /// A modest K=4 deployment; small enough that the proptest's repeated
 /// builds stay fast, large enough that every pod contributes reporters.
+/// `scenarios/fault_equivalence.toml` is this spec plus the 10% fault
+/// schedule — `suite_cell_spec` pulls the seeded variants from there, so
+/// the corpus (not this function) is the source of truth for the seeded
+/// bit-repro tests.
 fn base_spec() -> ScenarioSpec {
     ScenarioSpec {
         fat_tree_k: 4,
@@ -29,13 +33,30 @@ fn base_spec() -> ScenarioSpec {
     }
 }
 
+/// Load one cell of the suite's corpus file by coordinate id.
+fn suite_cell_spec(cell_id: &str) -> ScenarioSpec {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios/fault_equivalence.toml");
+    let doc = load_file(&path).expect("suite corpus file must parse and validate");
+    doc.cells()
+        .into_iter()
+        .find(|c| c.id() == cell_id)
+        .unwrap_or_else(|| panic!("fault_equivalence.toml: no cell [{cell_id}]"))
+        .spec
+}
+
 #[test]
 fn seeded_single_threaded_scenario_is_bit_reproducible() {
-    let spec = ScenarioSpec {
-        faults: FaultPlan::unreliable_report_path(0.1, 0.1, 0.1),
-        seed: 0xD7A0_0001,
-        ..base_spec()
-    };
+    let spec = suite_cell_spec("seed=3617587201,mode=single"); // 0xD7A0_0001
+    assert_eq!(
+        spec,
+        ScenarioSpec {
+            faults: FaultPlan::unreliable_report_path(0.1, 0.1, 0.1),
+            seed: 0xD7A0_0001,
+            ..base_spec()
+        },
+        "corpus cell drifted from the suite's deployment"
+    );
     let a = run_scenario(&spec);
     let b = run_scenario(&spec);
     assert_eq!(a.report, b.report, "report must be a pure function of the spec");
@@ -47,12 +68,8 @@ fn seeded_single_threaded_scenario_is_bit_reproducible() {
 
 #[test]
 fn seeded_sharded_scenario_is_bit_reproducible() {
-    let spec = ScenarioSpec {
-        faults: FaultPlan::unreliable_report_path(0.1, 0.1, 0.1),
-        mode: TranslatorMode::Sharded { shards: 4 },
-        seed: 0xD7A0_0003,
-        ..base_spec()
-    };
+    let spec = suite_cell_spec("seed=3617587203,mode=sharded4"); // 0xD7A0_0003
+    assert_eq!(spec.mode, TranslatorMode::Sharded { shards: 4 });
     let a = run_scenario(&spec);
     let b = run_scenario(&spec);
     assert_eq!(

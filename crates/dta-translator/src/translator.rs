@@ -31,7 +31,7 @@ use crate::postcard_cache::{CacheEmission, PostcardCache};
 use crate::ratelimit::{RateLimiter, RateLimiterConfig};
 
 /// Translator sizing and behaviour knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TranslatorConfig {
     /// Postcarding aggregation cache rows (32K on the Tofino prototype).
     pub postcard_cache_slots: usize,
