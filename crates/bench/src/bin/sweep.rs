@@ -254,6 +254,20 @@ fn sweep_file(doc: &CorpusDoc, sample: Option<u64>, seed: u64) -> FileCoverage {
                 );
             }
         }
+        if inv.queries_answered {
+            cov.checks += 1;
+            match &r.query {
+                Some(q) if q.answered > 0 => {}
+                Some(q) => fail(
+                    "queries_answered",
+                    format!("query stream issued {} but answered 0", q.issued),
+                ),
+                None => fail(
+                    "queries_answered",
+                    "no [query] plan in spec (invariant needs one)".to_string(),
+                ),
+            }
+        }
         if inv.kw_audit_vs_montecarlo {
             cov.checks += 1;
             let audited = r.queries.kw_found + r.queries.kw_ambiguous + r.queries.kw_missing;

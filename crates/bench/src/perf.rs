@@ -380,6 +380,22 @@ pub fn translator_suite_filtered(window: Duration, only: Option<&str>) -> Vec<Pe
         ));
     }
 
+    // Query serving under write load: the smoke deployment with a 16
+    // queries/epoch snapshot-read stream spanning the emission window (see
+    // ScenarioSpec::query_under_load). On top of the normal path, the
+    // ns/report prices the per-epoch snapshot captures, the sharded-mode
+    // quiesce barriers at every epoch boundary, and the plurality/poll/
+    // CMS/cache reads the stream performs against the images.
+    if wants("scenario_query/k4_single") {
+        let spec = dta_sim::ScenarioSpec::query_under_load(dta_sim::TranslatorMode::SingleThreaded);
+        results.push(run_loop_scenario("scenario_query/k4_single", window, &spec));
+    }
+    if wants("scenario_query/k4_sharded4") {
+        let spec =
+            dta_sim::ScenarioSpec::query_under_load(dta_sim::TranslatorMode::Sharded { shards: 4 });
+        results.push(run_loop_scenario("scenario_query/k4_sharded4", window, &spec));
+    }
+
     // Datacenter scale: K=8 fat tree, 1008 paced reporters (8 lanes per
     // host). One run is ~13k reports over 80 switches — the workload the
     // PR 4 engine rewrite (dense arenas + timing wheel) exists for.
@@ -682,7 +698,8 @@ mod tests {
              "scenario_failover/k4_failover_single",
              "scenario_failover/k4_failover_sharded4",
              "scenario_rebalance/k4_rebalance_single",
-             "scenario_rebalance/k4_rebalance_sharded4", "scenario_large/k8_single",
+             "scenario_rebalance/k4_rebalance_sharded4", "scenario_query/k4_single",
+             "scenario_query/k4_sharded4", "scenario_large/k8_single",
              "scenario_large/k8_sharded4"]
         );
         for e in &results {

@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use dta_rdma::mr::MemoryRegion;
 
+use crate::engine::SlotSource;
 use crate::layout::AppendLayout;
 
 /// Timing attribution for one poll (Figure 16b's "Increment Tail" vs
@@ -57,16 +58,14 @@ impl AppendReader {
     /// translator writes (the paper allocates one list per core to avoid
     /// tail races).
     pub fn poll(&mut self, list: u32) -> Vec<u8> {
-        let tail = &mut self.tails[list as usize];
-        let va = self.layout.base_va
-            + list as u64 * self.layout.list_bytes()
-            + *tail * self.layout.entry_bytes as u64;
-        let data = self
-            .region
-            .read(va, self.layout.entry_bytes as usize)
-            .expect("entry within region");
-        *tail = (*tail + 1) % self.layout.entries_per_list;
-        data
+        poll_at(&self.layout, &mut self.tails, &self.region, list)
+    }
+
+    /// [`AppendReader::poll`] reading the entry from `src` instead of the
+    /// live region — the same tail advance over a snapshot image (the tail
+    /// is reader state, so progress carries across epochs).
+    pub fn poll_from(&mut self, src: &dyn SlotSource, list: u32) -> Vec<u8> {
+        poll_at(&self.layout, &mut self.tails, src, list)
     }
 
     /// Poll with wall-clock attribution for Figure 16b.
@@ -91,6 +90,18 @@ impl AppendReader {
     pub fn poll_n(&mut self, list: u32, n: usize) -> Vec<Vec<u8>> {
         (0..n).map(|_| self.poll(list)).collect()
     }
+}
+
+/// Algorithm 4 against any [`SlotSource`]: read at the tail, advance, wrap.
+/// Free-standing so [`AppendReader::poll`] can pass its own region while
+/// mutably borrowing its tails.
+fn poll_at(layout: &AppendLayout, tails: &mut [u64], src: &dyn SlotSource, list: u32) -> Vec<u8> {
+    let tail = &mut tails[list as usize];
+    let va = layout.base_va + list as u64 * layout.list_bytes() + *tail * layout.entry_bytes as u64;
+    let mut data = vec![0u8; layout.entry_bytes as usize];
+    assert!(src.read_slot(va, &mut data), "entry within source");
+    *tail = (*tail + 1) % layout.entries_per_list;
+    data
 }
 
 /// A direct (non-RDMA) writer mirroring the translator's head-pointer logic;

@@ -10,6 +10,7 @@ use dta_core::TelemetryKey;
 use dta_hash::HashFamily;
 use dta_rdma::mr::MemoryRegion;
 
+use crate::engine::SlotSource;
 use crate::layout::CmsLayout;
 
 /// The collector-side Key-Increment (count-min) store.
@@ -44,14 +45,27 @@ impl KeyIncrementStore {
         }
     }
 
+    /// Counter reads a `redundancy`-deep query performs (clamped to the
+    /// hash family).
+    pub fn slot_probes(&self, redundancy: usize) -> u32 {
+        redundancy.min(self.family.len()) as u32
+    }
+
     /// Query: minimum over the `redundancy` counters (Algorithm 6). Always
     /// an over-estimate of the true sum for this key (count-min property).
     pub fn query(&self, key: &TelemetryKey, redundancy: usize) -> u64 {
+        self.query_from(&self.region, key, redundancy)
+    }
+
+    /// [`KeyIncrementStore::query`] reading counters from `src` instead of
+    /// the live region — the same min over a snapshot image.
+    pub fn query_from(&self, src: &dyn SlotSource, key: &TelemetryKey, redundancy: usize) -> u64 {
         (0..redundancy.min(self.family.len()))
             .map(|n| {
                 let va = self.layout.slot_va(&self.family, n, key);
-                let raw = self.region.read(va, 8).expect("slot within region");
-                u64::from_be_bytes(raw.try_into().unwrap())
+                let mut raw = [0u8; 8];
+                assert!(src.read_slot(va, &mut raw), "slot within source");
+                u64::from_be_bytes(raw)
             })
             .min()
             .unwrap_or(0)

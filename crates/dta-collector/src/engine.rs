@@ -1,0 +1,442 @@
+//! The unified query engine: one read API over all four primitives.
+//!
+//! The paper's collector answers operator queries from host memory while
+//! the fabric keeps writing into it (§6.5). Before this module, every
+//! read-side consumer hand-rolled its own per-primitive calls — the
+//! scenario audit, the fleet audit with its owner-miss fan-out, and the
+//! multi-core harnesses in [`crate::query`] each duplicated the dispatch.
+//! [`QueryEngine`] collapses them into one code path:
+//!
+//! * [`QueryRequest`] / [`QueryResponse`] — a primitive-tagged request and
+//!   its outcome plus the deterministic cost accounting (slot probes,
+//!   fan-out probes) that latency models and audits consume.
+//! * [`SlotSource`] — where the bytes come from. The stores' query
+//!   algorithms (plurality vote, CMS min, chunk decode, tail poll) are
+//!   written once against this trait; [`MemoryRegion`] serves *live* reads
+//!   under the stripe read-locks, and [`SnapshotView`] serves
+//!   *point-in-time* reads over a pooled
+//!   [`SnapshotBuf`](dta_rdma::mr::SnapshotBuf) image, so online query
+//!   serving under write load reuses exactly the audited read logic.
+//! * [`StoreQueryEngine`] — the live engine over a collector's stores
+//!   (what `CollectorService::engine()` hands out).
+//! * [`SnapshotQueryEngine`] — the same dispatch over per-epoch snapshot
+//!   images (what the scenario harness's query service uses while shards
+//!   write).
+//!
+//! Fleet routing (owner-first, salted fan-out on miss) layers on top in
+//! `dta-translator::fleet_query`, wrapping per-collector engines — the
+//! routing table lives there, not here.
+
+use dta_core::TelemetryKey;
+use dta_rdma::mr::MemoryRegion;
+
+use crate::append::AppendReader;
+use crate::cms::KeyIncrementStore;
+use crate::keywrite::{KeyWriteStore, QueryOutcome, QueryPolicy};
+use crate::postcarding::{PostcardQueryOutcome, PostcardStore};
+
+/// A byte source for slot-granular query reads.
+///
+/// Returns `false` when `[va, va + dst.len())` is outside the source — the
+/// caller treats that exactly like the backing region rejecting the read
+/// (a layout bug, not a miss).
+pub trait SlotSource {
+    /// Copy `dst.len()` bytes at virtual address `va` into `dst`.
+    fn read_slot(&self, va: u64, dst: &mut [u8]) -> bool;
+}
+
+/// Live reads: stripe-locked copies out of the shared region, counted as
+/// query-side memory accesses (one per slot, as before the engine).
+impl SlotSource for MemoryRegion {
+    fn read_slot(&self, va: u64, dst: &mut [u8]) -> bool {
+        self.read_into(va, dst).is_ok()
+    }
+}
+
+/// Point-in-time reads over a snapshot image of one region (the bytes a
+/// [`dta_rdma::mr::SnapshotBuf`] dereferences to), addressed by the
+/// region's own virtual addresses.
+#[derive(Clone, Copy)]
+pub struct SnapshotView<'a> {
+    /// The snapshotted region's base virtual address.
+    pub base_va: u64,
+    /// The full region image.
+    pub bytes: &'a [u8],
+}
+
+impl SlotSource for SnapshotView<'_> {
+    fn read_slot(&self, va: u64, dst: &mut [u8]) -> bool {
+        let Some(off) = va.checked_sub(self.base_va) else {
+            return false;
+        };
+        let off = off as usize;
+        match self.bytes.get(off..off + dst.len()) {
+            Some(src) => {
+                dst.copy_from_slice(src);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// One telemetry query, tagged by primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// Key-Write plurality/consensus read (Algorithm 2).
+    KeyWrite {
+        /// The queried key.
+        key: TelemetryKey,
+        /// Candidate slots to read.
+        redundancy: usize,
+        /// How multiple checksum-matching candidates resolve.
+        policy: QueryPolicy,
+    },
+    /// Postcarding path decode (§4's aggregated cache read).
+    Postcard {
+        /// The queried flow key.
+        key: TelemetryKey,
+        /// Candidate chunks to decode.
+        redundancy: usize,
+    },
+    /// Append tail poll (Algorithm 4); advances the reader's tail.
+    AppendPoll {
+        /// The polled list.
+        list: u32,
+    },
+    /// Key-Increment CMS estimate (Algorithm 6).
+    Increment {
+        /// The queried key.
+        key: TelemetryKey,
+        /// Counters to take the minimum over.
+        redundancy: usize,
+    },
+}
+
+impl QueryRequest {
+    /// The routed key, when the primitive is key-addressed.
+    pub fn key(&self) -> Option<&TelemetryKey> {
+        match self {
+            QueryRequest::KeyWrite { key, .. }
+            | QueryRequest::Postcard { key, .. }
+            | QueryRequest::Increment { key, .. } => Some(key),
+            QueryRequest::AppendPoll { .. } => None,
+        }
+    }
+}
+
+/// A query's outcome, tagged by primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Key-Write vote outcome.
+    KeyWrite(QueryOutcome),
+    /// Postcarding decode outcome.
+    Postcard(PostcardQueryOutcome),
+    /// The polled Append entry (all-zero bytes = nothing written yet).
+    Append(Vec<u8>),
+    /// The CMS estimate.
+    Increment(u64),
+    /// The engine has no store for this primitive.
+    Unavailable,
+}
+
+impl QueryResult {
+    /// Whether the query produced telemetry: a Key-Write/Postcard value, a
+    /// non-blank Append entry, or a non-zero estimate.
+    pub fn is_hit(&self) -> bool {
+        match self {
+            QueryResult::KeyWrite(o) => o.is_found(),
+            QueryResult::Postcard(o) => o.is_found(),
+            QueryResult::Append(e) => e.iter().any(|b| *b != 0),
+            QueryResult::Increment(v) => *v > 0,
+            QueryResult::Unavailable => false,
+        }
+    }
+}
+
+/// A [`QueryResult`] plus the deterministic cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// The outcome.
+    pub result: QueryResult,
+    /// Slot/chunk/counter reads this query performed (all engines).
+    pub probes: u32,
+    /// Non-owner collectors probed (fleet engines; 0 on a single store).
+    pub fanout: u32,
+}
+
+impl QueryResponse {
+    /// Response with no fan-out.
+    pub fn local(result: QueryResult, probes: u32) -> Self {
+        QueryResponse { result, probes, fanout: 0 }
+    }
+}
+
+/// The unified read API every query consumer routes through.
+///
+/// `&mut self` because Append polls advance the reader's tail — the one
+/// deliberately stateful read in the system (§6.5.3's per-core tails).
+pub trait QueryEngine {
+    /// Execute one query.
+    fn execute(&mut self, req: &QueryRequest) -> QueryResponse;
+}
+
+/// Dispatch one request against a set of per-primitive stores reading via
+/// `src`. The single implementation both engine types funnel through.
+fn dispatch(
+    src: &dyn SlotSource,
+    kw: Option<&KeyWriteStore>,
+    pc: Option<&PostcardStore>,
+    append: Option<&mut AppendReader>,
+    cms: Option<&KeyIncrementStore>,
+    req: &QueryRequest,
+) -> QueryResponse {
+    match req {
+        QueryRequest::KeyWrite { key, redundancy, policy } => match kw {
+            Some(s) => QueryResponse::local(
+                QueryResult::KeyWrite(s.query_from(src, key, *redundancy, *policy)),
+                s.slot_probes(*redundancy),
+            ),
+            None => QueryResponse::local(QueryResult::Unavailable, 0),
+        },
+        QueryRequest::Postcard { key, redundancy } => match pc {
+            Some(s) => QueryResponse::local(
+                QueryResult::Postcard(s.query_from(src, key, *redundancy)),
+                s.slot_probes(*redundancy),
+            ),
+            None => QueryResponse::local(QueryResult::Unavailable, 0),
+        },
+        QueryRequest::AppendPoll { list } => match append {
+            Some(r) => QueryResponse::local(QueryResult::Append(r.poll_from(src, *list)), 1),
+            None => QueryResponse::local(QueryResult::Unavailable, 0),
+        },
+        QueryRequest::Increment { key, redundancy } => match cms {
+            Some(s) => QueryResponse::local(
+                QueryResult::Increment(s.query_from(src, key, *redundancy)),
+                s.slot_probes(*redundancy),
+            ),
+            None => QueryResponse::local(QueryResult::Unavailable, 0),
+        },
+    }
+}
+
+/// The live engine over one collector's stores: every read goes through
+/// the stores' own backing regions (stripe read-locks, concurrent with
+/// RDMA writers). Absent stores answer [`QueryResult::Unavailable`].
+#[derive(Default)]
+pub struct StoreQueryEngine<'a> {
+    /// Key-Write store, when present.
+    pub keywrite: Option<&'a KeyWriteStore>,
+    /// Postcarding store, when present.
+    pub postcarding: Option<&'a PostcardStore>,
+    /// Append reader, when present (`&mut`: polls advance tails).
+    pub append: Option<&'a mut AppendReader>,
+    /// Key-Increment store, when present.
+    pub key_increment: Option<&'a KeyIncrementStore>,
+}
+
+impl<'a> StoreQueryEngine<'a> {
+    /// Engine over a lone Key-Write store (the Figure 11a harness shape).
+    pub fn for_keywrite(store: &'a KeyWriteStore) -> Self {
+        StoreQueryEngine { keywrite: Some(store), ..Default::default() }
+    }
+
+    /// Engine over a lone Append reader (the Figure 16a harness shape).
+    pub fn for_append(reader: &'a mut AppendReader) -> Self {
+        StoreQueryEngine { append: Some(reader), ..Default::default() }
+    }
+}
+
+impl QueryEngine for StoreQueryEngine<'_> {
+    fn execute(&mut self, req: &QueryRequest) -> QueryResponse {
+        // Each primitive reads from its own store's region.
+        match req {
+            QueryRequest::KeyWrite { .. } => match self.keywrite {
+                Some(s) => dispatch(s.region(), self.keywrite, None, None, None, req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::Postcard { .. } => match self.postcarding {
+                Some(s) => dispatch(s.region(), None, self.postcarding, None, None, req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::AppendPoll { .. } => match self.append.as_deref_mut() {
+                Some(r) => {
+                    let region = r.region().clone();
+                    dispatch(&region, None, None, Some(r), None, req)
+                }
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::Increment { .. } => match self.key_increment {
+                Some(s) => dispatch(s.region(), None, None, None, self.key_increment, req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+        }
+    }
+}
+
+/// The snapshot engine: the same stores (for geometry + hashing), but every
+/// byte comes from a per-primitive [`SnapshotView`] — a point-in-time image
+/// taken under the stripe locks. Queries against it are a pure function of
+/// the image, no matter what writers do to the live region meanwhile.
+pub struct SnapshotQueryEngine<'a> {
+    /// Key-Write store + its image.
+    pub keywrite: Option<(&'a KeyWriteStore, SnapshotView<'a>)>,
+    /// Postcarding store + its image.
+    pub postcarding: Option<(&'a PostcardStore, SnapshotView<'a>)>,
+    /// Append reader + its image (`&mut`: polls advance tails, which is
+    /// how a paced poller carries progress *across* epochs).
+    pub append: Option<(&'a mut AppendReader, SnapshotView<'a>)>,
+    /// Key-Increment store + its image.
+    pub key_increment: Option<(&'a KeyIncrementStore, SnapshotView<'a>)>,
+}
+
+impl QueryEngine for SnapshotQueryEngine<'_> {
+    fn execute(&mut self, req: &QueryRequest) -> QueryResponse {
+        match req {
+            QueryRequest::KeyWrite { .. } => match &self.keywrite {
+                Some((s, view)) => dispatch(view, Some(s), None, None, None, req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::Postcard { .. } => match &self.postcarding {
+                Some((s, view)) => dispatch(view, None, Some(s), None, None, req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::AppendPoll { .. } => match &mut self.append {
+                Some((r, view)) => {
+                    let view = *view;
+                    dispatch(&view, None, None, Some(&mut **r), None, req)
+                }
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+            QueryRequest::Increment { .. } => match &self.key_increment {
+                Some((s, view)) => dispatch(view, None, None, None, Some(s), req),
+                None => QueryResponse::local(QueryResult::Unavailable, 0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AppendLayout, CmsLayout, KwLayout};
+    use dta_rdma::mr::MrAccess;
+
+    fn kw_store() -> KeyWriteStore {
+        let layout = KwLayout { base_va: 0x1000, slots: 1024, value_bytes: 4 };
+        let region =
+            MemoryRegion::new(layout.base_va, layout.region_len() as usize, 1, MrAccess::WRITE);
+        KeyWriteStore::new(layout, region, 4)
+    }
+
+    #[test]
+    fn live_engine_matches_direct_store_calls() {
+        let s = kw_store();
+        let k = TelemetryKey::from_u64(9);
+        s.insert_direct(&k, &[1, 2, 3, 4], 2);
+        let mut eng = StoreQueryEngine::for_keywrite(&s);
+        let resp = eng.execute(&QueryRequest::KeyWrite {
+            key: k,
+            redundancy: 2,
+            policy: QueryPolicy::Plurality,
+        });
+        assert_eq!(
+            resp.result,
+            QueryResult::KeyWrite(s.query(&k, 2, QueryPolicy::Plurality))
+        );
+        assert_eq!(resp.probes, 2);
+        assert_eq!(resp.fanout, 0);
+        assert!(resp.result.is_hit());
+    }
+
+    #[test]
+    fn absent_store_is_unavailable_not_a_miss() {
+        let mut eng = StoreQueryEngine::default();
+        let resp = eng.execute(&QueryRequest::Increment {
+            key: TelemetryKey::from_u64(1),
+            redundancy: 2,
+        });
+        assert_eq!(resp.result, QueryResult::Unavailable);
+        assert!(!resp.result.is_hit());
+        assert_eq!(resp.probes, 0);
+    }
+
+    #[test]
+    fn snapshot_view_answers_what_the_image_held_not_the_live_region() {
+        let s = kw_store();
+        let k = TelemetryKey::from_u64(3);
+        s.insert_direct(&k, &[7; 4], 2);
+        let snap = s.region().snapshot();
+        // Overwrite live memory after the snapshot.
+        s.insert_direct(&k, &[8; 4], 2);
+        let view = SnapshotView { base_va: s.region().base_va, bytes: snap.as_bytes() };
+        let mut eng = SnapshotQueryEngine {
+            keywrite: Some((&s, view)),
+            postcarding: None,
+            append: None,
+            key_increment: None,
+        };
+        let resp = eng.execute(&QueryRequest::KeyWrite {
+            key: k,
+            redundancy: 2,
+            policy: QueryPolicy::Plurality,
+        });
+        assert_eq!(resp.result, QueryResult::KeyWrite(QueryOutcome::Found(vec![7; 4])));
+        assert_eq!(s.query(&k, 2, QueryPolicy::Plurality), QueryOutcome::Found(vec![8; 4]));
+    }
+
+    #[test]
+    fn snapshot_poll_advances_tails_across_epochs() {
+        let layout = AppendLayout { base_va: 0, lists: 1, entries_per_list: 8, entry_bytes: 4 };
+        let region = MemoryRegion::new(0, layout.region_len() as usize, 1, MrAccess::WRITE);
+        let mut writer = crate::append::DirectAppender::new(layout, region.clone());
+        let mut reader = AppendReader::new(layout, region.clone());
+        writer.append(0, &[1, 0, 0, 1]);
+        let poll = |reader: &mut AppendReader| {
+            let snap = region.snapshot();
+            let view = SnapshotView { base_va: region.base_va, bytes: snap.as_bytes() };
+            let mut eng = SnapshotQueryEngine {
+                keywrite: None,
+                postcarding: None,
+                append: Some((reader, view)),
+                key_increment: None,
+            };
+            eng.execute(&QueryRequest::AppendPoll { list: 0 })
+        };
+        assert_eq!(poll(&mut reader).result, QueryResult::Append(vec![1, 0, 0, 1]));
+        // Next epoch: the tail moved on, the next entry is still blank.
+        let miss = poll(&mut reader);
+        assert_eq!(miss.result, QueryResult::Append(vec![0; 4]));
+        assert!(!miss.result.is_hit());
+    }
+
+    #[test]
+    fn increment_estimates_agree_between_live_and_snapshot() {
+        let layout = CmsLayout { base_va: 0x4000, slots: 512 };
+        let region =
+            MemoryRegion::new(layout.base_va, layout.region_len() as usize, 1, MrAccess::ATOMIC);
+        let s = KeyIncrementStore::new(layout, region, 4);
+        let k = TelemetryKey::from_u64(11);
+        s.increment_direct(&k, 5, 2);
+        let snap = s.region().snapshot();
+        let view = SnapshotView { base_va: s.region().base_va, bytes: snap.as_bytes() };
+        let mut eng = SnapshotQueryEngine {
+            keywrite: None,
+            postcarding: None,
+            append: None,
+            key_increment: Some((&s, view)),
+        };
+        let resp = eng.execute(&QueryRequest::Increment { key: k, redundancy: 2 });
+        assert_eq!(resp.result, QueryResult::Increment(s.query(&k, 2)));
+        assert_eq!(resp.result, QueryResult::Increment(5));
+    }
+
+    #[test]
+    fn out_of_range_snapshot_read_is_rejected() {
+        let view = SnapshotView { base_va: 0x100, bytes: &[0u8; 16] };
+        let mut buf = [0u8; 8];
+        assert!(!view.read_slot(0x50, &mut buf), "below base");
+        assert!(!view.read_slot(0x10c, &mut buf), "past end");
+        assert!(view.read_slot(0x108, &mut buf));
+    }
+}

@@ -11,6 +11,7 @@ use dta_core::TelemetryKey;
 use dta_hash::{Checksummer, HashFamily};
 use dta_rdma::mr::MemoryRegion;
 
+use crate::engine::SlotSource;
 use crate::layout::KwLayout;
 
 /// How a query resolves multiple checksum-matching candidates
@@ -114,9 +115,27 @@ impl KeyWriteStore {
         }
     }
 
+    /// Slot reads a `redundancy`-deep query performs (clamped to the hash
+    /// family): the deterministic probe count query cost models use.
+    pub fn slot_probes(&self, redundancy: usize) -> u32 {
+        redundancy.min(self.family.len()) as u32
+    }
+
     /// Query `key`, reading all `redundancy` candidate slots (Algorithm 2).
     pub fn query(&self, key: &TelemetryKey, redundancy: usize, policy: QueryPolicy) -> QueryOutcome {
-        self.query_inner(key, redundancy, policy, None)
+        self.query_inner(&self.region, key, redundancy, policy, None)
+    }
+
+    /// [`KeyWriteStore::query`] reading slot bytes from `src` instead of
+    /// the live region — the same vote logic over a snapshot image.
+    pub fn query_from(
+        &self,
+        src: &dyn SlotSource,
+        key: &TelemetryKey,
+        redundancy: usize,
+        policy: QueryPolicy,
+    ) -> QueryOutcome {
+        self.query_inner(src, key, redundancy, policy, None)
     }
 
     /// Query with wall-clock attribution for Figure 11b.
@@ -127,11 +146,12 @@ impl KeyWriteStore {
         policy: QueryPolicy,
         breakdown: &mut KwQueryBreakdown,
     ) -> QueryOutcome {
-        self.query_inner(key, redundancy, policy, Some(breakdown))
+        self.query_inner(&self.region, key, redundancy, policy, Some(breakdown))
     }
 
     fn query_inner(
         &self,
+        src: &dyn SlotSource,
         key: &TelemetryKey,
         redundancy: usize,
         policy: QueryPolicy,
@@ -147,9 +167,10 @@ impl KeyWriteStore {
         let w = self.layout.value_bytes as usize;
         let n = redundancy.min(self.family.len());
         let mut candidates: Vec<(Vec<u8>, u8)> = Vec::with_capacity(n);
+        let mut slot = vec![0u8; 4 + w];
         for i in 0..n {
             let va = self.layout.slot_va(&self.family, i, key);
-            let slot = self.region.read(va, 4 + w).expect("slot within region");
+            assert!(src.read_slot(va, &mut slot), "slot within source");
             let got = u32::from_be_bytes(slot[0..4].try_into().unwrap());
             if got == want {
                 let value = slot[4..].to_vec();

@@ -18,10 +18,15 @@
 //! * [`cms`] — the Key-Increment count-min store (Algorithm 5 & 6).
 //! * [`service`] — glues the stores to the RDMA NIC: region registration,
 //!   CM publishing, and an ingress loop.
-//! * [`query`] — multi-core query execution (Figure 11 / 16 harness).
+//! * [`engine`] — the unified [`engine::QueryEngine`] read API over all
+//!   four primitives, serving either live regions or pooled snapshot
+//!   images through one dispatch path.
+//! * [`query`] — multi-core query execution (Figure 11 / 16 harness),
+//!   routed through the engine.
 
 pub mod append;
 pub mod cms;
+pub mod engine;
 pub mod keywrite;
 pub mod layout;
 pub mod node;
@@ -31,6 +36,10 @@ pub mod service;
 
 pub use append::{AppendReader, PollBreakdown};
 pub use cms::KeyIncrementStore;
+pub use engine::{
+    QueryEngine, QueryRequest, QueryResponse, QueryResult, SlotSource, SnapshotQueryEngine,
+    SnapshotView, StoreQueryEngine,
+};
 pub use keywrite::{KeyWriteStore, KwQueryBreakdown, QueryOutcome, QueryPolicy};
 pub use layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
 pub use node::{CollectorNode, CollectorNodeStats};

@@ -11,6 +11,7 @@ use dta_core::TelemetryKey;
 use dta_hash::{checksum_b, Crc32, CrcParams, HashFamily};
 use dta_rdma::mr::MemoryRegion;
 
+use crate::engine::SlotSource;
 use crate::layout::PostcardLayout;
 
 /// The value encoder `g : V ∪ {⊔} -> b bits` plus its pre-populated decode
@@ -207,14 +208,18 @@ impl PostcardStore {
         }
     }
 
+    /// Chunk reads a `redundancy`-deep query performs (clamped to the hash
+    /// family).
+    pub fn slot_probes(&self, redundancy: usize) -> u32 {
+        redundancy.min(self.family.len()) as u32
+    }
+
     /// Attempt to decode redundancy copy `n` of `key`'s chunk. Returns the
     /// path when the chunk holds valid information for this key.
-    fn decode_chunk(&self, key: &TelemetryKey, n: usize) -> Option<Vec<u32>> {
+    fn decode_chunk(&self, src: &dyn SlotSource, key: &TelemetryKey, n: usize) -> Option<Vec<u32>> {
         let va = self.layout.chunk_va(&self.family, n, key);
-        let raw = self
-            .region
-            .read(va, (self.layout.hops as usize) * PostcardLayout::SLOT_BYTES as usize)
-            .expect("chunk within region");
+        let mut raw = vec![0u8; (self.layout.hops as usize) * PostcardLayout::SLOT_BYTES as usize];
+        assert!(src.read_slot(va, &mut raw), "chunk within source");
         let mut values = Vec::with_capacity(self.layout.hops as usize);
         let mut blank_seen = false;
         for hop in 0..self.layout.hops {
@@ -240,10 +245,21 @@ impl PostcardStore {
     /// Query the path for `key` (§4's decoding rule): output a path only if
     /// at least one chunk decodes and all decoding chunks agree.
     pub fn query(&self, key: &TelemetryKey, redundancy: usize) -> PostcardQueryOutcome {
+        self.query_from(&self.region, key, redundancy)
+    }
+
+    /// [`PostcardStore::query`] reading chunks from `src` instead of the
+    /// live region — the same decode over a snapshot image.
+    pub fn query_from(
+        &self,
+        src: &dyn SlotSource,
+        key: &TelemetryKey,
+        redundancy: usize,
+    ) -> PostcardQueryOutcome {
         let n = redundancy.min(self.family.len());
         let mut winner: Option<Vec<u32>> = None;
         for i in 0..n {
-            if let Some(path) = self.decode_chunk(key, i) {
+            if let Some(path) = self.decode_chunk(src, key, i) {
                 match &winner {
                     Some(w) if *w != path => return PostcardQueryOutcome::Ambiguous,
                     _ => winner = Some(path),

@@ -3,13 +3,15 @@
 //! "Key-Write query processing can be easily parallelized, and we found the
 //! query performance to scale near-linearly when we allocated more cores"
 //! (§6.5.1). The stores are `Sync` (interior mutability over the shared
-//! region), so queries shard trivially across threads.
+//! region), so queries shard trivially across threads — each worker runs
+//! its own [`StoreQueryEngine`] over the shared store.
 
 use std::time::{Duration, Instant};
 
 use dta_core::TelemetryKey;
 
 use crate::append::AppendReader;
+use crate::engine::{QueryEngine, QueryRequest, QueryResult, StoreQueryEngine};
 use crate::keywrite::{KeyWriteStore, QueryPolicy};
 
 /// Outcome of a parallel query run.
@@ -55,9 +57,19 @@ pub fn parallel_kw_query(
             .chunks(chunk.max(1))
             .map(|shard| {
                 s.spawn(move || {
+                    let mut engine = StoreQueryEngine::for_keywrite(store);
                     shard
                         .iter()
-                        .filter(|k| store.query(k, redundancy, policy).is_found())
+                        .filter(|k| {
+                            engine
+                                .execute(&QueryRequest::KeyWrite {
+                                    key: **k,
+                                    redundancy,
+                                    policy,
+                                })
+                                .result
+                                .is_hit()
+                        })
                         .count() as u64
                 })
             })
@@ -78,11 +90,14 @@ pub fn parallel_append_poll(readers: &mut [AppendReader], polls_per_list: u64) -
             .iter_mut()
             .map(|r| {
                 s.spawn(move || {
+                    let mut engine = StoreQueryEngine::for_append(r);
                     let mut sink = 0u64;
                     for _ in 0..polls_per_list {
                         // Every list is polled at index 0 of its own reader.
-                        let e = r.poll(0);
-                        sink = sink.wrapping_add(e.first().copied().unwrap_or(0) as u64);
+                        let resp = engine.execute(&QueryRequest::AppendPoll { list: 0 });
+                        if let QueryResult::Append(e) = resp.result {
+                            sink = sink.wrapping_add(e.first().copied().unwrap_or(0) as u64);
+                        }
                     }
                     // Prevent the read loop from being optimized away.
                     std::hint::black_box(sink);

@@ -11,6 +11,7 @@ use dta_rdma::packet::RocePacket;
 
 use crate::append::AppendReader;
 use crate::cms::KeyIncrementStore;
+use crate::engine::StoreQueryEngine;
 use crate::keywrite::KeyWriteStore;
 use crate::layout::{AppendLayout, CmsLayout, KwLayout, PostcardLayout};
 use crate::postcarding::{PostcardStore, ValueCodec};
@@ -277,6 +278,18 @@ impl CollectorService {
     /// Memory instructions executed so far across all regions (Figure 8).
     pub fn memory_instructions(&self) -> u64 {
         self.nic.memory.memory_instructions()
+    }
+
+    /// The unified live read API over this collector's stores: one
+    /// [`StoreQueryEngine`] fronting whichever primitives are enabled
+    /// (`&mut self` because Append polls advance the reader tail).
+    pub fn engine(&mut self) -> StoreQueryEngine<'_> {
+        StoreQueryEngine {
+            keywrite: self.keywrite.as_ref(),
+            postcarding: self.postcarding.as_ref(),
+            append: self.append.as_mut(),
+            key_increment: self.key_increment.as_ref(),
+        }
     }
 }
 

@@ -1,0 +1,61 @@
+//! Concurrency contract of the snapshot read path.
+//!
+//! A Key-Write slot image (`checksum32 ‖ value`) never straddles a
+//! memory-region stripe, and a single-stripe write lands under one stripe
+//! lock — so a snapshot taken at *any* instant holds each slot either
+//! wholly before or wholly after any in-flight write. The test hammers
+//! one key from a writer thread with round-stamped uniform values while a
+//! reader keeps snapshotting and querying; a torn slot would surface as a
+//! `Found` value mixing two rounds' byte patterns, which the same-key
+//! checksum (identical every round) could never reject.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dta_collector::{KeyWriteStore, KwLayout, QueryPolicy, SnapshotView};
+use dta_core::TelemetryKey;
+use dta_rdma::mr::{MemoryRegion, MrAccess};
+
+const VALUE_BYTES: u32 = 32;
+const ROUNDS: u32 = 4_000;
+
+#[test]
+fn snapshot_reads_never_observe_torn_keywrite_values() {
+    let layout = KwLayout { base_va: 0x4000, slots: 256, value_bytes: VALUE_BYTES };
+    let region =
+        MemoryRegion::new(layout.base_va, layout.region_len() as usize, 1, MrAccess::WRITE);
+    // Reader and writer stores share the region (`Arc`-backed) — the same
+    // aliasing the scenario harness's `CollectorReaders` relies on.
+    let writer = KeyWriteStore::new(layout, region.clone(), 4);
+    let reader = KeyWriteStore::new(layout, region.clone(), 4);
+    let key = TelemetryKey::from_u64(0xFEED);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let writer_done = done.clone();
+    let writer_thread = std::thread::spawn(move || {
+        for round in 1..=ROUNDS {
+            // Uniform per-round pattern: any mix of two rounds in one
+            // value is unambiguously a torn read.
+            let value = [round as u8; VALUE_BYTES as usize];
+            writer.insert_direct(&key, &value, 1);
+        }
+        writer_done.store(true, Ordering::Release);
+    });
+
+    let mut observed = 0u64;
+    while !done.load(Ordering::Acquire) || observed == 0 {
+        let snap = region.snapshot();
+        let view = SnapshotView { base_va: layout.base_va, bytes: snap.as_bytes() };
+        let outcome = reader.query_from(&view, &key, 1, QueryPolicy::Plurality);
+        if let dta_collector::QueryOutcome::Found(v) = outcome {
+            assert_eq!(v.len(), VALUE_BYTES as usize);
+            assert!(
+                v.iter().all(|&b| b == v[0]),
+                "torn Key-Write value in snapshot: {v:?}"
+            );
+            observed += 1;
+        }
+    }
+    writer_thread.join().unwrap();
+    assert!(observed > 0, "reader never saw a committed value");
+}

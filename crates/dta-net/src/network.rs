@@ -150,6 +150,15 @@ impl Network {
         }
     }
 
+    /// Borrow a live node in place (e.g., to downcast and quiesce it
+    /// mid-run without disturbing its links or pending ticks).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut dyn NetNode> {
+        match self.nodes.get_mut(id.0 as usize)? {
+            NodeState::Occupied(s) => Some(s.node.as_mut()),
+            _ => None,
+        }
+    }
+
     /// Index into the link arena of the `from -> to` port, if installed.
     fn port(&self, from: NodeId, to: NodeId) -> Option<usize> {
         let ports = self.egress.get(from.0 as usize)?;

@@ -41,7 +41,7 @@ use dta_net::{FaultConfig, LinkConfig, QueueDiscipline};
 use dta_reporter::RetransmitPolicy;
 use dta_translator::RateLimiterConfig;
 
-use crate::spec::{CollectorFaultPlan, RebalancePlan, ScenarioSpec, TranslatorMode};
+use crate::spec::{CollectorFaultPlan, QueryPlan, RebalancePlan, ScenarioSpec, TranslatorMode};
 
 /// A parse or validation failure, carrying enough context to act on:
 /// `file:line: message`, with the message naming the offending key.
@@ -115,6 +115,10 @@ pub struct InvariantSet {
     /// `kw_missing == 0 && kw_ambiguous == 0`: every written Key-Write key
     /// queried back unambiguously.
     pub kw_audit_clean: bool,
+    /// `query.answered > 0`: a [`crate::QueryPlan`] cell actually served
+    /// queries during the write phase (guards against a start/stop window
+    /// that misses every epoch).
+    pub queries_answered: bool,
     /// Cross-check the observed Key-Write audit success rate against the
     /// `dta-analysis::montecarlo` abstract-store prediction for the same
     /// load (slots, redundancy, keys written).
@@ -137,6 +141,7 @@ impl InvariantSet {
         push(self.ledger_closure, "ledger_closure");
         push(self.fanout_lookups_zero, "fanout_lookups_zero");
         push(self.kw_audit_clean, "kw_audit_clean");
+        push(self.queries_answered, "queries_answered");
         push(self.kw_audit_vs_montecarlo, "kw_audit_vs_montecarlo");
         out
     }
@@ -775,6 +780,26 @@ pub fn parse_str(file: &str, text: &str) -> Result<CorpusDoc, ParseError> {
                     _ => return unknown(),
                 }
             }
+            "query" => {
+                let q = spec.query.get_or_insert(QueryPlan::default());
+                match it.key.as_str() {
+                    "rate" => q.rate = want_u32(file, it)?,
+                    "start_ns" => q.start_ns = want_u64(file, it)?,
+                    "stop_ns" => q.stop_ns = want_u64(file, it)?,
+                    "seed" => q.seed = want_u64(file, it)?,
+                    _ => return unknown(),
+                }
+            }
+            "query.mix" => {
+                let m = &mut spec.query.get_or_insert(QueryPlan::default()).mix;
+                match it.key.as_str() {
+                    "key_write" => m.key_write = want_u32(file, it)?,
+                    "append" => m.append = want_u32(file, it)?,
+                    "key_increment" => m.key_increment = want_u32(file, it)?,
+                    "postcarding" => m.postcarding = want_u32(file, it)?,
+                    _ => return unknown(),
+                }
+            }
             "translator" => {
                 let t = &mut spec.translator;
                 match it.key.as_str() {
@@ -924,6 +949,7 @@ pub fn parse_str(file: &str, text: &str) -> Result<CorpusDoc, ParseError> {
                     "ledger_closure" => invariants.ledger_closure = on,
                     "fanout_lookups_zero" => invariants.fanout_lookups_zero = on,
                     "kw_audit_clean" => invariants.kw_audit_clean = on,
+                    "queries_answered" => invariants.queries_answered = on,
                     "kw_audit_vs_montecarlo" => invariants.kw_audit_vs_montecarlo = on,
                     _ => return unknown(),
                 }
@@ -1201,6 +1227,18 @@ pub fn render_spec(spec: &ScenarioSpec) -> String {
         writeln!(s, "duplicate_chance = {}", f(rb.faults.duplicate_chance)).unwrap();
         writeln!(s, "reorder_chance = {}", f(rb.faults.reorder_chance)).unwrap();
     }
+    if let Some(q) = &spec.query {
+        writeln!(s, "\n[query]").unwrap();
+        writeln!(s, "rate = {}", q.rate).unwrap();
+        writeln!(s, "start_ns = {}", q.start_ns).unwrap();
+        writeln!(s, "stop_ns = {}", q.stop_ns).unwrap();
+        writeln!(s, "seed = {}", q.seed).unwrap();
+        writeln!(s, "\n[query.mix]").unwrap();
+        writeln!(s, "key_write = {}", q.mix.key_write).unwrap();
+        writeln!(s, "append = {}", q.mix.append).unwrap();
+        writeln!(s, "key_increment = {}", q.mix.key_increment).unwrap();
+        writeln!(s, "postcarding = {}", q.mix.postcarding).unwrap();
+    }
 
     let tc = &spec.translator;
     writeln!(s, "\n[translator]").unwrap();
@@ -1264,6 +1302,11 @@ mod tests {
             ("congested", ScenarioSpec::congested(TranslatorMode::SingleThreaded)),
             ("failover", ScenarioSpec::failover(TranslatorMode::Sharded { shards: 4 })),
             ("rebalance", ScenarioSpec::rebalance(TranslatorMode::SingleThreaded)),
+            ("query_under_load", ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded)),
+            (
+                "query_under_load4",
+                ScenarioSpec::query_under_load(TranslatorMode::Sharded { shards: 4 }),
+            ),
             ("large", ScenarioSpec::large(TranslatorMode::SingleThreaded)),
         ];
         for (name, spec) in presets {

@@ -35,6 +35,7 @@
 //! to add a scenario.
 
 pub mod corpus;
+pub mod query;
 pub mod scenario;
 pub mod spec;
 pub mod traffic;
@@ -44,12 +45,13 @@ pub use corpus::{
     Cell, CorpusDoc, InvariantSet, ParseError,
 };
 
+pub use query::{CollectorReaders, LatencyHistogram, QueryService, QueryStats};
 pub use scenario::{
     memory_fingerprint, run_scenario, QueryOutcomes, ScenarioOutcome, ScenarioReport,
     COLLECTOR_IP, TRANSLATOR_IP,
 };
 pub use spec::{
-    CollectorFaultPlan, CollectorPlan, CongestionPlan, FaultPlan, RebalancePlan, ScenarioSpec,
-    TrafficMix, TranslatorMode, MAX_LANES_PER_HOST,
+    CollectorFaultPlan, CollectorPlan, CongestionPlan, FaultPlan, QueryMix, QueryPlan,
+    RebalancePlan, ScenarioSpec, TrafficMix, TranslatorMode, MAX_LANES_PER_HOST,
 };
 pub use traffic::{generate, PrimitiveCounts, Workload};

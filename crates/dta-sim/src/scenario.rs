@@ -20,7 +20,8 @@
 //! runs are unconditional.
 
 use dta_collector::{
-    CollectorNode, CollectorNodeStats, CollectorService, PostcardQueryOutcome, QueryPolicy,
+    CollectorNode, CollectorNodeStats, CollectorService, PostcardQueryOutcome, QueryEngine,
+    QueryOutcome, QueryPolicy, QueryRequest, QueryResult, StoreQueryEngine,
 };
 use dta_net::{
     FatTree, FaultInjector, LinkConfig, LinkStats, FaultTotals, NetNode, Network, NetworkStats,
@@ -31,11 +32,12 @@ use dta_rdma::mr::SnapshotBuf;
 use dta_reporter::{PacedReporterNode, Reporter, ReporterConfig, ReporterFleetNode, RetxStats};
 use dta_translator::node::TranslatorNodeStats;
 use dta_translator::{
-    CollectorRoutingTable, FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetShardedNode,
+    FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetQueryEngine, FleetShardedNode,
     FleetTranslatorNode, RebalanceConfig, RebalanceStats, ShardedConfig, ShardedTranslatorNode,
     Translator, TranslatorNode, TranslatorStats,
 };
 
+use crate::query::{CollectorReaders, QueryService, QueryStats};
 use crate::spec::{ScenarioSpec, TranslatorMode};
 use crate::traffic::{generate, PrimitiveCounts, Workload};
 
@@ -109,6 +111,9 @@ pub struct ScenarioReport {
     /// Post-run query audit (routed by the final collector table in fleet
     /// runs).
     pub queries: QueryOutcomes,
+    /// Online query-stream measurements (`None` unless the spec carries a
+    /// [`crate::QueryPlan`]).
+    pub query: Option<QueryStats>,
 }
 
 /// A finished run: the report plus the collector's raw region bytes
@@ -297,6 +302,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         c
     };
     let mut fleet_admin: Option<FleetAdmin> = None;
+    // Reader clones for the online query service, captured before the
+    // services move into their network nodes (both branches below).
+    let mut query_readers: Vec<CollectorReaders> = Vec::new();
     let sharded_tor = if fleet {
         let mut services: Vec<CollectorService> =
             (0..fleet_size).map(|_| CollectorService::new(spec.service.clone())).collect();
@@ -354,6 +362,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         // Fleet ticks drive admin-event consumption, completion-timeout
         // detection, and periodic endpoint flushes.
         net.add_tick(tor, spec.tick_ns);
+        if spec.query.is_some() {
+            query_readers = services
+                .iter()
+                .map(|svc| CollectorReaders::from_service(svc, spec.service.max_redundancy))
+                .collect();
+        }
         for (c, svc) in services.into_iter().enumerate() {
             let (host, _) = collector_sites[c];
             net.add_node(host, Box::new(CollectorNode::new(svc, host, COLLECTOR_IP + c as u32)));
@@ -421,6 +435,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
                 false
             }
         };
+        if spec.query.is_some() {
+            query_readers = vec![CollectorReaders::from_service(&svc, spec.service.max_redundancy)];
+        }
         net.add_node(
             collector_host,
             Box::new(CollectorNode::new(svc, collector_host, COLLECTOR_IP)),
@@ -511,6 +528,32 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             admin.signal(FleetEvent::Rebalance { collector: f.victim });
         }
     }
+    // Online query service: pause at every epoch boundary inside the
+    // plan's window, quiesce the sharded pipeline (so the snapshot is a
+    // pure function of the delivered stream, not worker scheduling), and
+    // serve the epoch's query stream against per-epoch snapshot images.
+    // Query plans exclude collector faults, so this never interleaves
+    // with the fault schedule above.
+    let mut query_service =
+        spec.query.map(|_| QueryService::new(spec, &workload, std::mem::take(&mut query_readers)));
+    if let (Some(qs), Some(plan)) = (query_service.as_mut(), spec.query) {
+        let stop_ns = plan.stop_ns.min(deadline);
+        let mut epoch = qs.first_epoch();
+        while epoch * spec.tick_ns < stop_ns {
+            net.run_until(SimTime::from_nanos(epoch * spec.tick_ns));
+            if sharded_tor {
+                let node = net.node_mut(tor).expect("translator node");
+                let node: &mut dyn std::any::Any = node;
+                if let Some(n) = node.downcast_mut::<FleetShardedNode>() {
+                    n.quiesce();
+                } else if let Some(n) = node.downcast_mut::<ShardedTranslatorNode>() {
+                    n.quiesce();
+                }
+            }
+            qs.run_epoch(epoch, emit_end);
+            epoch += 1;
+        }
+    }
     net.run_until(SimTime::from_nanos(deadline));
     mark(4, &mut __t);
 
@@ -584,10 +627,18 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     let executed = sharded_executed.unwrap_or(collector_stats.executed);
 
     mark(5, &mut __t);
+    // Both deployment shapes audit through the one QueryEngine API: the
+    // single collector via its live store engine, the fleet via the same
+    // engines wrapped in owner-first fan-out routing over the *final*
+    // routing table — the same checksum digest and table reduction the
+    // translators used on the wire, so a key rerouted by a failover is
+    // queried at its surviving owner.
     let queries = if let Some(table) = &table {
-        audit_fleet(&mut collector_nodes, table, spec, &workload)
+        let engines: Vec<StoreQueryEngine<'_>> =
+            collector_nodes.iter_mut().map(|n| n.service.engine()).collect();
+        audit_with(&mut FleetQueryEngine::new(engines, table), spec, &workload)
     } else {
-        audit(&mut collector_nodes[0].service, spec, &workload)
+        audit_with(&mut collector_nodes[0].service.engine(), spec, &workload)
     };
     mark(6, &mut __t);
     let (memory, fleet_memory) = if let Some(table) = &table {
@@ -631,6 +682,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             failover,
             rebalance,
             queries,
+            query: query_service.map(QueryService::into_stats),
         },
         memory,
         fleet_memory,
@@ -645,126 +697,70 @@ fn snapshot_regions(svc: &CollectorService) -> Vec<(u32, SnapshotBuf)> {
     memory
 }
 
-/// Query the collector stores against the workload ledger.
-fn audit(svc: &mut CollectorService, spec: &ScenarioSpec, workload: &Workload) -> QueryOutcomes {
-    let mut q = QueryOutcomes::default();
-    if let Some(kw) = svc.keywrite.as_ref() {
-        for key in &workload.kw_used {
-            match kw.query(key, spec.traffic.kw_redundancy as usize, QueryPolicy::Plurality) {
-                dta_collector::QueryOutcome::Found(_) => q.kw_found += 1,
-                dta_collector::QueryOutcome::Ambiguous => q.kw_ambiguous += 1,
-                dta_collector::QueryOutcome::NotFound => q.kw_missing += 1,
-            }
-        }
-    }
-    if let Some(pc) = svc.postcarding.as_ref() {
-        for key in &workload.pc_flows {
-            match pc.query(key, spec.translator.postcard_redundancy.max(1)) {
-                PostcardQueryOutcome::Found(_) => q.pc_found += 1,
-                _ => q.pc_missing += 1,
-            }
-        }
-    }
-    if let Some(reader) = svc.append.as_mut() {
-        for (list, &sent) in workload.append_per_list.iter().enumerate() {
-            if list as u32 >= spec.service.append_lists {
-                break;
-            }
-            let drain = sent.min(spec.service.append_entries);
-            for _ in 0..drain {
-                if reader.poll(list as u32).iter().any(|b| *b != 0) {
-                    q.append_entries += 1;
-                }
-            }
-        }
-    }
-    if let Some(cms) = svc.key_increment.as_ref() {
-        for key in &workload.inc_used {
-            q.inc_estimate_total += cms.query(key, spec.traffic.inc_redundancy as usize);
-        }
-    }
-    q
-}
-
-/// Query a collector fleet against the workload ledger, routing each key
-/// to its owner per the translator's *final* routing table — the same
-/// checksum digest and table reduction the translators used on the wire,
-/// so a key rerouted by a failover is queried at its surviving owner.
-fn audit_fleet(
-    nodes: &mut [Box<CollectorNode>],
-    table: &CollectorRoutingTable,
+/// Query the collector deployment against the workload ledger through the
+/// unified [`QueryEngine`] API. The engine decides *where* a query reads —
+/// one live store, or owner-first fan-out across a fleet
+/// ([`FleetQueryEngine`]) — this function only decides *what* is asked and
+/// how outcomes tally. A primitive with no store anywhere
+/// ([`QueryResult::Unavailable`]) tallies nothing, matching the historical
+/// per-store audits.
+fn audit_with<E: QueryEngine>(
+    engine: &mut E,
     spec: &ScenarioSpec,
     workload: &Workload,
 ) -> QueryOutcomes {
-    let mut scratch = dta_hash::scratch::KeyScratch::new(16 * 1024, 1);
-    let mut owner_of = |key: &dta_core::TelemetryKey| {
-        table.owner_checksum(scratch.digests(key.as_bytes(), 0).checksum) as usize
-    };
-    // A fleet that lived through a fault window scatters point-lookup
-    // state: keys routed to the fallback while the primary was dead stay
-    // there after a rejoin. The query side therefore asks the owner
-    // first and, on a miss, fans out to the rest of the alive fleet —
-    // write-once slots make the first hit authoritative.
-    let alive: Vec<usize> =
-        (0..nodes.len()).filter(|&c| table.is_alive(c as u32)).collect();
     let mut q = QueryOutcomes::default();
     for key in &workload.kw_used {
-        let owner = owner_of(key);
-        let mut outcome = dta_collector::QueryOutcome::NotFound;
-        for &c in std::iter::once(&owner).chain(alive.iter().filter(|&&c| c != owner)) {
-            let Some(kw) = nodes[c].service.keywrite.as_ref() else { continue };
-            if c != owner {
-                // Every probe past the routed owner is scattered state a
-                // rebalance would have repatriated — a released rebalance
-                // audit pins this count to zero.
-                q.fanout_lookups += 1;
-            }
-            outcome = kw.query(key, spec.traffic.kw_redundancy as usize, QueryPolicy::Plurality);
-            if !matches!(outcome, dta_collector::QueryOutcome::NotFound) {
-                break;
-            }
-        }
-        match outcome {
-            dta_collector::QueryOutcome::Found(_) => q.kw_found += 1,
-            dta_collector::QueryOutcome::Ambiguous => q.kw_ambiguous += 1,
-            dta_collector::QueryOutcome::NotFound => q.kw_missing += 1,
+        let resp = engine.execute(&QueryRequest::KeyWrite {
+            key: *key,
+            redundancy: spec.traffic.kw_redundancy as usize,
+            policy: QueryPolicy::Plurality,
+        });
+        // Every probe past the routed owner is scattered state a rebalance
+        // would have repatriated — a released rebalance audit pins this
+        // count to zero. Only Key-Write point lookups count (the audit has
+        // always treated Postcarding fan-out as free).
+        q.fanout_lookups += resp.fanout as u64;
+        match resp.result {
+            QueryResult::KeyWrite(QueryOutcome::Found(_)) => q.kw_found += 1,
+            QueryResult::KeyWrite(QueryOutcome::Ambiguous) => q.kw_ambiguous += 1,
+            QueryResult::KeyWrite(QueryOutcome::NotFound) => q.kw_missing += 1,
+            QueryResult::Unavailable => {}
+            other => unreachable!("Key-Write request answered as {other:?}"),
         }
     }
     for key in &workload.pc_flows {
-        let owner = owner_of(key);
-        let mut found = false;
-        for &c in std::iter::once(&owner).chain(alive.iter().filter(|&&c| c != owner)) {
-            let Some(pc) = nodes[c].service.postcarding.as_ref() else { continue };
-            if let PostcardQueryOutcome::Found(_) =
-                pc.query(key, spec.translator.postcard_redundancy.max(1))
-            {
-                found = true;
-                break;
-            }
-        }
-        if found {
-            q.pc_found += 1;
-        } else {
-            q.pc_missing += 1;
+        let resp = engine.execute(&QueryRequest::Postcard {
+            key: *key,
+            redundancy: spec.translator.postcard_redundancy.max(1),
+        });
+        match resp.result {
+            QueryResult::Postcard(PostcardQueryOutcome::Found(_)) => q.pc_found += 1,
+            QueryResult::Postcard(_) => q.pc_missing += 1,
+            QueryResult::Unavailable => {}
+            other => unreachable!("Postcard request answered as {other:?}"),
         }
     }
     for (list, &sent) in workload.append_per_list.iter().enumerate() {
         if list as u32 >= spec.service.append_lists {
             break;
         }
-        let svc = &mut nodes[table.owner_list(list as u32) as usize].service;
-        let Some(reader) = svc.append.as_mut() else { continue };
         let drain = sent.min(spec.service.append_entries);
         for _ in 0..drain {
-            if reader.poll(list as u32).iter().any(|b| *b != 0) {
+            let resp = engine.execute(&QueryRequest::AppendPoll { list: list as u32 });
+            if resp.result.is_hit() {
                 q.append_entries += 1;
             }
         }
     }
     for key in &workload.inc_used {
-        let svc = &nodes[owner_of(key)].service;
-        let Some(cms) = svc.key_increment.as_ref() else { continue };
-        q.inc_estimate_total += cms.query(key, spec.traffic.inc_redundancy as usize);
+        let resp = engine.execute(&QueryRequest::Increment {
+            key: *key,
+            redundancy: spec.traffic.inc_redundancy as usize,
+        });
+        if let QueryResult::Increment(estimate) = resp.result {
+            q.inc_estimate_total += estimate;
+        }
     }
     q
 }

@@ -275,6 +275,78 @@ impl TrafficMix {
     }
 }
 
+/// The query stream's primitive blend. Weights are relative, like
+/// [`TrafficMix`]; a primitive queried with weight 0 is never drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMix {
+    /// Key-Write plurality-read weight.
+    pub key_write: u32,
+    /// Append tail-poll weight.
+    pub append: u32,
+    /// Key-Increment estimate weight.
+    pub key_increment: u32,
+    /// Postcarding cache-read weight.
+    pub postcarding: u32,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix { key_write: 40, append: 25, key_increment: 20, postcarding: 15 }
+    }
+}
+
+impl QueryMix {
+    /// Sum of the primitive weights.
+    pub fn total_weight(&self) -> u64 {
+        self.key_write as u64
+            + self.append as u64
+            + self.key_increment as u64
+            + self.postcarding as u64
+    }
+}
+
+/// An online query service co-running with the write phase (§6.5: the
+/// collector answers operator queries from host memory while the fabric
+/// keeps writing into it).
+///
+/// The harness stands up a query-service node that, at every reporter-tick
+/// boundary inside `[start_ns, stop_ns)`, quiesces the translator pipeline,
+/// takes a per-epoch snapshot of collector memory (pooled
+/// [`SnapshotBuf`](dta_rdma::mr::SnapshotBuf) images under the stripe
+/// locks), and serves a seeded, paced stream of queries against the
+/// snapshot through the unified
+/// [`QueryEngine`](dta_collector::QueryEngine). Reads never touch live
+/// memory, so the writer side of a query-loaded run is byte-identical to
+/// its query-free twin — and the resulting
+/// [`QueryStats`](crate::QueryStats) are a pure function of the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Queries issued per epoch (>= 1). An epoch is one reporter tick.
+    pub rate: u32,
+    /// Primitive blend of the stream.
+    pub mix: QueryMix,
+    /// Simulated time the stream starts (first epoch boundary at or after
+    /// this).
+    pub start_ns: u64,
+    /// Simulated time the stream stops (exclusive; > `start_ns`).
+    pub stop_ns: u64,
+    /// Query-stream seed, independent of the workload seed so the same
+    /// written memory can be probed by different streams.
+    pub seed: u64,
+}
+
+impl Default for QueryPlan {
+    fn default() -> Self {
+        QueryPlan {
+            rate: 16,
+            mix: QueryMix::default(),
+            start_ns: 4_000,
+            stop_ns: 32_000,
+            seed: 7,
+        }
+    }
+}
+
 /// The congestion-control loop of §5.2 as a scenario dimension: translator
 /// rate limiting toward the collector NIC, NACKs back to reporters for
 /// dropped reports, reporter-side retransmission, and the link class of
@@ -364,6 +436,10 @@ pub struct ScenarioSpec {
     /// collector (requires `collectors.fault` with a rejoin; `None` by
     /// default).
     pub rebalance: Option<RebalancePlan>,
+    /// Optional online query stream served concurrently with the write
+    /// phase (`None` by default — no query service, no `query` section in
+    /// the report).
+    pub query: Option<QueryPlan>,
     /// Translator pipeline at the ToR.
     pub mode: TranslatorMode,
     /// Translator sizing (shared by both modes; the sharded mode clones it
@@ -395,6 +471,7 @@ impl Default for ScenarioSpec {
             congestion: CongestionPlan::none(),
             collectors: CollectorPlan::single(),
             rebalance: None,
+            query: None,
             mode: TranslatorMode::SingleThreaded,
             translator: TranslatorConfig::default(),
             service: ServiceConfig::default(),
@@ -574,6 +651,56 @@ impl ScenarioSpec {
         if self.tick_ns == 0 || self.reports_per_tick == 0 {
             return Err("pacing must be positive".into());
         }
+        if let Some(q) = &self.query {
+            if q.rate == 0 {
+                return Err("query.rate must be >= 1".into());
+            }
+            if q.stop_ns <= q.start_ns {
+                return Err(format!(
+                    "query window is empty: stop_ns ({}) must exceed start_ns ({})",
+                    q.stop_ns, q.start_ns
+                ));
+            }
+            if q.mix.total_weight() == 0 {
+                return Err("query mix has zero total weight".into());
+            }
+            // The stream draws its keys from the workload's ledgered
+            // pools; querying a primitive the traffic never writes would
+            // sample an empty pool.
+            for (name, qw, tw) in [
+                ("key_write", q.mix.key_write, self.traffic.key_write),
+                ("append", q.mix.append, self.traffic.append),
+                ("key_increment", q.mix.key_increment, self.traffic.key_increment),
+                ("postcarding", q.mix.postcarding, self.traffic.postcarding),
+            ] {
+                if qw > 0 && tw == 0 {
+                    return Err(format!(
+                        "query mix weights {name} but the traffic mix never \
+                         writes it (weight 0): the query pool would be empty"
+                    ));
+                }
+            }
+            // The query service routes with an epoch-0 routing table
+            // captured at build time; a mid-run fail-stop would silently
+            // de-synchronize reader and writer routing.
+            if self.collectors.fault.is_some() {
+                return Err("query plans do not support collector faults: the \
+                     query service routes with the epoch-0 table"
+                    .into());
+            }
+            // Per-epoch snapshots are taken after a pipeline quiesce; the
+            // quiesce fixes *when* writes land, but cross-key slot races
+            // inside an epoch are still shard-order dependent, so sharded
+            // query runs additionally need collision-free pools (the same
+            // rule as cross-mode comparisons).
+            if matches!(self.mode, TranslatorMode::Sharded { .. })
+                && !self.traffic.slot_disjoint_keys
+            {
+                return Err("query plans under TranslatorMode::Sharded require \
+                     traffic.slot_disjoint_keys for bit-reproducible epochs"
+                    .into());
+            }
+        }
         if let Some(policy) = &self.congestion.retransmit {
             if !self.congestion.nack_on_drop {
                 return Err("retransmit configured but nack_on_drop is off: \
@@ -719,6 +846,18 @@ impl ScenarioSpec {
         }
         spec.rebalance = Some(RebalancePlan::default());
         spec
+    }
+
+    /// Query-under-load preset: the smoke deployment with an online query
+    /// service issuing 16 queries per tick across all four primitives
+    /// while the reporters write — the `scenario_query` bench phases and
+    /// the query-suite workload. The query window `[4us, 32us)` spans the
+    /// whole ~20us emission window plus early drain, so most epochs read
+    /// memory that is actively being written. Slot-disjoint pools (from
+    /// the smoke preset) keep it bit-reproducible in both translator
+    /// modes.
+    pub fn query_under_load(mode: TranslatorMode) -> Self {
+        ScenarioSpec { query: Some(QueryPlan::default()), ..ScenarioSpec::smoke(mode) }
     }
 
     /// Datacenter-scale preset: a K=8 fat tree (80 switches, 128 hosts)
@@ -914,6 +1053,57 @@ mod tests {
         let mut s = ScenarioSpec::rebalance(TranslatorMode::SingleThreaded);
         s.rebalance.as_mut().unwrap().drain_batch = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn query_plans_validate() {
+        // The shipped preset is internally consistent in both modes.
+        assert_eq!(ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded).validate(), Ok(()));
+        assert_eq!(
+            ScenarioSpec::query_under_load(TranslatorMode::Sharded { shards: 4 }).validate(),
+            Ok(())
+        );
+        // Degenerate rates and empty windows fail loudly.
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded);
+        s.query.as_mut().unwrap().rate = 0;
+        assert!(s.validate().is_err());
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded);
+        s.query.as_mut().unwrap().stop_ns = s.query.unwrap().start_ns;
+        assert!(s.validate().is_err());
+        // An all-zero mix never queries anything.
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded);
+        s.query.as_mut().unwrap().mix =
+            QueryMix { key_write: 0, append: 0, key_increment: 0, postcarding: 0 };
+        assert!(s.validate().is_err());
+        // Querying a primitive the traffic never writes samples an empty
+        // pool.
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded);
+        s.traffic.postcarding = 0;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("postcarding"), "unexpected error: {err}");
+        s.query.as_mut().unwrap().mix.postcarding = 0;
+        assert_eq!(s.validate(), Ok(()));
+        // The reader routes with the epoch-0 table: no collector faults.
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded);
+        s.traffic.append = 0;
+        s.traffic.postcarding = 0;
+        s.query.as_mut().unwrap().mix.append = 0;
+        s.query.as_mut().unwrap().mix.postcarding = 0;
+        s.collectors = CollectorPlan {
+            fault: Some(CollectorFaultPlan::kill(1, 12_000)),
+            timeout_ns: 8_000,
+            ..CollectorPlan::fleet(3)
+        };
+        s.service.nic = s.service.nic.with_ack_coalesce(8);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("fault"), "unexpected error: {err}");
+        s.collectors.fault = None;
+        assert_eq!(s.validate(), Ok(()), "fleet-without-fault query runs are legal");
+        // Sharded query runs need collision-free pools.
+        let mut s = ScenarioSpec::query_under_load(TranslatorMode::Sharded { shards: 4 });
+        s.traffic.slot_disjoint_keys = false;
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("slot_disjoint_keys"), "unexpected error: {err}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! a round-trip mismatch (or, for a renderer gap, as a default-valued
 //! field diff), not as silent corpus drift.
 //!
-//! Specs are generated preset-first: one of the five valid presets, then
+//! Specs are generated preset-first: one of the six valid presets, then
 //! mutations across every section — including the `Option`-al plans
 //! (rate limit, retransmit, collector fault, rebalance) that only some
 //! presets carry — constrained to stay `validate()`-clean so the property
@@ -17,7 +17,7 @@ use proptest::prelude::*;
 proptest! {
     #[test]
     fn rendered_specs_reparse_identically(
-        base in 0usize..5,
+        base in 0usize..6,
         seed in any::<u64>(),
         tick_ns in 1_000u64..10_000,
         drain_ns in 200_000u64..900_000,
@@ -35,6 +35,9 @@ proptest! {
         translator_rl in any::<bool>(),
         burst in 1u64..8192,
         mtu_sel in 0usize..3,
+        query_rate in 1u32..64,
+        query_seed in any::<u64>(),
+        query_kw_weight in 1u32..100,
     ) {
         let mode = if sharded {
             TranslatorMode::Sharded { shards }
@@ -46,7 +49,8 @@ proptest! {
             1 => ScenarioSpec::smoke(mode),
             2 => ScenarioSpec::congested(mode),
             3 => ScenarioSpec::failover(mode),
-            _ => ScenarioSpec::rebalance(mode),
+            4 => ScenarioSpec::rebalance(mode),
+            _ => ScenarioSpec::query_under_load(mode),
         };
         spec.seed = seed;
         spec.tick_ns = tick_ns;
@@ -82,6 +86,13 @@ proptest! {
             spec.translator.rate_limit = Some(rl);
         }
         spec.translator.mtu = [256, 1024, 4096][mtu_sel];
+        // Key-Write traffic is nonzero in every preset, so a Key-Write
+        // mix weight is always valid to mutate.
+        if let Some(q) = spec.query.as_mut() {
+            q.rate = query_rate;
+            q.seed = query_seed;
+            q.mix.key_write = query_kw_weight;
+        }
 
         prop_assert!(
             spec.validate().is_ok(),

@@ -63,6 +63,11 @@ fn preset_ports_parse_to_identical_specs() {
             Some(("seed=1,mode=sharded4", ScenarioSpec::rebalance(sharded4))),
         ),
         (
+            "query_under_load.toml",
+            ScenarioSpec::query_under_load(TranslatorMode::SingleThreaded),
+            Some(("seed=1,mode=sharded4", ScenarioSpec::query_under_load(sharded4))),
+        ),
+        (
             "large.toml",
             ScenarioSpec::large(TranslatorMode::SingleThreaded),
             Some(("mode=sharded4", ScenarioSpec::large(sharded4))),

@@ -19,7 +19,10 @@
 //! `failover: FailoverStats` block; a single-collector run never touches
 //! the fleet path). PR 7 added the `duplicate_events` counter, the
 //! `rebalance: None` report section, and the `fanout_lookups` query
-//! counter, all inert without a `RebalancePlan`.
+//! counter, all inert without a `RebalancePlan`. PR 8 added the
+//! `query: None` report section — inert without a `QueryPlan`, and the
+//! query stream reads per-epoch snapshots so even an enabled plan never
+//! perturbs collector memory.
 
 use dta_sim::{memory_fingerprint, run_scenario, FaultPlan, ScenarioSpec, TranslatorMode};
 
@@ -29,7 +32,7 @@ fn k4_single_clean_matches_pre_rewrite_engine() {
     let out = run_scenario(&spec);
     assert_eq!(
         format!("{:?}", out.report),
-        "ScenarioReport { sent: PrimitiveCounts { key_write: 96, append: 74, key_increment: 46, postcard: 200 }, reports_unsent: 0, net: NetworkStats { delivered: 336, forwarded: 1232, dropped: 0, intercepted: 416 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1984, dropped: 0, transmitted: 1984, bytes_tx: 143758, pauses: 0 }, translator: TranslatorStats { reports_in: 416, rdma_out: 332, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 416, malformed: 0, forwarded: 0, roce_responses: 4 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [], executed: 332, collector: CollectorNodeStats { executed: 332, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 78, kw_ambiguous: 0, kw_missing: 0, pc_found: 40, pc_missing: 0, append_entries: 74, inc_estimate_total: 2562, fanout_lookups: 0 } }",
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 96, append: 74, key_increment: 46, postcard: 200 }, reports_unsent: 0, net: NetworkStats { delivered: 336, forwarded: 1232, dropped: 0, intercepted: 416 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1984, dropped: 0, transmitted: 1984, bytes_tx: 143758, pauses: 0 }, translator: TranslatorStats { reports_in: 416, rdma_out: 332, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 416, malformed: 0, forwarded: 0, roce_responses: 4 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [], executed: 332, collector: CollectorNodeStats { executed: 332, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 78, kw_ambiguous: 0, kw_missing: 0, pc_found: 40, pc_missing: 0, append_entries: 74, inc_estimate_total: 2562, fanout_lookups: 0 }, query: None }",
     );
     assert_eq!(memory_fingerprint(&out.memory), 0x62df9f446c793788);
 }
@@ -46,7 +49,7 @@ fn k4_single_faulted_matches_pre_rewrite_engine() {
     let out = run_scenario(&spec);
     assert_eq!(
         format!("{:?}", out.report),
-        "ScenarioReport { sent: PrimitiveCounts { key_write: 52, append: 29, key_increment: 30, postcard: 85 }, reports_unsent: 0, net: NetworkStats { delivered: 191, forwarded: 639, dropped: 91, intercepted: 203 }, faults: FaultTotals { dropped: 91, corrupted: 0, reordered: 56, duplicated: 98 }, links: LinkStats { enqueued: 1033, dropped: 0, transmitted: 1033, bytes_tx: 75532, pauses: 0 }, translator: TranslatorStats { reports_in: 203, rdma_out: 190, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 203, malformed: 0, forwarded: 0, roce_responses: 1 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [], executed: 190, collector: CollectorNodeStats { executed: 190, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 35, kw_ambiguous: 0, kw_missing: 12, pc_found: 3, pc_missing: 14, append_entries: 28, inc_estimate_total: 1262, fanout_lookups: 0 } }",
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 52, append: 29, key_increment: 30, postcard: 85 }, reports_unsent: 0, net: NetworkStats { delivered: 191, forwarded: 639, dropped: 91, intercepted: 203 }, faults: FaultTotals { dropped: 91, corrupted: 0, reordered: 56, duplicated: 98 }, links: LinkStats { enqueued: 1033, dropped: 0, transmitted: 1033, bytes_tx: 75532, pauses: 0 }, translator: TranslatorStats { reports_in: 203, rdma_out: 190, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 203, malformed: 0, forwarded: 0, roce_responses: 1 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [], executed: 190, collector: CollectorNodeStats { executed: 190, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 35, kw_ambiguous: 0, kw_missing: 12, pc_found: 3, pc_missing: 14, append_entries: 28, inc_estimate_total: 1262, fanout_lookups: 0 }, query: None }",
     );
     assert_eq!(memory_fingerprint(&out.memory), 0x09ae0fbf4d99061b);
 }
@@ -57,7 +60,7 @@ fn k4_sharded_clean_matches_pre_rewrite_engine() {
     let out = run_scenario(&spec);
     assert_eq!(
         format!("{:?}", out.report),
-        "ScenarioReport { sent: PrimitiveCounts { key_write: 100, append: 50, key_increment: 56, postcard: 250 }, reports_unsent: 0, net: NetworkStats { delivered: 0, forwarded: 1336, dropped: 0, intercepted: 456 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1792, dropped: 0, transmitted: 1792, bytes_tx: 126502, pauses: 0 }, translator: TranslatorStats { reports_in: 456, rdma_out: 370, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 456, malformed: 0, forwarded: 0, roce_responses: 0 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [118, 133, 114, 91], executed: 370, collector: CollectorNodeStats { executed: 0, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 83, kw_ambiguous: 0, kw_missing: 0, pc_found: 50, pc_missing: 0, append_entries: 50, inc_estimate_total: 2667, fanout_lookups: 0 } }",
+        "ScenarioReport { sent: PrimitiveCounts { key_write: 100, append: 50, key_increment: 56, postcard: 250 }, reports_unsent: 0, net: NetworkStats { delivered: 0, forwarded: 1336, dropped: 0, intercepted: 456 }, faults: FaultTotals { dropped: 0, corrupted: 0, reordered: 0, duplicated: 0 }, links: LinkStats { enqueued: 1792, dropped: 0, transmitted: 1792, bytes_tx: 126502, pauses: 0 }, translator: TranslatorStats { reports_in: 456, rdma_out: 370, rate_limited: 0, nacks_sent: 0, no_service: 0, resyncs: 0 }, translator_node: TranslatorNodeStats { dta_in: 456, malformed: 0, forwarded: 0, roce_responses: 0 }, reporter: RetxStats { nacks_received: 0, stray_received: 0, retransmitted: 0, retries_exhausted: 0, nacks_unmatched: 0 }, per_shard_reports_in: [118, 133, 114, 91], executed: 370, collector: CollectorNodeStats { executed: 0, naks: 0, dropped: 0 }, failover: FailoverStats { failovers: 0, spurious: 0, rejoins: 0, detected_timeout: 0, detected_teardown: 0, cm_disconnects: 0, rerouted: 0, replayed: 0, replayed_acked: 0, nak_replayed: 0, ledger_recorded: 0, ledger_evicted: 0, ledger_resident: 0, epoch: 0, duplicate_events: 0 }, rebalance: None, queries: QueryOutcomes { kw_found: 83, kw_ambiguous: 0, kw_missing: 0, pc_found: 50, pc_missing: 0, append_entries: 50, inc_estimate_total: 2667, fanout_lookups: 0 }, query: None }",
     );
     assert_eq!(memory_fingerprint(&out.memory), 0x8fe9eef3464d3564);
 }

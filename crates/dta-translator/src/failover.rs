@@ -1139,6 +1139,16 @@ impl FleetShardedNode {
         &self.table
     }
 
+    /// Barrier every live pipeline's shard queues (see
+    /// `ShardedTranslatorNode::quiesce`): after this returns, every report
+    /// ingested so far has been executed into its collector's memory, so a
+    /// mid-run snapshot is a pure function of the delivered stream.
+    pub fn quiesce(&mut self) {
+        for p in &mut self.pipelines {
+            p.wait_idle();
+        }
+    }
+
     /// `(current owner, primary owner)` for a report.
     fn route(&mut self, report: &DtaReport) -> (u32, u32) {
         let key = match &report.primitive {

@@ -24,6 +24,7 @@
 pub mod append;
 pub mod extensions;
 pub mod failover;
+pub mod fleet_query;
 pub mod node;
 pub mod partition;
 mod pool;
@@ -41,6 +42,7 @@ pub use failover::{
     CollectorRoutingTable, FailoverStats, FleetAdmin, FleetConfig, FleetEvent, FleetRunReport,
     FleetShardedNode, FleetShardedRunReport, FleetTranslatorNode, LedgerEntry, ReplayLedger,
 };
+pub use fleet_query::FleetQueryEngine;
 pub use node::{ShardedTranslatorNode, TranslatorNode};
 pub use partition::Partitioner;
 pub use postcard_cache::{CacheEmission, PostcardCache};

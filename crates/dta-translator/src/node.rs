@@ -206,6 +206,17 @@ impl ShardedTranslatorNode {
         self.sharded.as_ref().map_or(0, |s| s.shards())
     }
 
+    /// Barrier the shard queues without shutting the pipeline down: after
+    /// this returns, every report delivered so far has been fully executed
+    /// into collector memory. The scenario harness calls this before
+    /// taking a mid-run snapshot so that what the snapshot holds is a pure
+    /// function of the delivered stream, not of worker scheduling.
+    pub fn quiesce(&mut self) {
+        if let Some(sharded) = self.sharded.as_mut() {
+            sharded.wait_idle();
+        }
+    }
+
     /// Drain the queues, flush translator-held state (postcard cache rows,
     /// partial append batches) through the shard NIC endpoints, join the
     /// workers, and return the aggregated counters. Returns `None` if
