@@ -25,6 +25,7 @@ pub struct PollBreakdown {
 }
 
 /// The collector-side reader over the Append region.
+#[derive(Debug)]
 pub struct AppendReader {
     layout: AppendLayout,
     region: MemoryRegion,
@@ -106,6 +107,7 @@ fn poll_at(layout: &AppendLayout, tails: &mut [u64], src: &dyn SlotSource, list:
 
 /// A direct (non-RDMA) writer mirroring the translator's head-pointer logic;
 /// used by unit/property tests and collector-only experiments.
+#[derive(Debug)]
 pub struct DirectAppender {
     layout: AppendLayout,
     region: MemoryRegion,

@@ -14,6 +14,7 @@ use crate::engine::SlotSource;
 use crate::layout::CmsLayout;
 
 /// The collector-side Key-Increment (count-min) store.
+#[derive(Debug)]
 pub struct KeyIncrementStore {
     layout: CmsLayout,
     region: MemoryRegion,

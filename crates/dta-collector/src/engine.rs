@@ -57,6 +57,7 @@ impl SlotSource for MemoryRegion {
 /// [`dta_rdma::mr::SnapshotBuf`] dereferences to), addressed by the
 /// region's own virtual addresses.
 #[derive(Clone, Copy)]
+#[derive(Debug)]
 pub struct SnapshotView<'a> {
     /// The snapshotted region's base virtual address.
     pub base_va: u64,
@@ -224,6 +225,7 @@ fn dispatch(
 /// the stores' own backing regions (stripe read-locks, concurrent with
 /// RDMA writers). Absent stores answer [`QueryResult::Unavailable`].
 #[derive(Default)]
+#[derive(Debug)]
 pub struct StoreQueryEngine<'a> {
     /// Key-Write store, when present.
     pub keywrite: Option<&'a KeyWriteStore>,
@@ -278,6 +280,7 @@ impl QueryEngine for StoreQueryEngine<'_> {
 /// byte comes from a per-primitive [`SnapshotView`] — a point-in-time image
 /// taken under the stripe locks. Queries against it are a pure function of
 /// the image, no matter what writers do to the live region meanwhile.
+#[derive(Debug)]
 pub struct SnapshotQueryEngine<'a> {
     /// Key-Write store + its image.
     pub keywrite: Option<(&'a KeyWriteStore, SnapshotView<'a>)>,

@@ -60,6 +60,7 @@ pub struct KwQueryBreakdown {
 ///
 /// The same structure is the target of translator RDMA WRITEs (via the
 /// region registered on the NIC) and the source for operator queries.
+#[derive(Debug)]
 pub struct KeyWriteStore {
     layout: KwLayout,
     region: MemoryRegion,

@@ -24,6 +24,12 @@
 //! * [`query`] — multi-core query execution (Figure 11 / 16 harness),
 //!   routed through the engine.
 
+// Lint floor (enforced by `dta-lint` + clippy -D warnings, see DESIGN.md
+// "Static analysis"): unsafe operations must be explicitly scoped even
+// inside unsafe fns, and every public type must be debuggable.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod append;
 pub mod cms;
 pub mod engine;

@@ -23,6 +23,7 @@ pub struct CollectorNodeStats {
 }
 
 /// [`CollectorService`] wrapped as a [`NetNode`].
+#[derive(Debug)]
 pub struct CollectorNode {
     /// The collector service (stores + NIC + CM).
     pub service: CollectorService,

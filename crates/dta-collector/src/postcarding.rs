@@ -32,7 +32,7 @@ pub struct ValueCodec {
 const BLANK_TAG: &[u8] = b"\xFFDTA-BLANK";
 
 /// Process-wide decode-table cache for [`ValueCodec::switch_ids`].
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // keyed-cache entry, local to this fn
 fn switch_id_cache(
 ) -> &'static std::sync::Mutex<Vec<((u32, u32), std::sync::Arc<HashMap<u32, Option<u32>>>)>> {
     static CACHE: std::sync::OnceLock<
@@ -138,6 +138,7 @@ impl PostcardQueryOutcome {
 }
 
 /// The collector-side Postcarding store.
+#[derive(Debug)]
 pub struct PostcardStore {
     layout: PostcardLayout,
     region: MemoryRegion,

@@ -18,6 +18,12 @@
 //! This crate is the single source of truth for the wire format. It contains
 //! no I/O and no simulation: just types, encoding, and decoding.
 
+// Lint floor (enforced by `dta-lint` + clippy -D warnings, see DESIGN.md
+// "Static analysis"): unsafe operations must be explicitly scoped even
+// inside unsafe fns, and every public type must be debuggable.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod flow;
 pub mod framing;
 pub mod header;

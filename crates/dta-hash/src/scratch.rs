@@ -83,7 +83,7 @@ pub struct KeyScratch {
 }
 
 /// Recycling pool for scratch tables (keyed by entry count).
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // pooled pair, not worth a named struct
 fn scratch_pool() -> &'static std::sync::Mutex<Vec<(Vec<Entry>, Vec<u8>)>> {
     static POOL: std::sync::OnceLock<std::sync::Mutex<Vec<(Vec<Entry>, Vec<u8>)>>> =
         std::sync::OnceLock::new();
@@ -105,9 +105,10 @@ impl KeyScratch {
                 .map(|i| pool.swap_remove(i))
         });
         let (entries, mru) = pooled.unwrap_or_else(|| {
-            // `EMPTY` is the all-zero bit pattern (`valid: false`), so the
-            // table comes from one zeroed allocation instead of an
-            // element-wise ~1MB fill per translator construction.
+            // SAFETY: `Entry` is valid as the all-zero bit pattern (`EMPTY`
+            // is exactly that, `valid: false`), so the table can come from
+            // one zeroed allocation instead of an element-wise ~1MB fill
+            // per translator construction.
             (
                 unsafe { Box::<[Entry]>::new_zeroed_slice(n).assume_init() }.into_vec(),
                 vec![0u8; sets],

@@ -1,0 +1,250 @@
+//! `lint.toml`: the allowlist, and nothing else.
+//!
+//! The file is a TOML subset (hand-rolled, `dta-sim::corpus` precedent —
+//! the build environment has no crates.io) holding `[[allow]]` entries
+//! only. There is deliberately no way to disable a rule from the file:
+//! rules are toggled per-invocation with `--skip`/`--only`, so a checked-in
+//! config can exempt *specific, justified sites* but never switch a rule
+//! off wholesale.
+//!
+//! Every entry **must** carry a non-empty `reason` — an allowlist line
+//! without a written justification is a hard error, not a diagnostic. And
+//! every entry must still *match* something: an entry whose (rule, path
+//! [, line]) no longer triggers is **stale** and fails `--check`, so the
+//! allowlist can only shrink honestly (the PR that fixes a site must also
+//! drop its exemption).
+
+use std::fmt;
+
+use crate::rules::{Diagnostic, Rule};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    /// Repo-relative path, forward slashes, exactly as diagnostics print.
+    pub path: String,
+    /// When present, the exemption covers only this line; when absent, the
+    /// whole file for this rule.
+    pub line: Option<usize>,
+    /// Why this site is sound despite the rule. Required, non-empty.
+    pub reason: String,
+    /// Line of the `[[allow]]` header in lint.toml (for error anchoring).
+    pub decl_line: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry cover `d`?
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.path == d.file && self.line.is_none_or(|l| l == d.line)
+    }
+}
+
+/// A config parse/validation failure: `file:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parse `lint.toml` content. Strict: unknown sections/keys, missing
+/// fields, bad rule IDs, and empty reasons are all hard errors.
+pub fn parse_allowlist(file: &str, src: &str) -> Result<Vec<AllowEntry>, ConfigError> {
+    let err = |line: usize, message: String| ConfigError { file: file.to_string(), line, message };
+
+    struct Partial {
+        decl_line: usize,
+        rule: Option<Rule>,
+        path: Option<String>,
+        line: Option<usize>,
+        reason: Option<String>,
+    }
+
+    let mut entries = Vec::new();
+    let mut cur: Option<Partial> = None;
+
+    let finish = |cur: &mut Option<Partial>,
+                  entries: &mut Vec<AllowEntry>|
+     -> Result<(), ConfigError> {
+        let Some(p) = cur.take() else { return Ok(()) };
+        let rule = p.rule.ok_or_else(|| {
+            err(p.decl_line, "[[allow]] entry is missing `rule`".to_string())
+        })?;
+        let path = p.path.ok_or_else(|| {
+            err(p.decl_line, "[[allow]] entry is missing `path`".to_string())
+        })?;
+        let reason = p.reason.ok_or_else(|| {
+            err(
+                p.decl_line,
+                "[[allow]] entry is missing `reason` — every exemption must \
+                 carry a written justification"
+                    .to_string(),
+            )
+        })?;
+        entries.push(AllowEntry { rule, path, line: p.line, reason, decl_line: p.decl_line });
+        Ok(())
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut cur, &mut entries)?;
+            cur = Some(Partial {
+                decl_line: lineno,
+                rule: None,
+                path: None,
+                line: None,
+                reason: None,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                lineno,
+                format!(
+                    "unknown section `{line}`: lint.toml holds only [[allow]] entries \
+                     (rules are toggled with --skip/--only, never from the file)"
+                ),
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = strip_comment(value).trim().to_string();
+        let Some(p) = cur.as_mut() else {
+            return Err(err(
+                lineno,
+                format!("`{key}` outside an [[allow]] entry"),
+            ));
+        };
+        match key {
+            "rule" => {
+                let id = unquote(&value)
+                    .ok_or_else(|| err(lineno, format!("`rule` must be a string, got {value}")))?;
+                let rule = Rule::from_id(&id).ok_or_else(|| {
+                    err(
+                        lineno,
+                        format!(
+                            "unknown rule `{id}` (known: {})",
+                            Rule::ALL.map(|r| r.id()).join(", ")
+                        ),
+                    )
+                })?;
+                p.rule = Some(rule);
+            }
+            "path" => {
+                let path = unquote(&value)
+                    .ok_or_else(|| err(lineno, format!("`path` must be a string, got {value}")))?;
+                p.path = Some(path);
+            }
+            "line" => {
+                let n: usize = value.parse().map_err(|_| {
+                    err(lineno, format!("`line` must be a positive integer, got {value}"))
+                })?;
+                if n == 0 {
+                    return Err(err(lineno, "`line` must be >= 1 (lines are 1-based)".into()));
+                }
+                p.line = Some(n);
+            }
+            "reason" => {
+                let reason = unquote(&value).ok_or_else(|| {
+                    err(lineno, format!("`reason` must be a string, got {value}"))
+                })?;
+                if reason.trim().is_empty() {
+                    return Err(err(
+                        lineno,
+                        "`reason` must not be empty — every exemption must carry a \
+                         written justification"
+                            .to_string(),
+                    ));
+                }
+                p.reason = Some(reason);
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unknown key `{other}` (known: rule, path, line, reason)"),
+                ));
+            }
+        }
+    }
+    finish(&mut cur, &mut entries)?;
+    Ok(entries)
+}
+
+/// Strip a trailing `# comment` that is not inside the quoted value.
+fn strip_comment(v: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in v.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &v[..i],
+            _ => {}
+        }
+    }
+    v
+}
+
+/// `"s"` -> `s`; anything unquoted is a type error.
+fn unquote(v: &str) -> Option<String> {
+    let v = v.trim();
+    (v.len() >= 2 && v.starts_with('"') && v.ends_with('"'))
+        .then(|| v[1..v.len() - 1].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_entry() {
+        let src = "\n# header comment\n[[allow]]\nrule = \"D1\" # trailing\npath = \"crates/x/src/a.rs\"\nline = 73\nreason = \"measures real elapsed time\"\n";
+        let e = parse_allowlist("lint.toml", src).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, Rule::D1);
+        assert_eq!(e[0].line, Some(73));
+        assert_eq!(e[0].reason, "measures real elapsed time");
+    }
+
+    #[test]
+    fn missing_reason_is_hard_error() {
+        let src = "[[allow]]\nrule = \"D1\"\npath = \"crates/x/src/a.rs\"\n";
+        let e = parse_allowlist("lint.toml", src).unwrap_err();
+        assert!(e.message.contains("reason"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn empty_reason_is_hard_error() {
+        let src = "[[allow]]\nrule = \"D1\"\npath = \"p\"\nreason = \"  \"\n";
+        assert!(parse_allowlist("lint.toml", src).unwrap_err().message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_key_are_errors() {
+        let bad_rule = "[[allow]]\nrule = \"D9\"\npath = \"p\"\nreason = \"r\"\n";
+        assert!(parse_allowlist("t", bad_rule).unwrap_err().message.contains("unknown rule"));
+        let bad_key = "[[allow]]\nrule = \"D1\"\nfile = \"p\"\nreason = \"r\"\n";
+        assert!(parse_allowlist("t", bad_key).unwrap_err().message.contains("unknown key"));
+    }
+
+    #[test]
+    fn rule_sections_are_rejected() {
+        let src = "[rules]\nD1 = false\n";
+        assert!(parse_allowlist("t", src).unwrap_err().message.contains("unknown section"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Allowlist mechanics, end-to-end through the real binary: a seeded
+//! violation fails `--check` (the CI-gate demonstration the acceptance
+//! criteria ask for — proven here, not by breaking main), a justified
+//! allowlist entry clears it, a reason-less entry is a hard error, and a
+//! stale entry fails `--check` so the allowlist can only shrink honestly.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A throwaway workspace root holding one sim-facing crate with the given
+/// `src/lib.rs` content, torn down on drop.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(case: &str, lib_rs: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("dta-lint-it-{}-{case}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates/dta-net/src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("lib.rs"), lib_rs).unwrap();
+        TempWorkspace { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        fs::write(self.root.join(rel), content).unwrap();
+    }
+
+    /// Run `dta-lint --check` against this root; returns (exit code,
+    /// stdout+stderr).
+    fn check(&self) -> (i32, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_dta-lint"))
+            .args(["--check", "--root"])
+            .arg(&self.root)
+            .output()
+            .expect("spawn dta-lint");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.code().unwrap_or(-1), text)
+    }
+
+    fn report_path(&self) -> PathBuf {
+        self.root.join("LINT_report.json")
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const VIOLATING_LIB: &str = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+const CLEAN_LIB: &str = "pub fn now_ns(clock: u64) -> u64 { clock }\n";
+
+fn assert_contains(haystack: &str, needle: &str) {
+    assert!(haystack.contains(needle), "expected `{needle}` in:\n{haystack}");
+}
+
+#[test]
+fn seeded_violation_fails_check_and_lands_in_report() {
+    let ws = TempWorkspace::new("violation", VIOLATING_LIB);
+    let (code, out) = ws.check();
+    assert_eq!(code, 1, "seeded D1 violation must fail --check:\n{out}");
+    assert_contains(&out, "crates/dta-net/src/lib.rs:1: D1:");
+    assert_contains(&out, "FAILED");
+    // The machine-readable report is written even on failure, with the
+    // per-rule counts the CI log summary is built from.
+    let report = fs::read_to_string(ws.report_path()).expect("report written on failure");
+    assert_contains(&report, "\"schema\": \"dta-lint/report-v1\"");
+    assert_contains(&report, "\"allowed\": false");
+}
+
+#[test]
+fn justified_allow_entry_clears_the_violation() {
+    let ws = TempWorkspace::new("allowed", VIOLATING_LIB);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\n\
+         reason = \"integration-test fixture: deliberately wall-clocked\"\n",
+    );
+    let (code, out) = ws.check();
+    assert_eq!(code, 0, "allowlisted violation must pass --check:\n{out}");
+    assert_contains(&out, "[allowed: integration-test fixture");
+    let report = fs::read_to_string(ws.report_path()).unwrap();
+    assert_contains(&report, "\"allowed\": true");
+}
+
+#[test]
+fn line_pinned_entry_covers_only_its_line() {
+    let two_line = "pub fn a() -> std::time::Instant { std::time::Instant::now() }\n\
+                    pub fn b() -> std::time::Instant { std::time::Instant::now() }\n";
+    let ws = TempWorkspace::new("linepin", two_line);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\nline = 1\n\
+         reason = \"only line 1 is exempt\"\n",
+    );
+    let (code, out) = ws.check();
+    assert_eq!(code, 1, "line 2 is still a violation:\n{out}");
+    assert_contains(&out, "lib.rs:2: D1:");
+    assert_contains(&out, "lib.rs:1: D1:");
+    assert_contains(&out, "[allowed: only line 1 is exempt]");
+}
+
+#[test]
+fn entry_without_reason_is_a_hard_error() {
+    let ws = TempWorkspace::new("noreason", VIOLATING_LIB);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\n",
+    );
+    let (code, out) = ws.check();
+    assert_eq!(code, 2, "a reason-less entry is a config error, not a diagnostic:\n{out}");
+    assert_contains(&out, "missing `reason`");
+}
+
+#[test]
+fn empty_reason_is_a_hard_error() {
+    let ws = TempWorkspace::new("emptyreason", VIOLATING_LIB);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\nreason = \"\"\n",
+    );
+    let (code, out) = ws.check();
+    assert_eq!(code, 2, "{out}");
+    assert_contains(&out, "justification");
+}
+
+#[test]
+fn stale_entry_fails_check_so_the_allowlist_only_shrinks() {
+    let ws = TempWorkspace::new("stale", CLEAN_LIB);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\n\
+         reason = \"this site was fixed but the entry was kept\"\n",
+    );
+    let (code, out) = ws.check();
+    assert_eq!(code, 1, "a stale entry must fail --check:\n{out}");
+    assert_contains(&out, "stale allowlist entry");
+    assert_contains(&out, "delete the entry");
+    let report = fs::read_to_string(ws.report_path()).unwrap();
+    assert_contains(&report, "\"stale\": [\n      {\"rule\": \"D1\"");
+}
+
+#[test]
+fn clean_tree_passes_and_reports_zero() {
+    let ws = TempWorkspace::new("clean", CLEAN_LIB);
+    let (code, out) = ws.check();
+    assert_eq!(code, 0, "{out}");
+    assert_contains(&out, "1 files scanned, 0 diagnostics");
+}
+
+/// `--skip` disables a rule *and* its entries' staleness checks (a
+/// partial run cannot prove an entry dead), while `--only` scopes the run
+/// down to one family.
+#[test]
+fn rule_toggles() {
+    let ws = TempWorkspace::new("toggles", VIOLATING_LIB);
+    ws.write(
+        "lint.toml",
+        "[[allow]]\nrule = \"D1\"\npath = \"crates/dta-net/src/lib.rs\"\n\
+         reason = \"covers the violation unless D1 is skipped\"\n",
+    );
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_dta-lint"))
+            .args(["--check", "--root"])
+            .arg(&ws.root)
+            .args(args)
+            .output()
+            .unwrap();
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+    let (code, out) = run(&["--skip", "D1"]);
+    assert_eq!(code, 0, "skipping D1 silences both the diagnostic and the entry:\n{out}");
+    assert!(!out.contains("D1  wall-clock"), "D1 must not appear in a skipped summary:\n{out}");
+    let (code, _) = run(&["--only", "S1"]);
+    assert_eq!(code, 0);
+    let (code, _) = run(&["--only", "D1"]);
+    assert_eq!(code, 0, "the allow entry still applies under --only D1");
+    let (code, out) = run(&["--no-allow"]);
+    assert_eq!(code, 1, "--no-allow re-exposes the raw violation:\n{out}");
+}
+
+/// Fixture subtrees are invisible to a real run: a `tests/fixtures/` file
+/// full of violations must not fail the parent workspace.
+#[test]
+fn fixtures_are_excluded_from_discovery() {
+    let ws = TempWorkspace::new("fixtures", CLEAN_LIB);
+    let fdir = ws.root.join("crates/dta-net/tests/fixtures");
+    fs::create_dir_all(&fdir).unwrap();
+    fs::write(fdir.join("bad.rs"), VIOLATING_LIB).unwrap();
+    let (code, out) = ws.check();
+    assert_eq!(code, 0, "fixture violations leaked into the run:\n{out}");
+}

@@ -1,0 +1,144 @@
+//! Fixture-driven rule coverage, PR 8 negative-parse pattern: every rule
+//! family has positive (triggering) and negative (clean) source snippets
+//! under `tests/fixtures/<rule>/`, the expectation table below is pinned
+//! **exhaustive** against the fixtures directory (a fixture file the table
+//! does not name fails the suite, and vice versa), and the `pos_`/`neg_`
+//! naming convention is enforced against the expected counts.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use dta_lint::rules::{analyze, FileKind, Rule, SourceFile};
+
+/// (fixture path, crate the snippet pretends to live in, rule family,
+/// expected diagnostic count *for that rule*).
+///
+/// The crate assignments exercise the scoping table: D1 only fires in
+/// sim-facing crates, D2 in deterministic crates, D3/D4/S1/C1 everywhere
+/// (bench and analysis included).
+const EXPECTED: &[(&str, &str, Rule, usize)] = &[
+    ("d1/pos_instant.rs", "dta-sim", Rule::D1, 4),
+    ("d1/pos_thread_sleep.rs", "dta-net", Rule::D1, 1),
+    ("d1/neg_sim_clock.rs", "dta-sim", Rule::D1, 0),
+    ("d2/pos_keys_iter.rs", "dta-translator", Rule::D2, 2),
+    ("d2/pos_for_in_map.rs", "dta-rdma", Rule::D2, 1),
+    ("d2/neg_lookup_and_btree.rs", "dta-translator", Rule::D2, 0),
+    ("d3/pos_static_mut.rs", "bench", Rule::D3, 1),
+    ("d3/pos_todo_abort.rs", "dta-core", Rule::D3, 3),
+    ("d3/neg_cfg_test_todo.rs", "bench", Rule::D3, 0),
+    ("d4/pos_thread_rng.rs", "dta-analysis", Rule::D4, 1),
+    ("d4/pos_random_state.rs", "dta-baselines", Rule::D4, 4),
+    ("d4/neg_seeded.rs", "dta-analysis", Rule::D4, 0),
+    ("s1/pos_missing_comment.rs", "dta-rdma", Rule::S1, 1),
+    ("s1/pos_wrong_comment.rs", "dta-telemetry", Rule::S1, 2),
+    ("s1/neg_safety_comment.rs", "dta-rdma", Rule::S1, 0),
+    ("c1/pos_untested_closes.rs", "dta-reporter", Rule::C1, 1),
+    ("c1/pos_plain_closes.rs", "dta-translator", Rule::C1, 1),
+    ("c1/neg_tested_closes.rs", "dta-reporter", Rule::C1, 0),
+];
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn load(rel: &str, crate_dir: &str) -> SourceFile {
+    let path = fixtures_dir().join(rel);
+    SourceFile {
+        path: format!("crates/{crate_dir}/src/{}", rel.rsplit('/').next().unwrap()),
+        crate_dir: crate_dir.to_string(),
+        kind: FileKind::Analyzed,
+        src: std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display())),
+    }
+}
+
+#[test]
+fn table_matches_every_fixture() {
+    for (rel, crate_dir, rule, expected) in EXPECTED {
+        let diags = analyze(&[load(rel, crate_dir)]);
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == *rule).collect();
+        assert_eq!(
+            hits.len(),
+            *expected,
+            "{rel} (as crate {crate_dir}): expected {expected} {rule} diagnostics, got:\n{}",
+            hits.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n"),
+        );
+    }
+}
+
+#[test]
+fn naming_convention_matches_expectations() {
+    for (rel, _, rule, expected) in EXPECTED {
+        let file = rel.rsplit('/').next().unwrap();
+        let dir = rel.split('/').next().unwrap();
+        assert_eq!(
+            dir,
+            rule.id().to_ascii_lowercase(),
+            "{rel}: fixture lives in the wrong rule directory"
+        );
+        if file.starts_with("pos_") {
+            assert!(*expected > 0, "{rel}: positive fixture expects zero diagnostics");
+        } else if file.starts_with("neg_") {
+            assert_eq!(*expected, 0, "{rel}: negative fixture expects diagnostics");
+        } else {
+            panic!("{rel}: fixture names must start with pos_ or neg_");
+        }
+    }
+}
+
+#[test]
+fn every_rule_family_has_two_positive_and_one_negative() {
+    for rule in Rule::ALL {
+        let pos = EXPECTED
+            .iter()
+            .filter(|(rel, _, r, _)| r == &rule && rel.contains("/pos_"))
+            .count();
+        let neg = EXPECTED
+            .iter()
+            .filter(|(rel, _, r, _)| r == &rule && rel.contains("/neg_"))
+            .count();
+        assert!(pos >= 2, "{rule}: only {pos} positive fixtures (need >= 2)");
+        assert!(neg >= 1, "{rule}: no negative fixture");
+    }
+}
+
+/// The exhaustiveness pin: the table names exactly the files on disk.
+#[test]
+fn table_is_exhaustive_against_fixtures_dir() {
+    let mut on_disk = BTreeSet::new();
+    for sub in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let sub = sub.unwrap().path();
+        if !sub.is_dir() {
+            continue;
+        }
+        let dirname = sub.file_name().unwrap().to_string_lossy().to_string();
+        for f in std::fs::read_dir(&sub).unwrap() {
+            let f = f.unwrap().path();
+            if f.extension().is_some_and(|e| e == "rs") {
+                on_disk.insert(format!(
+                    "{dirname}/{}",
+                    f.file_name().unwrap().to_string_lossy()
+                ));
+            }
+        }
+    }
+    let in_table: BTreeSet<String> =
+        EXPECTED.iter().map(|(rel, ..)| rel.to_string()).collect();
+    assert_eq!(
+        in_table, on_disk,
+        "fixture table and tests/fixtures/ disagree — add the missing side"
+    );
+}
+
+/// Diagnostics anchor to real positions: `file:line: RULE: message`.
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let diags = analyze(&[load("d1/pos_thread_sleep.rs", "dta-sim")]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 3);
+    let shown = diags[0].to_string();
+    assert!(
+        shown.starts_with("crates/dta-sim/src/pos_thread_sleep.rs:3: D1:"),
+        "bad anchor: {shown}"
+    );
+}

@@ -1,0 +1,31 @@
+// C1 negative: the closure identity is pinned by a test, and a
+// non-Stats type may name a method `closes` without being accounting.
+pub struct WindowStats {
+    pub opened: u64,
+    pub drained: u64,
+}
+
+impl WindowStats {
+    pub fn window_closes(&self) -> bool {
+        self.opened == self.drained
+    }
+}
+
+pub struct Door;
+
+impl Door {
+    pub fn closes(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::WindowStats;
+
+    #[test]
+    fn closure_identity_holds() {
+        assert!(WindowStats { opened: 3, drained: 3 }.window_closes());
+        assert!(!WindowStats { opened: 3, drained: 2 }.window_closes());
+    }
+}

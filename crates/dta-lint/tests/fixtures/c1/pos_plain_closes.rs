@@ -1,0 +1,12 @@
+// C1 positive: the bare `closes()` spelling counts as a closure identity
+// too (the workspace has both namings).
+pub struct FenceStats {
+    pub recorded: u64,
+    pub released: u64,
+}
+
+impl FenceStats {
+    pub fn closes(&self) -> bool {
+        self.recorded == self.released
+    }
+}

@@ -1,0 +1,14 @@
+// C1 positive: a Stats struct with a closure identity no test checks —
+// silent accounting drift waiting to happen.
+#[derive(Default)]
+pub struct MigrationStats {
+    pub staged: u64,
+    pub replayed: u64,
+    pub abandoned: u64,
+}
+
+impl MigrationStats {
+    pub fn ledger_closes(&self) -> bool {
+        self.staged == self.replayed + self.abandoned
+    }
+}

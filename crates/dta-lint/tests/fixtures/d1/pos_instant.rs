@@ -1,0 +1,8 @@
+// D1 positive: wall-clock types in a simulation-facing crate.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_ns() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}

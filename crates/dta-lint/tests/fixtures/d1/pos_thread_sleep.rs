@@ -1,0 +1,4 @@
+// D1 positive: blocking real time desynchronizes the simulated clock.
+pub fn wait_a_bit() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,23 @@
+// D2 negative: hash-collection construction and point lookup are fine,
+// and BTree containers iterate in key order.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Index {
+    by_key: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+impl Index {
+    pub fn lookup(&self, k: u64) -> Option<u32> {
+        self.by_key.get(&k).copied()
+    }
+
+    pub fn note(&mut self, k: u64) -> bool {
+        self.seen.insert(k) && self.seen.contains(&k)
+    }
+
+    pub fn in_order(&self) -> Vec<u32> {
+        self.ordered.values().copied().collect()
+    }
+}

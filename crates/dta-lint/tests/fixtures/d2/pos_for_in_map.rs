@@ -1,0 +1,10 @@
+// D2 positive: `for … in &set` iterates in seeded-random bucket order.
+use std::collections::HashSet;
+
+pub fn sum(used: &HashSet<u64>) -> u64 {
+    let mut total = 0;
+    for s in used {
+        total += s;
+    }
+    total
+}

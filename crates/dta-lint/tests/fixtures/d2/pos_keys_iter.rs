@@ -1,0 +1,17 @@
+// D2 positive: iterating a hash map's keys feeds seeded-random order
+// into whatever consumes the result.
+use std::collections::HashMap;
+
+pub struct Index {
+    by_key: HashMap<u64, u32>,
+}
+
+impl Index {
+    pub fn all_keys(&self) -> Vec<u64> {
+        self.by_key.keys().copied().collect()
+    }
+
+    pub fn drop_everything(&mut self) {
+        for (_k, _v) in self.by_key.drain() {}
+    }
+}

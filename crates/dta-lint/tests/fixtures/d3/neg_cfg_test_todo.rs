@@ -1,0 +1,16 @@
+// D3 negative: a scaffolding todo!() inside #[cfg(test)] is exempt, and
+// `static` without `mut` is ordinary.
+static LIMIT: u64 = 1024;
+
+pub fn limit() -> u64 {
+    LIMIT
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn scaffolding() {
+        todo!()
+    }
+}

@@ -1,0 +1,8 @@
+// D3 positive: unsynchronized global state.
+static mut COUNTER: u64 = 0;
+
+pub fn bump() {
+    unsafe {
+        COUNTER += 1;
+    }
+}

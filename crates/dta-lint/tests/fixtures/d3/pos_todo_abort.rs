@@ -1,0 +1,12 @@
+// D3 positive: unfinished code and destructor-skipping aborts.
+pub fn not_done() -> u32 {
+    todo!()
+}
+
+pub fn also_not_done() -> u32 {
+    unimplemented!()
+}
+
+pub fn bail() {
+    std::process::abort();
+}

@@ -1,0 +1,27 @@
+// D4 negative: a seeded, owned RNG threaded from the scenario seed, with
+// ambient randomness confined to #[cfg(test)].
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_randomness() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,11 @@
+// D4 positive: RandomState is the seeded-random hasher behind HashMap,
+// and rand::random draws from the ambient thread RNG.
+use std::collections::hash_map::RandomState;
+
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,5 @@
+// D4 positive: ambient, unseeded randomness.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

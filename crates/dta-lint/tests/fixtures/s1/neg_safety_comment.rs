@@ -1,0 +1,25 @@
+// S1 negative: every unsafe site states its invariant — one `// SAFETY:`
+// covers a run of consecutive `unsafe impl`s, a statement-level comment
+// covers a wrapped expression, and `# Safety` docs cover an unsafe fn.
+pub struct Cell(*mut u8);
+
+// SAFETY: the pointer is only dereferenced while the owner's lock is
+// held, so no two threads alias it mutably.
+unsafe impl Sync for Cell {}
+unsafe impl Send for Cell {}
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass pointers derived from a live &u8.
+    let v =
+        unsafe { *p };
+    v
+}
+
+/// Reads without a null check.
+///
+/// # Safety
+/// `p` must be non-null, aligned, and live for the read.
+pub unsafe fn read_unchecked(p: *const u8) -> u8 {
+    // SAFETY: forwarded to the caller's contract above.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// S1 positive: an unsafe block with no SAFETY comment at all.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

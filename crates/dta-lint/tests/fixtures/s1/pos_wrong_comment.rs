@@ -1,0 +1,11 @@
+// S1 positive: a comment that narrates the code instead of stating the
+// soundness invariant does not count.
+pub struct Cell(*mut u8);
+
+// This makes the type shareable across threads.
+unsafe impl Sync for Cell {}
+
+pub fn read(p: *const u8) -> u8 {
+    // Dereference the pointer here.
+    unsafe { *p }
+}

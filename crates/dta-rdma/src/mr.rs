@@ -183,7 +183,7 @@ struct Stripes {
     locks: Vec<StripeLock>,
 }
 
-// Safety: every byte of `data` is assigned to exactly one stripe, and all
+// SAFETY: every byte of `data` is assigned to exactly one stripe, and all
 // access to a stripe's bytes and meta happens under its rwlock — the same
 // discipline as a Vec of RwLock<[u8; STRIPE_BYTES]>.
 unsafe impl Sync for Stripes {}
@@ -228,7 +228,7 @@ impl Stripes {
             });
         let data = pooled.unwrap_or_else(|| {
             let mut v = std::mem::ManuallyDrop::new(vec![0u8; len]);
-            // Safety: UnsafeCell<u8> is repr(transparent) over u8 (same
+            // SAFETY: UnsafeCell<u8> is repr(transparent) over u8 (same
             // size and alignment); `vec![0u8; len]` allocates capacity ==
             // len, so no reallocation hides behind into_boxed_slice.
             unsafe {
@@ -251,7 +251,7 @@ impl Stripes {
         let lock = &self.locks[i];
         lock.acquire_write();
         let (s, e) = self.range(i);
-        // Safety: the write lock gives exclusive access to this stripe's
+        // SAFETY: the write lock gives exclusive access to this stripe's
         // bytes and meta; the slice covers only this stripe's range.
         let r = unsafe {
             let buf =
@@ -271,9 +271,12 @@ impl Stripes {
             return;
         }
         for i in 0..self.locks.len() {
-            // Safety: `&mut self` in drop — no other access possible.
+            // SAFETY: `&mut self` in drop — no other access possible.
             if unsafe { &*self.locks[i].meta.get() }.dirty {
                 let (s, e) = self.range(i);
+                // SAFETY: same exclusivity as the meta read above (`&mut
+                // self` in drop), and the slice covers only stripe `i`'s
+                // range of the shared allocation.
                 unsafe {
                     std::slice::from_raw_parts_mut(self.data[s..e].as_ptr() as *mut u8, e - s)
                         .fill(0);
@@ -293,7 +296,7 @@ impl Stripes {
         let lock = &self.locks[i];
         lock.acquire_read();
         let (s, e) = self.range(i);
-        // Safety: the shared lock excludes writers for this stripe.
+        // SAFETY: the shared lock excludes writers for this stripe.
         let r = unsafe {
             let buf = std::slice::from_raw_parts(self.data[s..e].as_ptr() as *const u8, e - s);
             f(buf, &*lock.meta.get())
@@ -593,7 +596,7 @@ impl SnapshotBuf {
         });
         let data = pooled.unwrap_or_else(|| {
             let mut v = std::mem::ManuallyDrop::new(vec![0u8; len]);
-            // Safety: UnsafeCell<u8> is repr(transparent) over u8; the
+            // SAFETY: UnsafeCell<u8> is repr(transparent) over u8; the
             // vec! allocation has capacity == len.
             unsafe {
                 Vec::from_raw_parts(v.as_mut_ptr() as *mut UnsafeCell<u8>, v.len(), v.capacity())
@@ -607,7 +610,7 @@ impl SnapshotBuf {
     fn write_range(&mut self, start: usize, src: &[u8]) {
         let end = start + src.len();
         debug_assert!(end <= self.len);
-        // Safety: the buffer is exclusively owned; the range is in bounds.
+        // SAFETY: the buffer is exclusively owned; the range is in bounds.
         unsafe {
             std::slice::from_raw_parts_mut(self.data[start..end].as_ptr() as *mut u8, src.len())
                 .copy_from_slice(src);
@@ -624,7 +627,7 @@ impl SnapshotBuf {
     /// against a single-image run. Panics if the lengths differ.
     pub fn or_with(&mut self, other: &[u8]) {
         assert_eq!(other.len(), self.len, "cannot OR differently sized region images");
-        // Safety: the buffer is exclusively owned; plain-byte writes.
+        // SAFETY: the buffer is exclusively owned; plain-byte writes.
         let dst = unsafe {
             std::slice::from_raw_parts_mut(self.data.as_ptr() as *mut u8, self.len)
         };
@@ -643,7 +646,7 @@ impl SnapshotBuf {
 
     /// The full image bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        // Safety: exclusive ownership; shared reads of plain bytes.
+        // SAFETY: exclusive ownership; shared reads of plain bytes.
         unsafe { std::slice::from_raw_parts(self.data.as_ptr() as *const u8, self.len) }
     }
 }
@@ -658,7 +661,7 @@ impl std::ops::Deref for SnapshotBuf {
 impl Drop for SnapshotBuf {
     fn drop(&mut self) {
         for &(s, e) in &self.written {
-            // Safety: exclusive ownership in drop.
+            // SAFETY: exclusive ownership in drop.
             unsafe {
                 std::slice::from_raw_parts_mut(
                     self.data[s as usize..e as usize].as_ptr() as *mut u8,
@@ -705,7 +708,7 @@ impl core::fmt::Debug for SnapshotBuf {
     }
 }
 
-// Safety: plain bytes behind exclusive ownership.
+// SAFETY: plain bytes behind exclusive ownership.
 unsafe impl Send for SnapshotBuf {}
 unsafe impl Sync for SnapshotBuf {}
 

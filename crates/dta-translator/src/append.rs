@@ -27,6 +27,7 @@ pub struct BatchWrite {
 }
 
 /// Ingress batch building + egress head tracking for all lists.
+#[derive(Debug)]
 pub struct AppendBatcher {
     layout: AppendLayout,
     batch: usize,

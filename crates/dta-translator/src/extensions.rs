@@ -27,6 +27,7 @@ pub struct LatencyMatch {
 
 /// The `SELECT flowID, path WHERE SUM(latency) > T` standing query,
 /// evaluated *at the translator* over intercepted latency postcards.
+#[derive(Debug)]
 pub struct LatencySumQuery {
     /// Threshold `T` in nanoseconds.
     pub threshold: u64,

@@ -462,6 +462,7 @@ struct MigLink {
 /// dedicated migration QPs (slots 2/3 per collector, separate from the
 /// report-path service QPs so migration traffic never perturbs report
 /// PSNs or the completion-timeout accounting).
+#[derive(Debug)]
 struct FleetRebalance {
     driver: RebalanceDriver,
     /// Indexed by [`link_of`]; `None` when the service is disabled.
@@ -474,6 +475,7 @@ struct FleetRebalance {
 /// in-process against per-collector region clones, behind a per-link
 /// expected-PSN check that mirrors the RoCE responder (so injected
 /// duplicates and reorders exercise the same dup-drop / NAK recovery).
+#[derive(Debug)]
 struct ShardedRebalance {
     driver: RebalanceDriver,
     /// Per-collector `(KW, CMS)` region clones.
@@ -497,6 +499,7 @@ fn migratable(report: &DtaReport) -> Option<(MigPrimitive, &TelemetryKey, u8)> {
 }
 
 /// One collector's connection state inside the single-threaded fleet node.
+#[derive(Debug)]
 struct Endpoint {
     node: NodeId,
     ip: u32,
@@ -548,6 +551,7 @@ fn fleet_qpn(collector: u32, service_slot: u32) -> u32 {
 /// on the owner's endpoint. Fail-stop detection is the completion
 /// timeout; [`FleetAdmin`] events layer CM teardown, spurious failover,
 /// and rejoin on top.
+#[derive(Debug)]
 pub struct FleetTranslatorNode {
     endpoints: Vec<Endpoint>,
     table: CollectorRoutingTable,
@@ -1066,6 +1070,7 @@ impl NetNode for FleetTranslatorNode {
 /// a failover barriers the victim's pipeline (`wait_idle`) before
 /// replaying its window into the survivors, so replay contents are a pure
 /// function of the delivered stream.
+#[derive(Debug)]
 pub struct FleetShardedNode {
     pipelines: Vec<ShardedTranslator>,
     table: CollectorRoutingTable,

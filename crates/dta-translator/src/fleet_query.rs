@@ -38,6 +38,7 @@ use dta_hash::scratch::KeyScratch;
 use crate::failover::CollectorRoutingTable;
 
 /// Owner-first, salted-fan-out query routing across a collector fleet.
+#[derive(Debug)]
 pub struct FleetQueryEngine<'t, E> {
     /// One engine per fleet slot (dead collectors keep their slot; the
     /// table's aliveness filter decides who gets probed).

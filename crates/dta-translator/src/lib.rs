@@ -21,6 +21,12 @@
 //! analogue of the Tofino's parallel pipes), with [`spsc`] providing the
 //! bounded ingest→shard report queues.
 
+// Lint floor (enforced by `dta-lint` + clippy -D warnings, see DESIGN.md
+// "Static analysis"): unsafe operations must be explicitly scoped even
+// inside unsafe fns, and every public type must be debuggable.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod append;
 pub mod extensions;
 pub mod failover;

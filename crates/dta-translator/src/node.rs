@@ -33,6 +33,7 @@ pub struct TranslatorNodeStats {
 }
 
 /// The translator wrapped as a [`NetNode`].
+#[derive(Debug)]
 pub struct TranslatorNode {
     /// The translation dataplane.
     pub translator: Translator,
@@ -165,6 +166,7 @@ impl NetNode for TranslatorNode {
 ///   [`ShardedTranslatorNode::finish`] barriers on the queues, flushes
 ///   translator-held state, joins the workers, and returns the aggregated
 ///   [`ShardedRunReport`].
+#[derive(Debug)]
 pub struct ShardedTranslatorNode {
     sharded: Option<ShardedTranslator>,
     /// NACK source addressing `(node id, IP)`; `None` leaves NACK records

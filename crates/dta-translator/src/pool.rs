@@ -30,6 +30,7 @@ pub(crate) const IMG_POOL_DEPTH: usize = 1024;
 /// consumer retains payloads indefinitely). In the steady state —
 /// translate, execute at the NIC, drop — the report hot path performs no
 /// heap allocation at all.
+#[derive(Debug)]
 pub(crate) struct ImagePool {
     bufs: Vec<std::sync::Arc<[u8]>>,
     next: usize,

@@ -59,6 +59,7 @@ pub struct CacheStats {
 }
 
 /// The SRAM postcard cache.
+#[derive(Debug)]
 pub struct PostcardCache {
     rows: RegisterArray<Row>,
     occupied: Vec<bool>,
@@ -79,7 +80,7 @@ pub struct PostcardCache {
 /// scenario run builds translator caches measured in MBs; repeated
 /// zeroed allocations of that size degrade to explicit memsets once
 /// glibc's adaptive mmap threshold rises.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity)] // pooled pair, not worth a named struct
 fn row_pool() -> &'static std::sync::Mutex<Vec<(Vec<Row>, Vec<bool>)>> {
     static POOL: std::sync::OnceLock<std::sync::Mutex<Vec<(Vec<Row>, Vec<bool>)>>> =
         std::sync::OnceLock::new();
@@ -104,7 +105,7 @@ impl PostcardCache {
         });
         let (rows, occupied) = match pooled {
             Some((cells, occupied)) => (RegisterArray::from_cells(cells), occupied),
-            // Safety: `Row`'s default is the all-zero pattern (zero key,
+            // SAFETY: `Row`'s default is the all-zero pattern (zero key,
             // zero words, nothing present).
             None => (unsafe { RegisterArray::new_zeroed(slots) }, vec![false; slots]),
         };

@@ -254,6 +254,7 @@ enum SkipReason {
     Abandoned,
 }
 
+#[derive(Debug)]
 struct FenceEntry {
     primitive: MigPrimitive,
     key: TelemetryKey,
@@ -289,6 +290,7 @@ struct FenceEntry {
 /// mirror of PR 6's `ReplayLedger`, with the same counted-eviction
 /// contract: overflow abandons the oldest in-flight entry rather than
 /// blocking, and the closure identity stays checkable.
+#[derive(Debug)]
 pub struct MigrationLedger {
     window: VecDeque<u32>,
     capacity: usize,
@@ -342,6 +344,7 @@ enum OpPurpose {
     Zero,
 }
 
+#[derive(Debug)]
 struct MigOp {
     link: u32,
     psn: u32,
@@ -449,6 +452,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// feeds it reroute events ([`RebalanceDriver::fence_record`]), rejoin,
 /// wire completions, and pumps it for emissions; it hands back DTA
 /// replays to push through the ordinary (exactly-once) report path.
+#[derive(Debug)]
 pub struct RebalanceDriver {
     config: RebalanceConfig,
     kw: Option<KwLayout>,
@@ -692,7 +696,7 @@ impl RebalanceDriver {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // private ctor: one arg per MigOp field
     fn push_op(
         &mut self,
         link: u32,

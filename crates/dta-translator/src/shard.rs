@@ -84,6 +84,7 @@ impl ShardedConfig {
 }
 
 /// State shared between the ingest thread and the workers.
+#[derive(Debug)]
 struct Shared {
     /// Set once, after the last ingest; workers drain and exit.
     stop: AtomicBool,
@@ -127,6 +128,7 @@ pub struct NackRecord {
 }
 
 /// Ingest-side handle to one shard.
+#[derive(Debug)]
 struct Lane {
     /// Report producer; taken (dropped) at shutdown while the NACK
     /// consumer below stays alive for a final post-join drain.
@@ -180,6 +182,7 @@ pub struct ShardedRunReport {
 /// `flush_and_join` drains translator-held state (postcard rows, partial
 /// append batches) and returns the aggregated counters. Dropping the handle
 /// without flushing still stops and joins the workers.
+#[derive(Debug)]
 pub struct ShardedTranslator {
     partitioner: Partitioner,
     scratch: KeyScratch,
@@ -461,7 +464,7 @@ impl Drop for ShardedTranslator {
 /// report at its own ingest timestamp), execute at the shard NIC endpoint,
 /// feed NAKs back, record rate-limited `nack_on_drop` seqs onto the NACK
 /// return ring, and flush on shutdown.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // thread entry: each arg is one owned channel/handle
 fn worker_loop(
     shard: usize,
     mut rx: spsc::Consumer<ShardItem>,

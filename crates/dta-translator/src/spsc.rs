@@ -33,7 +33,7 @@ struct Ring<T> {
     tail: CacheLine<AtomicUsize>,
 }
 
-// Safety: slots are handed off by the head/tail protocol — a slot is
+// SAFETY: slots are handed off by the head/tail protocol — a slot is
 // written only by the producer while `tail - capacity <= slot < head`
 // readers can't see it, and read only by the consumer after the producer's
 // Release store of `tail` makes the write visible.
@@ -46,6 +46,10 @@ impl<T> Drop for Ring<T> {
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Relaxed);
         for at in head..tail {
+            // SAFETY: `&mut self` in Drop means no producer/consumer is
+            // live, and every slot in `head..tail` was initialized by a
+            // producer `write` whose tail publication happened-before the
+            // last handle dropped.
             unsafe { (*self.buf[at & self.mask].get()).assume_init_drop() };
         }
     }
@@ -69,6 +73,28 @@ pub struct Consumer<T> {
     /// Cached view of the producer's `tail`; refreshed only when the ring
     /// looks empty.
     cached_tail: usize,
+}
+
+// Manual impls: queued items may be mid-handoff, so only the counters are
+// printable — and going through `derive` would demand `T: Debug` anyway.
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &(self.ring.mask + 1))
+            .field("tail", &self.tail)
+            .field("cached_head", &self.cached_head)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &(self.ring.mask + 1))
+            .field("head", &self.head)
+            .field("cached_tail", &self.cached_tail)
+            .finish()
+    }
 }
 
 /// A bounded SPSC channel of at least `capacity` slots (rounded up to a
@@ -105,6 +131,10 @@ impl<T> Producer<T> {
                 return Err(item);
             }
         }
+        // SAFETY: `self.tail - head < cap` was just established, so this
+        // slot is outside the consumer's visible `head..tail` window — the
+        // single producer has exclusive access until the Release store of
+        // `tail` below publishes it.
         unsafe {
             (*self.ring.buf[self.tail & self.ring.mask].get()).write(item);
         }
@@ -124,6 +154,10 @@ impl<T> Consumer<T> {
                 return None;
             }
         }
+        // SAFETY: `head < cached_tail` and `cached_tail` came from an
+        // Acquire load of the producer's Release-published `tail`, so the
+        // slot's `write` happened-before this read; the single consumer
+        // owns the slot until it advances `head`.
         let item =
             unsafe { (*self.ring.buf[self.head & self.ring.mask].get()).assume_init_read() };
         self.head += 1;
@@ -140,6 +174,9 @@ impl<T> Consumer<T> {
         }
         let avail = (self.cached_tail - self.head).min(max);
         for _ in 0..avail {
+            // SAFETY: as in `pop` — every slot below the Acquire-loaded
+            // `cached_tail` was initialized by the producer before its
+            // Release store of `tail`, and only this consumer reads it.
             let item = unsafe {
                 (*self.ring.buf[self.head & self.ring.mask].get()).assume_init_read()
             };

@@ -122,6 +122,7 @@ impl TranslatorOutput {
 }
 
 /// A connected per-primitive RDMA path.
+#[derive(Debug)]
 struct ServiceConn {
     qp: QueuePair,
     params: ConnectionParams,
@@ -134,6 +135,7 @@ struct ServiceConn {
 /// by the instance, never shared: a [`crate::ShardedTranslator`] runs one
 /// `Translator` per worker shard with zero cross-shard traffic (asserted
 /// `Send` below so a shard can own its translator on its own thread).
+#[derive(Debug)]
 pub struct Translator {
     config: TranslatorConfig,
     scratch: KeyScratch,
